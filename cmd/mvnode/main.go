@@ -1,0 +1,130 @@
+// Command mvnode runs one camera node of a distributed deployment: it
+// regenerates its camera's observations from the shared (scenario, seed)
+// pair, connects to the central scheduler, and executes the BALB camera
+// loop — full-frame inspection and detection upload at key frames,
+// tracking-based sliced batched inspection plus the distributed stage on
+// regular frames.
+//
+// Start one mvscheduler and one mvnode per camera:
+//
+//	mvscheduler -scenario S2 -seed 42 &
+//	mvnode -addr localhost:7001 -camera 0 -scenario S2 -seed 42
+//	mvnode -addr localhost:7001 -camera 1 -scenario S2 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mvs/internal/cluster"
+	"mvs/internal/node"
+	"mvs/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7001", "scheduler address")
+		camera   = flag.Int("camera", 0, "this node's camera index")
+		scenario = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
+		seed     = flag.Int64("seed", 42, "shared simulation seed")
+		frames   = flag.Int("frames", 1200, "trace length (first half is the model's training split)")
+		horizon  = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
+		rate     = flag.Duration("rate", 0, "real-time pacing per frame (0 = as fast as possible)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *camera, *scenario, *seed, *frames, *horizon, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "mvnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, camera int, scenario string, seed int64, frames, horizon int, rate time.Duration) error {
+	s, err := workload.ByName(scenario, seed)
+	if err != nil {
+		return err
+	}
+	if camera < 0 || camera >= len(s.World.Cameras) {
+		return fmt.Errorf("camera %d out of range: %s has %d cameras", camera, scenario, len(s.World.Cameras))
+	}
+	log.Printf("camera %d (%s, %s): regenerating world...",
+		camera, s.World.Cameras[camera].Name, s.Devices[camera])
+	trace, err := s.World.Run(frames)
+	if err != nil {
+		return err
+	}
+	// Evaluate on the second half; the first half trained the
+	// scheduler's association model.
+	_, test := trace.SplitTrain()
+
+	cam := s.World.Cameras[camera]
+	client, err := cluster.Dial(addr, camera, 10*time.Second, cam.ImageW, cam.ImageH)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	ack := client.Ack()
+	if ack == nil {
+		return fmt.Errorf("scheduler sent no registration ack payload")
+	}
+	log.Printf("registered: %dx%d mask grid, %d cells",
+		ack.GridCols, ack.GridRows, len(ack.Coverage))
+
+	rt, err := node.New(node.Config{
+		Camera:     camera,
+		Frame:      cam.Frame(),
+		Profile:    s.Profiles()[camera],
+		GridCols:   ack.GridCols,
+		GridRows:   ack.GridRows,
+		Coverage:   ack.Coverage,
+		NumCameras: len(s.World.Cameras),
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	for fi := range test.Frames {
+		obs := test.Frames[fi].PerCamera[camera]
+		if fi%horizon == 0 {
+			reports, err := rt.KeyFrame(obs)
+			if err != nil {
+				return err
+			}
+			assignment, err := client.KeyFrame(fi, reports, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			if err := rt.ApplyAssignment(assignment); err != nil {
+				return err
+			}
+		} else {
+			if _, err := rt.RegularFrame(obs); err != nil {
+				return err
+			}
+		}
+		if rate > 0 {
+			time.Sleep(rate)
+		}
+	}
+
+	st := rt.Stats()
+	log.Printf("done in %v wall time", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("camera %d summary:\n", camera)
+	fmt.Printf("  frames:            %d\n", st.Frames)
+	fmt.Printf("  mean inference:    %v/frame\n", st.MeanLatency.Round(100_000))
+	fmt.Printf("  distinct objects:  %d detected\n", st.DetectedObjects)
+	fmt.Printf("  final tracks:      %d active, %d shadows\n", st.ActiveTracks, st.Shadows)
+	// Uplink usage vs the testbed's 20 Mbps budget: key-frame uploads are
+	// tiny compared to streaming video, which is the point of onboard
+	// processing.
+	secs := float64(st.Frames) / 10.0
+	upKbps := float64(client.BytesSent()) * 8 / 1000 / secs
+	fmt.Printf("  network:           %d B up, %d B down (%.1f kbit/s uplink)\n",
+		client.BytesSent(), client.BytesReceived(), upKbps)
+	return nil
+}

@@ -1,0 +1,51 @@
+// Command mvprofile reproduces the offline profiling stage: it
+// "measures" each device class's YOLO latency profile (200 noisy runs per
+// configuration, as the paper does on each Jetson board) and prints the
+// tables the BALB scheduler consumes.
+//
+// Usage:
+//
+//	mvprofile [-runs N] [-noise F] [-seed N] [-exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mvs/internal/profile"
+)
+
+func main() {
+	var (
+		runs  = flag.Int("runs", 200, "timed runs per configuration")
+		noise = flag.Float64("noise", 0.05, "relative std-dev of one timing measurement")
+		seed  = flag.Int64("seed", 1, "measurement noise seed")
+		exact = flag.Bool("exact", false, "print ground-truth profiles instead of measuring")
+	)
+	flag.Parse()
+
+	classes := []profile.DeviceClass{
+		profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier,
+	}
+	profiler := &profile.Profiler{Runs: *runs, NoiseFrac: *noise, Seed: *seed}
+	for _, class := range classes {
+		var p *profile.Profile
+		if *exact {
+			p = profile.Default(class)
+		} else {
+			var err error
+			p, err = profiler.Measure(class, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvprofile:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("device: %s\n", p.Class)
+		fmt.Printf("  full frame (1280x704): %v\n", p.FullFrame.Round(100_000))
+		for _, s := range p.Sizes {
+			fmt.Printf("  size %3d: batch limit %2d, batch latency %v\n",
+				s, p.BatchLimit[s], p.BatchLatency[s].Round(10_000))
+		}
+	}
+}

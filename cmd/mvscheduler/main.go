@@ -1,0 +1,70 @@
+// Command mvscheduler runs the central scheduler for a distributed
+// deployment: camera nodes (cmd/mvnode) connect over TCP, upload their
+// detections at key frames, and receive BALB assignments.
+//
+// The scheduler and all nodes regenerate the same deterministic world
+// from (scenario, seed), so the association model is trained here
+// without shipping any data.
+//
+// Usage:
+//
+//	mvscheduler [-listen :7001] [-scenario S2] [-seed 42] [-frames 1200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"mvs/internal/assoc"
+	"mvs/internal/cluster"
+	"mvs/internal/workload"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7001", "listen address")
+		scenario = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
+		seed     = flag.Int64("seed", 42, "shared simulation seed")
+		frames   = flag.Int("frames", 1200, "trace length used for model training")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *scenario, *seed, *frames); err != nil {
+		fmt.Fprintln(os.Stderr, "mvscheduler:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, scenario string, seed int64, frames int) error {
+	s, err := workload.ByName(scenario, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("generating %s trace (%d frames) and training association model...", scenario, frames)
+	trace, err := s.World.Run(frames)
+	if err != nil {
+		return err
+	}
+	train, _ := trace.SplitTrain()
+	model, err := assoc.Train(train, assoc.Factories{})
+	if err != nil {
+		return err
+	}
+
+	sched, err := cluster.NewScheduler(model, s.Profiles(), 0)
+	if err != nil {
+		return err
+	}
+	sched.SetLogger(log.Default())
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("central scheduler for %s (%d cameras) listening on %s",
+		scenario, len(s.Devices), ln.Addr())
+	return sched.Serve(ln)
+}

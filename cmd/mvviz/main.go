@@ -1,0 +1,106 @@
+// Command mvviz renders a scenario and its headline results as SVG
+// files: the deployment map, the Fig. 2 workload chart, and the Fig. 13
+// latency bars.
+//
+// Usage:
+//
+//	mvviz [-scenario S1] [-frames N] [-seed N] [-out dir] [-latency]
+//
+// The latency chart requires running the pipeline under every algorithm,
+// so it is opt-in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mvs/internal/experiments"
+	"mvs/internal/viz"
+	"mvs/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "S1", "scenario: S1, S2, or S3")
+		frames   = flag.Int("frames", 1200, "trace length in frames")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		outDir   = flag.String("out", ".", "output directory for SVG files")
+		latency  = flag.Bool("latency", false, "also render the Fig. 13 latency bars (runs the pipeline)")
+	)
+	flag.Parse()
+
+	if err := run(*scenario, *frames, *seed, *outDir, *latency); err != nil {
+		fmt.Fprintln(os.Stderr, "mvviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, frames int, seed int64, outDir string, latency bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	s, err := workload.ByName(scenario, seed)
+	if err != nil {
+		return err
+	}
+
+	// 1. Deployment map (no simulation needed).
+	if err := writeSVG(filepath.Join(outDir, scenario+"_map.svg"), func(f *os.File) error {
+		return viz.WorldMap(f, s.World)
+	}); err != nil {
+		return err
+	}
+
+	// 2. Workload chart.
+	fmt.Fprintf(os.Stderr, "simulating %s (%d frames)...\n", scenario, frames)
+	setup, err := experiments.Prepare(scenario, seed, frames)
+	if err != nil {
+		return err
+	}
+	fig2 := experiments.Fig2(setup)
+	if err := writeSVG(filepath.Join(outDir, scenario+"_workload.svg"), func(f *os.File) error {
+		return viz.WorkloadChart(f, fig2.CameraNames, fig2.Counts, fig2.SampleEverySec)
+	}); err != nil {
+		return err
+	}
+
+	// 3. Latency bars (optional: needs five pipeline runs).
+	if latency {
+		fmt.Fprintln(os.Stderr, "running all scheduling algorithms...")
+		reports, err := experiments.RunModes(setup, 10)
+		if err != nil {
+			return err
+		}
+		var labels []string
+		var lats []time.Duration
+		for _, mode := range experiments.Modes() {
+			labels = append(labels, mode.String())
+			lats = append(lats, reports[mode].MeanSlowest)
+		}
+		if err := writeSVG(filepath.Join(outDir, scenario+"_latency.svg"), func(f *os.File) error {
+			return viz.LatencyBars(f, labels, lats)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSVG(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+	return nil
+}

@@ -1,0 +1,131 @@
+// Heterogeneous fleet: a pure-scheduling study of the BALB central stage
+// on synthetic MVS instances. It shows the two properties the paper's
+// algorithm is built around:
+//
+//  1. load-and-resource awareness — on a mixed Nano/TX2/Xavier fleet,
+//     BALB shifts shared objects toward fast devices, while a static
+//     capacity split and independent tracking both leave the Nano as a
+//     long pole; and
+//
+//  2. batch awareness — disabling the incomplete-batch rule (the
+//     DESIGN.md ablation) inflates the number of GPU launches and the
+//     system latency.
+//
+//     go run ./examples/heterofleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mvs/internal/core"
+	"mvs/internal/profile"
+)
+
+func makeFleet() []core.CameraSpec {
+	classes := []profile.DeviceClass{
+		profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier,
+	}
+	fleet := make([]core.CameraSpec, len(classes))
+	for i, c := range classes {
+		fleet[i] = core.CameraSpec{Index: i, Profile: profile.Default(c)}
+	}
+	return fleet
+}
+
+// makeObjects builds a workload where 60% of objects are visible
+// everywhere (a dense overlap region) and the rest are pinned to one
+// camera.
+func makeObjects(n int, rng *rand.Rand) []core.ObjectSpec {
+	sizes := []int{64, 128, 256}
+	objects := make([]core.ObjectSpec, n)
+	for i := range objects {
+		size := sizes[rng.Intn(len(sizes))]
+		var coverage []int
+		if rng.Float64() < 0.6 {
+			coverage = []int{0, 1, 2}
+		} else {
+			coverage = []int{rng.Intn(3)}
+		}
+		sz := make(map[int]int, len(coverage))
+		for _, c := range coverage {
+			sz[c] = size
+		}
+		objects[i] = core.ObjectSpec{ID: i + 1, Coverage: coverage, Size: sz}
+	}
+	return objects
+}
+
+func main() {
+	fleet := makeFleet()
+	rng := rand.New(rand.NewSource(3))
+	objects := makeObjects(30, rng)
+
+	balb, err := core.Central(fleet, objects, core.CentralOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	noBatch, err := core.Central(fleet, objects, core.CentralOptions{DisableBatching: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := core.StaticPartition(fleet, objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	indLat, err := core.IndependentLatencies(fleet, objects, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("30 objects, 60% in the shared region, fleet = nano + tx2 + xavier")
+	fmt.Println("\nper-camera scheduled latency (includes key-frame full inspection):")
+	names := []string{"nano  ", "tx2   ", "xavier"}
+	fmt.Printf("%-22s", "algorithm")
+	for _, n := range names {
+		fmt.Printf("  %s", n)
+	}
+	fmt.Println("  system (max)")
+	printRow := func(name string, lat []int64, sys int64) {
+		fmt.Printf("%-22s", name)
+		for _, l := range lat {
+			fmt.Printf("  %4dms", l)
+		}
+		fmt.Printf("  %4dms\n", sys)
+	}
+	toMs := func(sol *core.Solution) ([]int64, int64) {
+		out := make([]int64, len(sol.Latencies))
+		for i, l := range sol.Latencies {
+			out[i] = l.Milliseconds()
+		}
+		return out, sol.System().Milliseconds()
+	}
+	l, s := toMs(balb)
+	printRow("BALB", l, s)
+	l, s = toMs(noBatch)
+	printRow("BALB (no batching)", l, s)
+	l, s = toMs(sp)
+	printRow("static partition", l, s)
+	ind := make([]int64, len(indLat))
+	var indMax int64
+	for i, d := range indLat {
+		ind[i] = d.Milliseconds()
+		if ind[i] > indMax {
+			indMax = ind[i]
+		}
+	}
+	printRow("independent", ind, indMax)
+
+	// Count where the shared objects went under BALB.
+	counts := make([]int, 3)
+	for i := range objects {
+		if len(objects[i].Coverage) == 3 {
+			counts[balb.Assign[objects[i].ID]]++
+		}
+	}
+	fmt.Printf("\nBALB placed the shared objects as nano=%d tx2=%d xavier=%d —\n",
+		counts[0], counts[1], counts[2])
+	fmt.Println("the fast devices absorb the overlap region, so the Nano's frame")
+	fmt.Println("time stays close to its unavoidable exclusive workload.")
+}

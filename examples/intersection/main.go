@@ -1,0 +1,62 @@
+// Intersection: the paper's flagship scenario (S1) — five heterogeneous
+// cameras around a signalized intersection with platooned traffic — run
+// under every scheduling algorithm, reproducing the Fig. 12/13 story:
+// BALB keeps near-full recall at a fraction of the latency, and beats
+// static partitioning because it reacts to traffic-light load swings.
+//
+//	go run ./examples/intersection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mvs/internal/experiments"
+	"mvs/internal/metrics"
+	"mvs/internal/pipeline"
+)
+
+func main() {
+	fmt.Println("preparing S1 (5 cameras, 2 min of traffic)... this takes a moment")
+	setup, err := experiments.Prepare("S1", 42, 1200)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the traffic-light induced workload swings first (Fig. 2).
+	fig2 := experiments.Fig2(setup)
+	fmt.Println("\nper-camera object counts (one sample / 2 s):")
+	for ci, series := range fig2.Counts {
+		n := len(series)
+		if n > 25 {
+			series = series[:25]
+		}
+		fmt.Printf("  %-12s %v...\n", fig2.CameraNames[ci], series)
+	}
+
+	reports, err := experiments.RunModes(setup, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := reports[pipeline.Full]
+	fmt.Println("\nalgorithm   recall   slowest-camera latency   speedup")
+	for _, mode := range experiments.Modes() {
+		r := reports[mode]
+		speedup, err := metrics.Speedup(full.MeanSlowest, r.MeanSlowest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %.3f    %8v               %5.2fx\n",
+			r.Mode, r.Recall, r.MeanSlowest.Round(100_000), speedup)
+	}
+
+	balb := reports[pipeline.BALB]
+	sp := reports[pipeline.StaticPartition]
+	gain, err := metrics.Speedup(sp.MeanSlowest, balb.MeanSlowest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBALB vs static partitioning: %.2fx lower latency — the dynamic,\n", gain)
+	fmt.Println("load-aware assignment absorbs the phase-shifted platoons that a")
+	fmt.Println("fixed spatial split cannot.")
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest end-to-end use of the framework.
+//
+// It builds a two-camera world with overlapping views, trains the
+// cross-camera association model on the first half of the footage, then
+// runs the full BALB pipeline on the second half and prints the speedup
+// over full-frame processing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mvs/internal/assoc"
+	"mvs/internal/geom"
+	"mvs/internal/metrics"
+	"mvs/internal/pipeline"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+)
+
+func main() {
+	// 1. A world: one road, two cameras facing each other across it.
+	road := scene.MustPath(geom.Point{X: 5, Y: -40}, geom.Point{X: 5, Y: 40})
+	camNorth := &scene.Camera{
+		Name: "north", Pos: geom.Point{X: 0, Y: 50}, Height: 8, Yaw: -math.Pi / 2,
+		Pitch: 0.4, Focal: 800, ImageW: 1280, ImageH: 704, MaxRange: 62,
+	}
+	camSouth := &scene.Camera{
+		Name: "south", Pos: geom.Point{X: 0, Y: -50}, Height: 8, Yaw: math.Pi / 2,
+		Pitch: 0.4, Focal: 800, ImageW: 1280, ImageH: 704, MaxRange: 62,
+	}
+	world := &scene.World{
+		Routes:  []scene.Route{{Path: road, Speed: 8, Arrivals: scene.Poisson{RatePerSec: 0.4}}},
+		Cameras: []*scene.Camera{camSouth, camNorth},
+		FPS:     10,
+		Seed:    1,
+	}
+
+	// 2. Two minutes of footage; first half trains the association model.
+	trace, err := world.Run(1200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := trace.SplitTrain()
+	model, err := assoc.Train(train, assoc.Factories{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A heterogeneous pair of edge devices.
+	profiles := []*profile.Profile{
+		profile.Default(profile.JetsonXavier),
+		profile.Default(profile.JetsonNano),
+	}
+
+	// 4. Run full-frame processing and BALB, compare.
+	full, err := pipeline.Run(test, profiles, model, pipeline.Options{Mode: pipeline.Full, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	balb, err := pipeline.Run(test, profiles, model, pipeline.Options{Mode: pipeline.BALB, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedup, err := metrics.Speedup(full.MeanSlowest, balb.MeanSlowest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("full-frame processing: %v/frame, recall %.3f\n",
+		full.MeanSlowest.Round(100_000), full.Recall)
+	fmt.Printf("BALB scheduling:       %v/frame, recall %.3f\n",
+		balb.MeanSlowest.Round(100_000), balb.Recall)
+	fmt.Printf("speedup: %.2fx\n", speedup)
+}

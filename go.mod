@@ -1,0 +1,3 @@
+module mvs
+
+go 1.22

@@ -1,0 +1,387 @@
+// Package assoc implements the paper's cross-camera object association
+// module. For every ordered camera pair it trains two lightweight
+// location-based models on a labelled half of the trace:
+//
+//  1. a classifier deciding whether a bounding box seen on the source
+//     camera is visible on the destination camera at all, and
+//  2. a regressor predicting where on the destination camera it appears.
+//
+// At key frames, each detection is mapped to every other camera and
+// matched against that camera's detections by IoU through the Hungarian
+// algorithm; matches are merged with a union-find into global object
+// identities. The module is model-agnostic (the paper's Figs. 10 and 11
+// swap in SVM/logistic/tree classifiers and homography/linear/RANSAC
+// regressors), with KNN as the deployed default.
+package assoc
+
+import (
+	"errors"
+	"fmt"
+
+	"mvs/internal/geom"
+	"mvs/internal/hungarian"
+	"mvs/internal/ml"
+	"mvs/internal/scene"
+)
+
+// Sample is one training or evaluation case for a camera pair: a box on
+// the source camera, whether the same object is visible on the
+// destination camera, and (when visible) its box there.
+type Sample struct {
+	// SrcBox is the object's box on the source camera.
+	SrcBox geom.Rect
+	// Visible reports whether the object appears on the destination
+	// camera in the same frame.
+	Visible bool
+	// DstBox is the object's box on the destination camera; meaningful
+	// only when Visible.
+	DstBox geom.Rect
+}
+
+// BuildPairSamples extracts all (srcCam -> dstCam) samples from a trace.
+func BuildPairSamples(trace *scene.Trace, srcCam, dstCam int) ([]Sample, error) {
+	if srcCam == dstCam {
+		return nil, fmt.Errorf("assoc: src and dst are both camera %d", srcCam)
+	}
+	if srcCam < 0 || dstCam < 0 || srcCam >= len(trace.Cameras) || dstCam >= len(trace.Cameras) {
+		return nil, fmt.Errorf("assoc: camera pair (%d,%d) out of range [0,%d)", srcCam, dstCam, len(trace.Cameras))
+	}
+	var out []Sample
+	for fi := range trace.Frames {
+		f := &trace.Frames[fi]
+		dstByID := make(map[int]geom.Rect, len(f.PerCamera[dstCam]))
+		for _, o := range f.PerCamera[dstCam] {
+			dstByID[o.ObjectID] = o.Box
+		}
+		for _, o := range f.PerCamera[srcCam] {
+			s := Sample{SrcBox: o.Box}
+			if dst, ok := dstByID[o.ObjectID]; ok {
+				s.Visible = true
+				s.DstBox = dst
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// ClassificationData converts samples to the (features, labels) form the
+// ml package consumes.
+func ClassificationData(samples []Sample) (x [][]float64, y []bool) {
+	x = make([][]float64, len(samples))
+	y = make([]bool, len(samples))
+	for i, s := range samples {
+		x[i] = s.SrcBox.Vec4()
+		y[i] = s.Visible
+	}
+	return x, y
+}
+
+// RegressionData converts the visible subset of samples to (features,
+// targets) form.
+func RegressionData(samples []Sample) (x [][]float64, y [][]float64) {
+	for _, s := range samples {
+		if !s.Visible {
+			continue
+		}
+		x = append(x, s.SrcBox.Vec4())
+		y = append(y, s.DstBox.Vec4())
+	}
+	return x, y
+}
+
+// PairModel is the trained classifier+regressor for one ordered camera
+// pair.
+type PairModel struct {
+	clf    ml.Classifier
+	reg    ml.Regressor
+	hasReg bool
+	// meanSrc is the mean training source-box size, used to synthesize
+	// nominal boxes for cell-coverage queries.
+	meanSrcW, meanSrcH float64
+}
+
+// ErrNoPositives is returned when a pair has no co-visible training
+// samples, so no regressor can be trained. The pair still gets a
+// classifier (which should answer "not visible").
+var ErrNoPositives = errors.New("assoc: no co-visible samples for pair")
+
+// TrainPair fits a pair model from samples using the supplied model
+// factories.
+func TrainPair(samples []Sample, newClf func() ml.Classifier, newReg func() ml.Regressor) (*PairModel, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("assoc: no samples for pair")
+	}
+	pm := &PairModel{clf: newClf()}
+	x, y := ClassificationData(samples)
+	if err := pm.clf.Fit(x, y); err != nil {
+		return nil, fmt.Errorf("assoc: training classifier: %w", err)
+	}
+	var wSum, hSum float64
+	for _, s := range samples {
+		wSum += s.SrcBox.W()
+		hSum += s.SrcBox.H()
+	}
+	pm.meanSrcW = wSum / float64(len(samples))
+	pm.meanSrcH = hSum / float64(len(samples))
+
+	rx, ry := RegressionData(samples)
+	if len(rx) == 0 {
+		return pm, nil // classifier-only pair (disjoint views)
+	}
+	pm.reg = newReg()
+	if err := pm.reg.Fit(rx, ry); err != nil {
+		return nil, fmt.Errorf("assoc: training regressor: %w", err)
+	}
+	pm.hasReg = true
+	return pm, nil
+}
+
+// Map predicts whether a source box is visible on the destination camera
+// and, if so, where.
+func (pm *PairModel) Map(box geom.Rect) (geom.Rect, bool, error) {
+	visible, err := pm.clf.Predict(box.Vec4())
+	if err != nil {
+		return geom.Rect{}, false, fmt.Errorf("assoc: classify: %w", err)
+	}
+	if !visible || !pm.hasReg {
+		return geom.Rect{}, false, nil
+	}
+	v, err := pm.reg.Predict(box.Vec4())
+	if err != nil {
+		return geom.Rect{}, false, fmt.Errorf("assoc: regress: %w", err)
+	}
+	return geom.RectFromVec4(v), true, nil
+}
+
+// Model is the full cross-camera association model: one PairModel per
+// ordered camera pair.
+type Model struct {
+	numCams int
+	pairs   map[[2]int]*PairModel
+}
+
+// Factories bundles the model constructors used for training, so
+// experiments can swap baselines in.
+type Factories struct {
+	// NewClassifier returns a fresh untrained classifier (default KNN).
+	NewClassifier func() ml.Classifier
+	// NewRegressor returns a fresh untrained regressor (default KNN).
+	NewRegressor func() ml.Regressor
+}
+
+func (f Factories) withDefaults() Factories {
+	if f.NewClassifier == nil {
+		f.NewClassifier = func() ml.Classifier { return &ml.KNNClassifier{K: 5} }
+	}
+	if f.NewRegressor == nil {
+		f.NewRegressor = func() ml.Regressor { return &ml.KNNRegressor{K: 5} }
+	}
+	return f
+}
+
+// Train fits pair models for every ordered camera pair from the training
+// trace. Pairs whose source camera never observes anything are left out;
+// Map treats them as "not visible".
+func Train(trace *scene.Trace, f Factories) (*Model, error) {
+	if len(trace.Cameras) < 2 {
+		return nil, fmt.Errorf("assoc: need >= 2 cameras, got %d", len(trace.Cameras))
+	}
+	f = f.withDefaults()
+	m := &Model{numCams: len(trace.Cameras), pairs: make(map[[2]int]*PairModel)}
+	for src := 0; src < m.numCams; src++ {
+		for dst := 0; dst < m.numCams; dst++ {
+			if src == dst {
+				continue
+			}
+			samples, err := BuildPairSamples(trace, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			if len(samples) == 0 {
+				continue
+			}
+			pm, err := TrainPair(samples, f.NewClassifier, f.NewRegressor)
+			if err != nil {
+				return nil, fmt.Errorf("assoc: pair (%d,%d): %w", src, dst, err)
+			}
+			m.pairs[[2]int{src, dst}] = pm
+		}
+	}
+	return m, nil
+}
+
+// NumCameras returns the camera count the model was trained for.
+func (m *Model) NumCameras() int { return m.numCams }
+
+// MapBox predicts visibility and location of a source-camera box on a
+// destination camera. Untrained pairs answer "not visible".
+func (m *Model) MapBox(src, dst int, box geom.Rect) (geom.Rect, bool, error) {
+	if src == dst {
+		return box, true, nil
+	}
+	pm, ok := m.pairs[[2]int{src, dst}]
+	if !ok {
+		return geom.Rect{}, false, nil
+	}
+	return pm.Map(box)
+}
+
+// Ref identifies one box in the per-camera input to Associate.
+type Ref struct {
+	// Cam is the camera index.
+	Cam int
+	// Index is the position in that camera's box list.
+	Index int
+}
+
+// Group is one physical object as inferred by association: the set of
+// per-camera boxes believed to be the same object.
+type Group struct {
+	// Members holds one Ref per camera observing the object.
+	Members []Ref
+}
+
+// Associate clusters per-camera boxes into global objects. For each
+// camera pair (i < j), every box on i that the pair model maps into j is
+// matched against j's boxes by IoU (Hungarian, threshold minIoU); matched
+// pairs are merged with union-find. minIoU <= 0 defaults to 0.1 (the
+// paper's "preset threshold" on area overlap).
+func (m *Model) Associate(boxes [][]geom.Rect, minIoU float64) ([]Group, error) {
+	if len(boxes) != m.numCams {
+		return nil, fmt.Errorf("assoc: %d camera lists, model trained for %d", len(boxes), m.numCams)
+	}
+	if minIoU <= 0 {
+		minIoU = 0.1
+	}
+	// Flat indexing for union-find.
+	offsets := make([]int, len(boxes)+1)
+	for i, b := range boxes {
+		offsets[i+1] = offsets[i] + len(b)
+	}
+	dsu := newDSU(offsets[len(boxes)])
+
+	for i := 0; i < m.numCams; i++ {
+		for j := i + 1; j < m.numCams; j++ {
+			if len(boxes[i]) == 0 || len(boxes[j]) == 0 {
+				continue
+			}
+			// Map each box on i into j; rows that aren't predicted
+			// visible get zero profit everywhere.
+			profit := make([][]float64, len(boxes[i]))
+			anyVisible := false
+			for bi, box := range boxes[i] {
+				profit[bi] = make([]float64, len(boxes[j]))
+				pred, visible, err := m.MapBox(i, j, box)
+				if err != nil {
+					return nil, err
+				}
+				if !visible {
+					continue
+				}
+				anyVisible = true
+				for bj, other := range boxes[j] {
+					profit[bi][bj] = pred.IoU(other)
+				}
+			}
+			if !anyVisible {
+				continue
+			}
+			assign, _, err := hungarian.MaximizeProfit(profit, minIoU)
+			if err != nil {
+				return nil, fmt.Errorf("assoc: matching cameras (%d,%d): %w", i, j, err)
+			}
+			for bi, bj := range assign {
+				if bj < 0 {
+					continue
+				}
+				dsu.union(offsets[i]+bi, offsets[j]+bj)
+			}
+		}
+	}
+
+	// Collect groups in deterministic order of their smallest member.
+	groupIdx := make(map[int]int)
+	var groups []Group
+	for i := 0; i < m.numCams; i++ {
+		for k := range boxes[i] {
+			root := dsu.find(offsets[i] + k)
+			gi, ok := groupIdx[root]
+			if !ok {
+				gi = len(groups)
+				groupIdx[root] = gi
+				groups = append(groups, Group{})
+			}
+			groups[gi].Members = append(groups[gi].Members, Ref{Cam: i, Index: k})
+		}
+	}
+	return groups, nil
+}
+
+// dsu is a minimal union-find with path halving.
+type dsu struct {
+	parent []int
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[rb] = ra
+	}
+}
+
+// NominalBox synthesizes a box of the pair's mean training size centred
+// at the given pixel point on the source camera. The distributed-stage
+// mask computation uses it to ask "would an average object here be
+// visible elsewhere?".
+func (m *Model) NominalBox(src int, centre geom.Point) geom.Rect {
+	// Use any trained pair with this source for the mean dims.
+	for dst := 0; dst < m.numCams; dst++ {
+		if pm, ok := m.pairs[[2]int{src, dst}]; ok {
+			return geom.RectFromCenter(centre, pm.meanSrcW, pm.meanSrcH)
+		}
+	}
+	return geom.RectFromCenter(centre, 48, 36)
+}
+
+// CellCoverage computes, for each cell of the source camera's grid, the
+// set of cameras (indices, always including src) predicted to see an
+// average object centred in that cell — the per-cell coverage sets behind
+// the distributed stage's camera masks (Fig. 8).
+func (m *Model) CellCoverage(src int, grid geom.Grid) ([][]int, error) {
+	out := make([][]int, grid.NumCells())
+	for c := 0; c < grid.NumCells(); c++ {
+		box := m.NominalBox(src, grid.CellCenter(c))
+		cover := []int{src}
+		for dst := 0; dst < m.numCams; dst++ {
+			if dst == src {
+				continue
+			}
+			_, visible, err := m.MapBox(src, dst, box)
+			if err != nil {
+				return nil, fmt.Errorf("assoc: coverage cell %d: %w", c, err)
+			}
+			if visible {
+				cover = append(cover, dst)
+			}
+		}
+		out[c] = cover
+	}
+	return out, nil
+}

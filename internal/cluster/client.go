@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"mvs/internal/flow"
+)
+
+// countingConn wraps a net.Conn with byte counters, so nodes can report
+// their uplink/downlink usage against the testbed's budget (the paper's
+// wired links were 100 Mbps down / 20 Mbps up).
+type countingConn struct {
+	net.Conn
+	sent, received atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.received.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
+// Client is a camera node's connection to the central scheduler.
+type Client struct {
+	camera int
+	conn   *countingConn
+	ack    *HelloAck
+}
+
+// Dial connects to the scheduler and performs the hello handshake. When
+// frameW and frameH are positive, the returned client carries the
+// scheduler-computed cell-coverage masks (see Ack).
+func Dial(addr string, camera int, timeout time.Duration, frameW, frameH float64) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	conn := &countingConn{Conn: raw}
+	c := &Client{camera: camera, conn: conn}
+	hello := &Hello{Camera: camera, FrameW: frameW, FrameH: frameH}
+	if err := WriteMessage(conn, &Envelope{Type: TypeHello, Hello: hello}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Wait for the registration ack so a successful Dial means the
+	// scheduler has accepted this camera index.
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: set deadline: %w", err)
+	}
+	ack, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake: %w", err)
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: clear deadline: %w", err)
+	}
+	switch ack.Type {
+	case TypeHello:
+		c.ack = ack.Ack
+		return c, nil
+	case TypeError:
+		conn.Close()
+		return nil, fmt.Errorf("cluster: registration rejected: %s", ack.Error)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("cluster: unexpected handshake reply %q", ack.Type)
+	}
+}
+
+// Camera returns the node's camera index.
+func (c *Client) Camera() int { return c.camera }
+
+// BytesSent returns the uplink bytes written so far (detection uploads).
+func (c *Client) BytesSent() int64 { return c.conn.sent.Load() }
+
+// BytesReceived returns the downlink bytes read so far (assignments and
+// masks).
+func (c *Client) BytesReceived() int64 { return c.conn.received.Load() }
+
+// Ack returns the scheduler's registration reply (grid dimensions and
+// static cell-coverage masks), or nil when the handshake carried no
+// frame size.
+func (c *Client) Ack() *HelloAck { return c.ack }
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ReportTracks converts live tracks to wire form.
+func ReportTracks(tracks []*flow.Track) []TrackReport {
+	out := make([]TrackReport, len(tracks))
+	for i, t := range tracks {
+		out[i] = TrackReport{
+			TrackID: t.ID,
+			Box:     [4]float64{t.Box.MinX, t.Box.MinY, t.Box.MaxX, t.Box.MaxY},
+			Size:    t.QuantSize,
+		}
+	}
+	return out
+}
+
+// KeyFrame uploads the camera's track list for a key frame and blocks
+// until the scheduler replies with this round's assignment (or an
+// error). deadline bounds the wait; zero means 10 seconds.
+func (c *Client) KeyFrame(frame int, tracks []TrackReport, deadline time.Duration) (*Assignment, error) {
+	if deadline <= 0 {
+		deadline = 10 * time.Second
+	}
+	env := &Envelope{
+		Type:       TypeDetections,
+		Detections: &Detections{Camera: c.camera, Frame: frame, Tracks: tracks},
+	}
+	if err := WriteMessage(c.conn, env); err != nil {
+		return nil, err
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(deadline)); err != nil {
+		return nil, fmt.Errorf("cluster: set deadline: %w", err)
+	}
+	defer c.conn.SetReadDeadline(time.Time{})
+	for {
+		reply, err := ReadMessage(c.conn)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: camera %d await assignment: %w", c.camera, err)
+		}
+		switch reply.Type {
+		case TypeAssignment:
+			if reply.Assignment == nil {
+				return nil, fmt.Errorf("cluster: empty assignment")
+			}
+			if reply.Assignment.Frame != frame {
+				// A stale round (e.g. reconnect race); keep waiting.
+				continue
+			}
+			return reply.Assignment, nil
+		case TypeError:
+			return nil, fmt.Errorf("cluster: scheduler error: %s", reply.Error)
+		default:
+			return nil, fmt.Errorf("cluster: unexpected message type %q", reply.Type)
+		}
+	}
+}

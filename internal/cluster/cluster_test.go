@@ -1,0 +1,483 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvs/internal/assoc"
+	"mvs/internal/geom"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Envelope{
+		Type: TypeDetections,
+		Detections: &Detections{
+			Camera: 2, Frame: 30,
+			Tracks: []TrackReport{{TrackID: 7, Box: [4]float64{1, 2, 3, 4}, Size: 128}},
+		},
+	}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != TypeDetections || out.Detections.Camera != 2 ||
+		out.Detections.Tracks[0].Size != 128 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestReadMessageRejectsBadLength(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Fatal("huge length accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0, 0, 5, '{'})); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReadMessageRejectsGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 3})
+	buf.WriteString("xyz")
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}
+
+// testModel trains a small association model on a two-camera world.
+func testModel(t *testing.T) (*assoc.Model, []*profile.Profile) {
+	t.Helper()
+	road := scene.MustPath(geom.Point{X: 5, Y: -40}, geom.Point{X: 5, Y: 40})
+	camA := &scene.Camera{
+		Name: "a", Pos: geom.Point{X: 0, Y: -50}, Height: 8, Yaw: math.Pi / 2,
+		Pitch: 0.4, Focal: 1000, ImageW: 1280, ImageH: 704, MaxRange: 62,
+	}
+	camB := &scene.Camera{
+		Name: "b", Pos: geom.Point{X: 0, Y: 50}, Height: 8, Yaw: -math.Pi / 2,
+		Pitch: 0.4, Focal: 1000, ImageW: 1280, ImageH: 704, MaxRange: 62,
+	}
+	world := &scene.World{
+		Routes:  []scene.Route{{Path: road, Speed: 8, Arrivals: scene.Poisson{RatePerSec: 0.6}}},
+		Cameras: []*scene.Camera{camA, camB},
+		FPS:     10, Seed: 21,
+	}
+	trace, err := world.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := assoc.Train(trace, assoc.Factories{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, []*profile.Profile{
+		profile.Default(profile.JetsonXavier),
+		profile.Default(profile.JetsonNano),
+	}
+}
+
+// startScheduler runs a scheduler on a random loopback port.
+func startScheduler(t *testing.T) (*Scheduler, string) {
+	t.Helper()
+	model, profiles := testModel(t)
+	s, err := NewScheduler(model, profiles, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_ = s.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		s.Close()
+		ln.Close()
+	})
+	return s, ln.Addr().String()
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	model, profiles := testModel(t)
+	if _, err := NewScheduler(nil, profiles, 0); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewScheduler(model, profiles[:1], 0); err == nil {
+		t.Fatal("profile count mismatch accepted")
+	}
+	if _, err := NewScheduler(model, []*profile.Profile{nil, nil}, 0); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+}
+
+func TestSchedulingRoundOverTCP(t *testing.T) {
+	_, addr := startScheduler(t)
+
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// Two cameras report boxes; tracks 11 (cam0) and 21 (cam1) are at
+	// locations the association model should merge or at least schedule.
+	rep0 := []TrackReport{
+		{TrackID: 11, Box: [4]float64{600, 300, 700, 380}, Size: 128},
+		{TrackID: 12, Box: [4]float64{100, 500, 160, 560}, Size: 64},
+	}
+	rep1 := []TrackReport{
+		{TrackID: 21, Box: [4]float64{580, 310, 690, 390}, Size: 128},
+	}
+
+	var wg sync.WaitGroup
+	var a0, a1 *Assignment
+	var e0, e1 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a0, e0 = c0.KeyFrame(0, rep0, 5*time.Second)
+	}()
+	go func() {
+		defer wg.Done()
+		a1, e1 = c1.KeyFrame(0, rep1, 5*time.Second)
+	}()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatalf("errors: %v / %v", e0, e1)
+	}
+
+	// Both replies carry the same priority permutation.
+	if len(a0.Priority) != 2 || len(a1.Priority) != 2 {
+		t.Fatalf("priorities = %v / %v", a0.Priority, a1.Priority)
+	}
+	for i := range a0.Priority {
+		if a0.Priority[i] != a1.Priority[i] {
+			t.Fatalf("inconsistent priorities: %v vs %v", a0.Priority, a1.Priority)
+		}
+	}
+	// Every reported track is either kept or shadowed on its own camera.
+	accounted := func(a *Assignment, id int) bool {
+		for _, k := range a.Keep {
+			if k == id {
+				return true
+			}
+		}
+		for _, sh := range a.Shadows {
+			if sh.TrackID == id {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tr := range rep0 {
+		if !accounted(a0, tr.TrackID) {
+			t.Fatalf("cam0 track %d unaccounted: %+v", tr.TrackID, a0)
+		}
+	}
+	for _, tr := range rep1 {
+		if !accounted(a1, tr.TrackID) {
+			t.Fatalf("cam1 track %d unaccounted: %+v", tr.TrackID, a1)
+		}
+	}
+	// A shadow's assigned camera must be the other one.
+	for _, sh := range a0.Shadows {
+		if sh.AssignedCamera != 1 {
+			t.Fatalf("cam0 shadow assigned to %d", sh.AssignedCamera)
+		}
+	}
+}
+
+func TestMultipleRounds(t *testing.T) {
+	_, addr := startScheduler(t)
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	for frame := 0; frame < 30; frame += 10 {
+		var wg sync.WaitGroup
+		var err0, err1 error
+		wg.Add(2)
+		go func(f int) {
+			defer wg.Done()
+			_, err0 = c0.KeyFrame(f, []TrackReport{{TrackID: f + 1, Box: [4]float64{100, 100, 150, 150}, Size: 64}}, 5*time.Second)
+		}(frame)
+		go func(f int) {
+			defer wg.Done()
+			_, err1 = c1.KeyFrame(f, nil, 5*time.Second)
+		}(frame)
+		wg.Wait()
+		if err0 != nil || err1 != nil {
+			t.Fatalf("frame %d: %v / %v", frame, err0, err1)
+		}
+	}
+}
+
+func TestDuplicateCameraRejected(t *testing.T) {
+	_, addr := startScheduler(t)
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMessage(conn, &Envelope{Type: TypeHello, Hello: &Hello{Camera: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeError || !strings.Contains(reply.Error, "already connected") {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestOutOfRangeCameraRejected(t *testing.T) {
+	_, addr := startScheduler(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMessage(conn, &Envelope{Type: TypeHello, Hello: &Hello{Camera: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeError {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestNonHelloFirstMessageRejected(t *testing.T) {
+	_, addr := startScheduler(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	env := &Envelope{Type: TypeDetections, Detections: &Detections{Camera: 0}}
+	if err := WriteMessage(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeError {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestCameraIDMismatchInDetections(t *testing.T) {
+	_, addr := startScheduler(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMessage(conn, &Envelope{Type: TypeHello, Hello: &Hello{Camera: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := ReadMessage(conn)
+	if err != nil || ack.Type != TypeHello {
+		t.Fatalf("handshake ack = %+v, %v", ack, err)
+	}
+	env := &Envelope{Type: TypeDetections, Detections: &Detections{Camera: 1, Frame: 0}}
+	if err := WriteMessage(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeError {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestKeyFrameTimeout(t *testing.T) {
+	// Camera 1 is connected but never reports: the round cannot complete
+	// while it is alive, and the client's deadline must fire.
+	_, addr := startScheduler(t)
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c0.KeyFrame(0, nil, 300*time.Millisecond); err == nil {
+		t.Fatal("incomplete round returned an assignment")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 0, 200*time.Millisecond, 0, 0); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestReportTracksConversion(t *testing.T) {
+	reports := ReportTracks(nil)
+	if len(reports) != 0 {
+		t.Fatal("nil tracks produced reports")
+	}
+}
+
+func TestDisconnectUnblocksRound(t *testing.T) {
+	// Camera 1 reports for frame 0, camera 0 never does and instead
+	// disconnects. The round must complete with camera 1's view alone.
+	_, addr := startScheduler(t)
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c1.KeyFrame(0, []TrackReport{
+			{TrackID: 5, Box: [4]float64{100, 100, 160, 150}, Size: 64},
+		}, 10*time.Second)
+		done <- err
+	}()
+	// Give the report time to land in the pending round, then drop
+	// camera 0.
+	time.Sleep(200 * time.Millisecond)
+	c0.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("round did not complete cleanly: %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("round stalled after disconnect")
+	}
+}
+
+func TestHelloWithFrameSizeGetsCoverage(t *testing.T) {
+	_, addr := startScheduler(t)
+	c, err := Dial(addr, 0, 0, 1280, 704)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ack := c.Ack()
+	if ack == nil {
+		t.Fatal("no ack payload")
+	}
+	if ack.GridCols <= 0 || ack.GridRows <= 0 {
+		t.Fatalf("grid = %dx%d", ack.GridCols, ack.GridRows)
+	}
+	if len(ack.Coverage) != ack.GridCols*ack.GridRows {
+		t.Fatalf("coverage cells = %d", len(ack.Coverage))
+	}
+	for i, cover := range ack.Coverage {
+		if len(cover) == 0 || cover[0] != 0 {
+			t.Fatalf("cell %d coverage %v must start with own camera", i, cover)
+		}
+	}
+}
+
+func TestHelloWithoutFrameSizeOmitsCoverage(t *testing.T) {
+	_, addr := startScheduler(t)
+	c, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ack := c.Ack()
+	if ack == nil {
+		t.Fatal("no ack payload")
+	}
+	if len(ack.Coverage) != 0 {
+		t.Fatal("coverage sent without frame size")
+	}
+}
+
+func TestBandwidthCounters(t *testing.T) {
+	_, addr := startScheduler(t)
+	c0, err := Dial(addr, 0, 0, 1280, 704)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if c0.BytesSent() == 0 || c0.BytesReceived() == 0 {
+		t.Fatalf("handshake not counted: sent=%d recv=%d", c0.BytesSent(), c0.BytesReceived())
+	}
+	// Masks were shipped: the frame-sized hello must have received far
+	// more than the bare one.
+	if c0.BytesReceived() <= c1.BytesReceived() {
+		t.Fatalf("mask payload not visible in counters: %d vs %d",
+			c0.BytesReceived(), c1.BytesReceived())
+	}
+	before := c0.BytesSent()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var e0, e1 error
+	go func() {
+		defer wg.Done()
+		_, e0 = c0.KeyFrame(0, []TrackReport{{TrackID: 1, Box: [4]float64{1, 2, 3, 4}, Size: 64}}, 5*time.Second)
+	}()
+	go func() {
+		defer wg.Done()
+		_, e1 = c1.KeyFrame(0, nil, 5*time.Second)
+	}()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatalf("round: %v / %v", e0, e1)
+	}
+	if c0.BytesSent() <= before {
+		t.Fatal("key-frame upload not counted")
+	}
+}

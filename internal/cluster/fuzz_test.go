@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage hammers the framed-JSON decoder with arbitrary bytes:
+// it must never panic and never allocate unboundedly, only return
+// messages or errors.
+func FuzzReadMessage(f *testing.F) {
+	// Seed with a valid frame and several near-valid corruptions.
+	var valid bytes.Buffer
+	if err := WriteMessage(&valid, &Envelope{
+		Type:       TypeDetections,
+		Detections: &Detections{Camera: 1, Frame: 10, Tracks: []TrackReport{{TrackID: 1, Size: 64}}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadMessage(bytes.NewReader(data))
+		if err == nil && env == nil {
+			t.Fatal("nil message without error")
+		}
+	})
+}
+
+// FuzzMessageRoundTrip checks that any envelope assembled from fuzzed
+// fields survives an encode/decode cycle intact.
+func FuzzMessageRoundTrip(f *testing.F) {
+	f.Add("hello", 3, 70, int64(5))
+	f.Add("detections", 0, 0, int64(-1))
+	f.Fuzz(func(t *testing.T, typ string, cam, frame int, box int64) {
+		in := &Envelope{
+			Type: typ,
+			Detections: &Detections{
+				Camera: cam, Frame: frame,
+				Tracks: []TrackReport{{TrackID: cam, Box: [4]float64{float64(box), 0, 1, 2}, Size: 64}},
+			},
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, in); err != nil {
+			t.Skip() // e.g. unencodable floats
+		}
+		out, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if out.Type != in.Type || out.Detections.Camera != cam || out.Detections.Frame != frame {
+			t.Fatalf("round trip mutated: %+v vs %+v", out, in)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package cluster implements the testbed's communication layer: camera
+// nodes connect to a central scheduler over TCP (the paper uses "TCP
+// socket programming for reliable data communication between the edge
+// devices and the central scheduler"). At each key frame every camera
+// uploads its detected-object list; the scheduler associates them across
+// cameras, runs the central-stage BALB algorithm, and replies to each
+// camera with the tracks it keeps, the tracks it shadows (with their
+// assigned camera), and the horizon's camera priority order.
+//
+// Messages are length-prefixed JSON for debuggability; frames are small
+// (tens of boxes), so the codec favours clarity over compactness.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxMessageSize bounds a single message to protect against corrupt
+// length prefixes.
+const MaxMessageSize = 4 << 20
+
+// Message types.
+const (
+	TypeHello      = "hello"
+	TypeDetections = "detections"
+	TypeAssignment = "assignment"
+	TypeError      = "error"
+)
+
+// Hello registers a camera with the scheduler.
+type Hello struct {
+	// Camera is the node's index in the deployment roster.
+	Camera int `json:"camera"`
+	// FrameW, FrameH are the camera's image dimensions in pixels; the
+	// scheduler uses them to compute the node's cell grid. Zero means
+	// the node does not need masks (protocol tests, probes).
+	FrameW float64 `json:"frame_w,omitempty"`
+	FrameH float64 `json:"frame_h,omitempty"`
+}
+
+// HelloAck is the scheduler's registration reply. The per-cell coverage
+// sets are static (cameras are fixed), so they are shipped once here;
+// the per-horizon priority order arrives with every Assignment.
+type HelloAck struct {
+	// Camera echoes the registered index.
+	Camera int `json:"camera"`
+	// GridCols, GridRows shape the camera's cell grid.
+	GridCols int `json:"grid_cols,omitempty"`
+	GridRows int `json:"grid_rows,omitempty"`
+	// Coverage[cell] lists the cameras predicted to see an average
+	// object centred in that cell (always includes this camera).
+	Coverage [][]int `json:"coverage,omitempty"`
+}
+
+// TrackReport is one tracked object as reported by a camera at a key
+// frame.
+type TrackReport struct {
+	// TrackID is the camera-local track identifier.
+	TrackID int `json:"track_id"`
+	// Box is the pixel bounding box [minX, minY, maxX, maxY].
+	Box [4]float64 `json:"box"`
+	// Size is the quantized target size for this horizon.
+	Size int `json:"size"`
+}
+
+// Detections is a camera's key-frame upload.
+type Detections struct {
+	// Camera is the sender's index.
+	Camera int `json:"camera"`
+	// Frame is the key-frame index (used to align rounds).
+	Frame int `json:"frame"`
+	// Tracks are the camera's current tracks.
+	Tracks []TrackReport `json:"tracks"`
+}
+
+// ShadowOrder tells a camera to stop inspecting a track and shadow it.
+type ShadowOrder struct {
+	// TrackID is the camera-local track to shadow.
+	TrackID int `json:"track_id"`
+	// AssignedCamera is the camera now responsible for the object.
+	AssignedCamera int `json:"assigned_camera"`
+}
+
+// Assignment is the scheduler's key-frame reply to one camera.
+type Assignment struct {
+	// Frame echoes the round's key-frame index.
+	Frame int `json:"frame"`
+	// Keep lists track IDs the camera keeps inspecting.
+	Keep []int `json:"keep"`
+	// Shadows lists tracks reassigned to other cameras.
+	Shadows []ShadowOrder `json:"shadows"`
+	// Priority is the horizon's camera priority order (highest first),
+	// which drives the distributed stage.
+	Priority []int `json:"priority"`
+}
+
+// Envelope is the wire message union.
+type Envelope struct {
+	Type       string      `json:"type"`
+	Hello      *Hello      `json:"hello,omitempty"`
+	Ack        *HelloAck   `json:"ack,omitempty"`
+	Detections *Detections `json:"detections,omitempty"`
+	Assignment *Assignment `json:"assignment,omitempty"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// WriteMessage frames and writes one envelope: 4-byte big-endian length,
+// then the JSON body.
+func WriteMessage(w io.Writer, env *Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("cluster: encode: %w", err)
+	}
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("cluster: message %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("cluster: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed envelope.
+func ReadMessage(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxMessageSize {
+		return nil, fmt.Errorf("cluster: bad message length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("cluster: read body: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	return &env, nil
+}

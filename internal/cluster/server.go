@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"mvs/internal/assoc"
+	"mvs/internal/core"
+	"mvs/internal/geom"
+	"mvs/internal/profile"
+)
+
+// maskGridCols and maskGridRows shape every camera's cell grid for the
+// distributed-stage masks.
+const (
+	maskGridCols = 16
+	maskGridRows = 9
+)
+
+// Scheduler is the central scheduler service: it accepts one connection
+// per camera, barriers each key-frame round until every camera has
+// uploaded its detections, then runs association + central BALB and
+// replies to all cameras.
+type Scheduler struct {
+	model    *assoc.Model
+	cams     []core.CameraSpec
+	minIoU   float64
+	logger   *log.Logger
+	shutdown chan struct{}
+
+	mu      sync.Mutex
+	conns   map[int]*schedConn
+	rounds  map[int]*round
+	started bool
+}
+
+type schedConn struct {
+	camera int
+	conn   net.Conn
+	wmu    sync.Mutex
+}
+
+func (sc *schedConn) send(env *Envelope) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	return WriteMessage(sc.conn, env)
+}
+
+type round struct {
+	reports map[int]*Detections
+}
+
+// NewScheduler builds the service for a fixed camera roster.
+func NewScheduler(model *assoc.Model, profiles []*profile.Profile, minIoU float64) (*Scheduler, error) {
+	if model == nil {
+		return nil, errors.New("cluster: nil association model")
+	}
+	if len(profiles) != model.NumCameras() {
+		return nil, fmt.Errorf("cluster: %d profiles for model with %d cameras",
+			len(profiles), model.NumCameras())
+	}
+	cams := make([]core.CameraSpec, len(profiles))
+	for i, p := range profiles {
+		if p == nil {
+			return nil, fmt.Errorf("cluster: nil profile for camera %d", i)
+		}
+		cams[i] = core.CameraSpec{Index: i, Profile: p}
+	}
+	if minIoU <= 0 {
+		minIoU = 0.1
+	}
+	return &Scheduler{
+		model:    model,
+		cams:     cams,
+		minIoU:   minIoU,
+		logger:   log.New(logDiscard{}, "", 0),
+		shutdown: make(chan struct{}),
+		conns:    make(map[int]*schedConn),
+		rounds:   make(map[int]*round),
+	}, nil
+}
+
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// SetLogger installs a logger for connection events (nil restores the
+// silent default).
+func (s *Scheduler) SetLogger(l *log.Logger) {
+	if l == nil {
+		l = log.New(logDiscard{}, "", 0)
+	}
+	s.logger = l
+}
+
+// Serve accepts camera connections until the listener is closed. It
+// blocks; run it in a goroutine and close the listener to stop.
+func (s *Scheduler) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return nil
+			default:
+			}
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the service and drops all connections.
+func (s *Scheduler) Close() {
+	close(s.shutdown)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.conn.Close()
+	}
+}
+
+func (s *Scheduler) handle(conn net.Conn) {
+	defer conn.Close()
+	env, err := ReadMessage(conn)
+	if err != nil {
+		s.logger.Printf("cluster: handshake read: %v", err)
+		return
+	}
+	if env.Type != TypeHello || env.Hello == nil {
+		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: "expected hello"})
+		return
+	}
+	cam := env.Hello.Camera
+	if cam < 0 || cam >= len(s.cams) {
+		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: fmt.Sprintf("camera %d out of range", cam)})
+		return
+	}
+	sc := &schedConn{camera: cam, conn: conn}
+	s.mu.Lock()
+	if _, dup := s.conns[cam]; dup {
+		s.mu.Unlock()
+		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: fmt.Sprintf("camera %d already connected", cam)})
+		return
+	}
+	s.conns[cam] = sc
+	s.mu.Unlock()
+	s.logger.Printf("cluster: camera %d connected from %v", cam, conn.RemoteAddr())
+	// Ack the handshake so Dial returns only once the camera is
+	// registered (otherwise two racing hellos for the same index could
+	// each believe they won). When the node announced its frame size,
+	// the ack carries the static cell-coverage masks.
+	ack := &HelloAck{Camera: cam}
+	if env.Hello.FrameW > 0 && env.Hello.FrameH > 0 {
+		grid := geom.NewGrid(geom.Rect{MaxX: env.Hello.FrameW, MaxY: env.Hello.FrameH}, maskGridCols, maskGridRows)
+		cover, err := s.model.CellCoverage(cam, grid)
+		if err != nil {
+			s.logger.Printf("cluster: camera %d coverage: %v", cam, err)
+			_ = sc.send(&Envelope{Type: TypeError, Error: fmt.Sprintf("coverage: %v", err)})
+			return
+		}
+		ack.GridCols = maskGridCols
+		ack.GridRows = maskGridRows
+		ack.Coverage = cover
+	}
+	if err := sc.send(&Envelope{Type: TypeHello, Ack: ack}); err != nil {
+		s.logger.Printf("cluster: camera %d ack: %v", cam, err)
+		return
+	}
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, cam)
+		ready := s.readyRoundsLocked()
+		s.mu.Unlock()
+		// A camera dropping out must not stall in-flight rounds: any
+		// round now complete without it is scheduled immediately.
+		for frame, r := range ready {
+			s.completeRound(r, frame)
+		}
+	}()
+
+	for {
+		env, err := ReadMessage(conn)
+		if err != nil {
+			s.logger.Printf("cluster: camera %d read: %v", cam, err)
+			return
+		}
+		if env.Type != TypeDetections || env.Detections == nil {
+			_ = sc.send(&Envelope{Type: TypeError, Error: "expected detections"})
+			continue
+		}
+		if env.Detections.Camera != cam {
+			_ = sc.send(&Envelope{Type: TypeError, Error: "camera id mismatch"})
+			continue
+		}
+		s.submit(env.Detections)
+	}
+}
+
+// roundCompleteLocked reports whether every currently connected camera
+// has reported for the round. Reports from since-disconnected cameras
+// still count toward scheduling; rounds with no reports never complete.
+func (s *Scheduler) roundCompleteLocked(r *round) bool {
+	if len(r.reports) == 0 {
+		return false
+	}
+	for cam := range s.conns {
+		if _, ok := r.reports[cam]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// readyRoundsLocked removes and returns every pending round that is now
+// complete (used after a disconnect shrinks the barrier).
+func (s *Scheduler) readyRoundsLocked() map[int]*round {
+	ready := make(map[int]*round)
+	for frame, r := range s.rounds {
+		if s.roundCompleteLocked(r) {
+			ready[frame] = r
+			delete(s.rounds, frame)
+		}
+	}
+	return ready
+}
+
+// submit records a camera's key-frame report and, once the round is
+// complete (every connected camera has reported), runs the central stage
+// and replies to every camera.
+func (s *Scheduler) submit(det *Detections) {
+	s.mu.Lock()
+	r, ok := s.rounds[det.Frame]
+	if !ok {
+		r = &round{reports: make(map[int]*Detections)}
+		s.rounds[det.Frame] = r
+	}
+	r.reports[det.Camera] = det
+	complete := s.roundCompleteLocked(r)
+	if complete {
+		delete(s.rounds, det.Frame)
+	}
+	s.mu.Unlock()
+	if !complete {
+		return
+	}
+	s.completeRound(r, det.Frame)
+}
+
+// completeRound schedules a finished round and distributes the replies.
+func (s *Scheduler) completeRound(r *round, frame int) {
+	replies, err := s.schedule(r, frame)
+	if err != nil {
+		s.logger.Printf("cluster: scheduling frame %d: %v", frame, err)
+		s.broadcastError(fmt.Sprintf("scheduling failed: %v", err))
+		return
+	}
+	s.mu.Lock()
+	conns := make([]*schedConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		reply := replies[c.camera]
+		if reply == nil {
+			continue
+		}
+		if err := c.send(&Envelope{Type: TypeAssignment, Assignment: reply}); err != nil {
+			s.logger.Printf("cluster: reply to camera %d: %v", c.camera, err)
+		}
+	}
+}
+
+func (s *Scheduler) broadcastError(msg string) {
+	s.mu.Lock()
+	conns := make([]*schedConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.send(&Envelope{Type: TypeError, Error: msg})
+	}
+}
+
+// schedule mirrors the pipeline's central stage over wire reports.
+func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, error) {
+	m := len(s.cams)
+	boxes := make([][]geom.Rect, m)
+	trackIDs := make([][]int, m)
+	sizes := make([][]int, m)
+	for cam := 0; cam < m; cam++ {
+		rep := r.reports[cam]
+		if rep == nil {
+			continue // disconnected camera: schedule without its view
+		}
+		for _, t := range rep.Tracks {
+			boxes[cam] = append(boxes[cam], geom.Rect{
+				MinX: t.Box[0], MinY: t.Box[1], MaxX: t.Box[2], MaxY: t.Box[3],
+			})
+			trackIDs[cam] = append(trackIDs[cam], t.TrackID)
+			sizes[cam] = append(sizes[cam], t.Size)
+		}
+	}
+
+	groups, err := s.model.Associate(boxes, s.minIoU)
+	if err != nil {
+		return nil, fmt.Errorf("association: %w", err)
+	}
+	objects := make([]core.ObjectSpec, 0, len(groups))
+	for gi, g := range groups {
+		spec := core.ObjectSpec{ID: gi + 1, Size: make(map[int]int)}
+		for _, ref := range g.Members {
+			if _, seen := spec.Size[ref.Cam]; !seen {
+				spec.Coverage = append(spec.Coverage, ref.Cam)
+			}
+			if sz := sizes[ref.Cam][ref.Index]; sz > spec.Size[ref.Cam] {
+				spec.Size[ref.Cam] = sz
+			}
+		}
+		objects = append(objects, spec)
+	}
+	sol, err := core.Central(s.cams, objects, core.CentralOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("central BALB: %w", err)
+	}
+
+	replies := make(map[int]*Assignment, m)
+	for cam := 0; cam < m; cam++ {
+		replies[cam] = &Assignment{Frame: frame, Priority: sol.Priority}
+	}
+	for gi, g := range groups {
+		assigned, ok := sol.Assign[gi+1]
+		if !ok {
+			continue
+		}
+		for _, ref := range g.Members {
+			id := trackIDs[ref.Cam][ref.Index]
+			if ref.Cam == assigned {
+				replies[ref.Cam].Keep = append(replies[ref.Cam].Keep, id)
+			} else {
+				replies[ref.Cam].Shadows = append(replies[ref.Cam].Shadows, ShadowOrder{
+					TrackID: id, AssignedCamera: assigned,
+				})
+			}
+		}
+	}
+	return replies, nil
+}

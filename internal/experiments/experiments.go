@@ -1,0 +1,479 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section on the simulated testbed. Each experiment is a pure
+// function from a prepared Setup to structured results, shared by the
+// mvexp command and the repository benchmarks so that both always report
+// the same quantities.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Fig2    — temporal variation of per-camera object workload
+//	TableI  — hardware configuration per scenario
+//	Fig10   — association classifier comparison (precision/recall)
+//	Fig11   — association regressor comparison (MAE)
+//	Fig12   — object recall per scheduling algorithm
+//	Fig13   — per-frame inference latency per scheduling algorithm
+//	Fig14   — scheduling-horizon length sweep
+//	TableII — per-frame framework overhead breakdown
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mvs/internal/assoc"
+	"mvs/internal/ml"
+	"mvs/internal/pipeline"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+	"mvs/internal/workload"
+)
+
+// Setup is a prepared scenario: the generated trace split into the
+// training half (association models) and the evaluation half, as in the
+// paper ("we use half length of the video to train the cross-camera
+// object association model ... and use the remaining half for testing").
+type Setup struct {
+	// Scenario is the deployment under test.
+	Scenario *workload.Scenario
+	// Train is the first half of the trace.
+	Train *scene.Trace
+	// Test is the second half, used by all experiments.
+	Test *scene.Trace
+	// Model is the deployed (KNN) association model trained on Train.
+	Model *assoc.Model
+	// Seed is carried into pipeline runs.
+	Seed int64
+}
+
+// Prepare generates the scenario trace and trains the deployed
+// association model. frames <= 0 defaults to 1200 (two minutes at
+// 10 FPS).
+func Prepare(name string, seed int64, frames int) (*Setup, error) {
+	if frames <= 0 {
+		frames = 1200
+	}
+	s, err := workload.ByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := s.World.Run(frames)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	train, test := trace.SplitTrain()
+	model, err := assoc.Train(train, assoc.Factories{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s association training: %w", name, err)
+	}
+	return &Setup{Scenario: s, Train: train, Test: test, Model: model, Seed: seed}, nil
+}
+
+// Fig2Result is the per-camera object-count time series.
+type Fig2Result struct {
+	// CameraNames labels the series.
+	CameraNames []string
+	// SampleEverySec is the sampling interval (the paper samples once
+	// every 2 seconds).
+	SampleEverySec float64
+	// Counts[c][k] is camera c's visible-object count at sample k.
+	Counts [][]int
+}
+
+// Fig2 reproduces the workload-variation plot: per-camera object counts
+// sampled every two seconds.
+func Fig2(s *Setup) *Fig2Result {
+	every := int(2 * s.Test.FPS)
+	res := &Fig2Result{SampleEverySec: 2, Counts: s.Test.ObjectCounts(every)}
+	for _, c := range s.Test.Cameras {
+		res.CameraNames = append(res.CameraNames, c.Name)
+	}
+	return res
+}
+
+// TableIRow describes one scenario's hardware roster.
+type TableIRow struct {
+	Scenario string
+	Devices  []profile.DeviceClass
+}
+
+// TableI reproduces the hardware-configuration table.
+func TableI(seed int64) []TableIRow {
+	rows := make([]TableIRow, 0, 3)
+	for _, s := range workload.All(seed) {
+		rows = append(rows, TableIRow{Scenario: s.Name, Devices: s.Devices})
+	}
+	return rows
+}
+
+// ClassifierResult is one model's micro-averaged precision/recall over
+// all ordered camera pairs of a scenario.
+type ClassifierResult struct {
+	Model     string
+	Precision float64
+	Recall    float64
+}
+
+// classifierFactories lists the Fig. 10 contenders.
+func classifierFactories() map[string]func() ml.Classifier {
+	return map[string]func() ml.Classifier{
+		"knn":      func() ml.Classifier { return &ml.KNNClassifier{K: 5} },
+		"svm":      func() ml.Classifier { return &ml.SVMClassifier{} },
+		"logistic": func() ml.Classifier { return &ml.LogisticClassifier{} },
+		"tree":     func() ml.Classifier { return &ml.TreeClassifier{} },
+	}
+}
+
+// Fig10 reproduces the classification-module comparison: every model is
+// trained per ordered camera pair on the training half and evaluated on
+// the test half; true/false positives are micro-averaged across pairs.
+func Fig10(s *Setup) ([]ClassifierResult, error) {
+	numCams := len(s.Test.Cameras)
+	type agg struct{ tp, fp, fn, tn int }
+	totals := make(map[string]*agg)
+	for name := range classifierFactories() {
+		totals[name] = &agg{}
+	}
+
+	for src := 0; src < numCams; src++ {
+		for dst := 0; dst < numCams; dst++ {
+			if src == dst {
+				continue
+			}
+			trainS, err := assoc.BuildPairSamples(s.Train, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			testS, err := assoc.BuildPairSamples(s.Test, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			if len(trainS) == 0 || len(testS) == 0 {
+				continue
+			}
+			trainX, trainY := assoc.ClassificationData(trainS)
+			testX, testY := assoc.ClassificationData(testS)
+			for name, factory := range classifierFactories() {
+				clf := factory()
+				if err := clf.Fit(trainX, trainY); err != nil {
+					return nil, fmt.Errorf("experiments: fig10 %s pair (%d,%d): %w", name, src, dst, err)
+				}
+				m, err := ml.EvaluateClassifier(clf, testX, testY)
+				if err != nil {
+					return nil, err
+				}
+				t := totals[name]
+				t.tp += m.TP
+				t.fp += m.FP
+				t.fn += m.FN
+				t.tn += m.TN
+			}
+		}
+	}
+
+	var out []ClassifierResult
+	for name, t := range totals {
+		r := ClassifierResult{Model: name}
+		if t.tp+t.fp > 0 {
+			r.Precision = float64(t.tp) / float64(t.tp+t.fp)
+		}
+		if t.tp+t.fn > 0 {
+			r.Recall = float64(t.tp) / float64(t.tp+t.fn)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out, nil
+}
+
+// RegressorResult is one model's mean absolute error over all ordered
+// camera pairs (pixels).
+type RegressorResult struct {
+	Model string
+	MAE   float64
+}
+
+func regressorFactories() map[string]func() ml.Regressor {
+	return map[string]func() ml.Regressor{
+		"knn":        func() ml.Regressor { return &ml.KNNRegressor{K: 5} },
+		"linear":     func() ml.Regressor { return &ml.LinearRegressor{} },
+		"ransac":     func() ml.Regressor { return &ml.RANSACRegressor{Seed: 1} },
+		"homography": func() ml.Regressor { return &ml.HomographyRegressor{} },
+	}
+}
+
+// Fig11 reproduces the regression-module comparison: each model is
+// trained on the co-visible pairs of the training half and scored by MAE
+// on the test half, sample-weighted across camera pairs.
+func Fig11(s *Setup) ([]RegressorResult, error) {
+	numCams := len(s.Test.Cameras)
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+
+	for src := 0; src < numCams; src++ {
+		for dst := 0; dst < numCams; dst++ {
+			if src == dst {
+				continue
+			}
+			trainS, err := assoc.BuildPairSamples(s.Train, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			testS, err := assoc.BuildPairSamples(s.Test, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			trainX, trainY := assoc.RegressionData(trainS)
+			testX, testY := assoc.RegressionData(testS)
+			if len(trainX) < 8 || len(testX) == 0 {
+				continue // too few co-visible cases for a fair comparison
+			}
+			for name, factory := range regressorFactories() {
+				reg := factory()
+				if err := reg.Fit(trainX, trainY); err != nil {
+					return nil, fmt.Errorf("experiments: fig11 %s pair (%d,%d): %w", name, src, dst, err)
+				}
+				mae, err := ml.EvaluateRegressor(reg, testX, testY)
+				if err != nil {
+					return nil, err
+				}
+				sums[name] += mae * float64(len(testX))
+				counts[name] += len(testX)
+			}
+		}
+	}
+
+	var out []RegressorResult
+	for name, sum := range sums {
+		out = append(out, RegressorResult{Model: name, MAE: sum / float64(counts[name])})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out, nil
+}
+
+// Modes lists the scheduling algorithms of Figs. 12 and 13, in the
+// paper's presentation order.
+func Modes() []pipeline.Mode {
+	return []pipeline.Mode{
+		pipeline.Full, pipeline.Independent, pipeline.CentralOnly,
+		pipeline.BALB, pipeline.StaticPartition,
+	}
+}
+
+// RunModes executes the pipeline once per scheduling algorithm and
+// returns the reports keyed by mode. Figs. 12 and 13 and Table II all
+// read from these.
+func RunModes(s *Setup, horizon int) (map[pipeline.Mode]*pipeline.Report, error) {
+	out := make(map[pipeline.Mode]*pipeline.Report, 5)
+	for _, mode := range Modes() {
+		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
+			Mode: mode, Horizon: horizon, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mode %v: %w", mode, err)
+		}
+		out[mode] = rep
+	}
+	return out, nil
+}
+
+// HorizonPoint is one point of the Fig. 14 sweep.
+type HorizonPoint struct {
+	// Horizon is T, the frames per scheduling horizon.
+	Horizon int
+	// Recall is BALB's attained object recall.
+	Recall float64
+	// MeanSlowest is BALB's Fig. 13 latency metric at this horizon.
+	MeanSlowest time.Duration
+	// CenRecall is BALB-Cen's recall at the same horizon — the ablation
+	// that shows how strongly recall couples to T without the
+	// distributed stage.
+	CenRecall float64
+}
+
+// Fig14 sweeps the scheduling-horizon length for the full BALB algorithm
+// (and the central-only ablation). horizons nil defaults to the
+// paper-style sweep {2, 5, 10, 20, 30, 50}.
+func Fig14(s *Setup, horizons []int) ([]HorizonPoint, error) {
+	if len(horizons) == 0 {
+		horizons = []int{2, 5, 10, 20, 30, 50}
+	}
+	out := make([]HorizonPoint, 0, len(horizons))
+	for _, h := range horizons {
+		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
+			Mode: pipeline.BALB, Horizon: h, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: horizon %d: %w", h, err)
+		}
+		cen, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
+			Mode: pipeline.CentralOnly, Horizon: h, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: horizon %d (central-only): %w", h, err)
+		}
+		out = append(out, HorizonPoint{
+			Horizon: h, Recall: rep.Recall, MeanSlowest: rep.MeanSlowest,
+			CenRecall: cen.Recall,
+		})
+	}
+	return out, nil
+}
+
+// TableII extracts the overhead breakdown from a BALB run.
+type TableIIRow struct {
+	Scenario    string
+	Central     time.Duration
+	Tracking    time.Duration
+	Distributed time.Duration
+	Batching    time.Duration
+	Total       time.Duration
+}
+
+// TableII runs BALB and reports the measured per-frame framework
+// overheads.
+func TableII(s *Setup) (*TableIIRow, error) {
+	rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
+		Mode: pipeline.BALB, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TableIIRow{
+		Scenario:    s.Scenario.Name,
+		Central:     rep.CentralPerFrame,
+		Tracking:    rep.TrackingPerFrame,
+		Distributed: rep.DistributedPerFrame,
+		Batching:    rep.BatchingPerFrame,
+		Total:       rep.OverheadTotal(),
+	}, nil
+}
+
+// ArrivalPoint is one point of the arrival-rate ablation sweep: how much
+// the distributed stage matters as object churn grows.
+type ArrivalPoint struct {
+	// RateScale multiplies the scenario's nominal arrival rates.
+	RateScale float64
+	// BALBRecall and CenRecall are the recalls with and without the
+	// distributed stage.
+	BALBRecall float64
+	CenRecall  float64
+	// BALBLatency is the Fig. 13 latency metric for full BALB.
+	BALBLatency time.Duration
+}
+
+// ArrivalSweep regenerates the scenario at several arrival-rate scales
+// and compares BALB with BALB-Cen: the distributed stage's recall
+// contribution should grow with churn (DESIGN.md's ablation index). It
+// rebuilds the world per point, so it is the most expensive experiment.
+func ArrivalSweep(name string, seed int64, frames int, scales []float64) ([]ArrivalPoint, error) {
+	if len(scales) == 0 {
+		scales = []float64{0.5, 1, 2}
+	}
+	if frames <= 0 {
+		frames = 800
+	}
+	out := make([]ArrivalPoint, 0, len(scales))
+	for _, scale := range scales {
+		s, err := workload.ByName(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		for ri := range s.World.Routes {
+			r := &s.World.Routes[ri]
+			switch a := r.Arrivals.(type) {
+			case scene.Poisson:
+				r.Arrivals = scene.Poisson{RatePerSec: a.RatePerSec * scale}
+			case scene.TrafficLight:
+				a.RatePerSec *= scale
+				r.Arrivals = a
+			}
+		}
+		trace, err := s.World.Run(frames)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
+		}
+		train, test := trace.SplitTrain()
+		model, err := assoc.Train(train, assoc.Factories{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
+		}
+		balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
+			Mode: pipeline.BALB, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cen, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
+			Mode: pipeline.CentralOnly, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ArrivalPoint{
+			RateScale:   scale,
+			BALBRecall:  balb.Recall,
+			CenRecall:   cen.Recall,
+			BALBLatency: balb.MeanSlowest,
+		})
+	}
+	return out, nil
+}
+
+// OcclusionResult compares recall with dynamic occlusions for standard
+// BALB against redundancy-2 BALB — the paper's §V occlusion-hedging
+// proposal ("assigning objects to multiple cameras with sufficiently
+// different vantage points can also reduce occlusion-related failures").
+type OcclusionResult struct {
+	// BALBRecall is single-tracker BALB's recall under occlusion.
+	BALBRecall float64
+	// RedundantRecall is redundancy-2 BALB's recall under occlusion.
+	RedundantRecall float64
+	// BALBLatency and RedundantLatency are the Fig. 13 latency metrics.
+	BALBLatency      time.Duration
+	RedundantLatency time.Duration
+}
+
+// OcclusionStudy regenerates the scenario with dynamic occlusions
+// enabled (occlusionFrac <= 0 defaults to 0.6) and measures how much
+// redundancy-2 assignment recovers.
+func OcclusionStudy(name string, seed int64, frames int, occlusionFrac float64) (*OcclusionResult, error) {
+	if occlusionFrac <= 0 {
+		occlusionFrac = 0.6
+	}
+	if frames <= 0 {
+		frames = 800
+	}
+	s, err := workload.ByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	s.World.OcclusionFrac = occlusionFrac
+	trace, err := s.World.Run(frames)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: occlusion study: %w", err)
+	}
+	train, test := trace.SplitTrain()
+	model, err := assoc.Train(train, assoc.Factories{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: occlusion study: %w", err)
+	}
+	balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
+		Mode: pipeline.BALB, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	red, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
+		Mode: pipeline.BALB, Seed: seed, Redundancy: 2, RedundancySlack: 1.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OcclusionResult{
+		BALBRecall:       balb.Recall,
+		RedundantRecall:  red.Recall,
+		BALBLatency:      balb.MeanSlowest,
+		RedundantLatency: red.MeanSlowest,
+	}, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"mvs/internal/pipeline"
+)
+
+var (
+	s2Once sync.Once
+	s2     *Setup
+	s2Err  error
+)
+
+func setupS2(t *testing.T) *Setup {
+	t.Helper()
+	s2Once.Do(func() {
+		s2, s2Err = Prepare("S2", 13, 600)
+	})
+	if s2Err != nil {
+		t.Fatal(s2Err)
+	}
+	return s2
+}
+
+func TestPrepareSplitsTrace(t *testing.T) {
+	s := setupS2(t)
+	if len(s.Train.Frames) != 300 || len(s.Test.Frames) != 300 {
+		t.Fatalf("split = %d/%d", len(s.Train.Frames), len(s.Test.Frames))
+	}
+	if s.Model == nil || s.Model.NumCameras() != 2 {
+		t.Fatal("model not trained")
+	}
+	if s.Scenario.Name != "S2" {
+		t.Fatalf("scenario = %s", s.Scenario.Name)
+	}
+}
+
+func TestPrepareRejectsUnknown(t *testing.T) {
+	if _, err := Prepare("S9", 1, 100); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	s := setupS2(t)
+	res := Fig2(s)
+	if len(res.Counts) != 2 || len(res.CameraNames) != 2 {
+		t.Fatalf("cams = %d/%d", len(res.Counts), len(res.CameraNames))
+	}
+	// 300 test frames at 10 FPS sampled every 2 s -> 15 samples.
+	if len(res.Counts[0]) != 15 {
+		t.Fatalf("samples = %d", len(res.Counts[0]))
+	}
+	if res.SampleEverySec != 2 {
+		t.Fatalf("interval = %v", res.SampleEverySec)
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI(1)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string]int{"S1": 5, "S2": 2, "S3": 3}
+	for _, r := range rows {
+		if len(r.Devices) != want[r.Scenario] {
+			t.Errorf("%s has %d devices, want %d", r.Scenario, len(r.Devices), want[r.Scenario])
+		}
+	}
+}
+
+func TestFig10AllModelsReported(t *testing.T) {
+	s := setupS2(t)
+	rows, err := Fig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]ClassifierResult)
+	for _, r := range rows {
+		seen[r.Model] = r
+		if r.Precision < 0 || r.Precision > 1 || r.Recall < 0 || r.Recall > 1 {
+			t.Errorf("%s out of range: %+v", r.Model, r)
+		}
+	}
+	for _, m := range []string{"knn", "svm", "logistic", "tree"} {
+		if _, ok := seen[m]; !ok {
+			t.Errorf("model %s missing", m)
+		}
+	}
+	// The paper's key claim: KNN precision at or near the top.
+	knn := seen["knn"].Precision
+	for name, r := range seen {
+		if r.Precision > knn+0.05 {
+			t.Errorf("%s precision %.3f clearly above knn %.3f", name, r.Precision, knn)
+		}
+	}
+}
+
+func TestFig11HomographyWorst(t *testing.T) {
+	s := setupS2(t)
+	rows, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maes := make(map[string]float64)
+	for _, r := range rows {
+		if r.MAE <= 0 {
+			t.Errorf("%s MAE %v", r.Model, r.MAE)
+		}
+		maes[r.Model] = r.MAE
+	}
+	if maes["knn"] >= maes["homography"] {
+		t.Errorf("knn %.1f not below homography %.1f", maes["knn"], maes["homography"])
+	}
+	if maes["knn"] >= maes["linear"] {
+		t.Errorf("knn %.1f not below linear %.1f", maes["knn"], maes["linear"])
+	}
+}
+
+func TestRunModesCoversAll(t *testing.T) {
+	s := setupS2(t)
+	reports, err := RunModes(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	full := reports[pipeline.Full]
+	balb := reports[pipeline.BALB]
+	if balb.MeanSlowest >= full.MeanSlowest {
+		t.Fatalf("BALB %v not faster than Full %v", balb.MeanSlowest, full.MeanSlowest)
+	}
+}
+
+func TestFig14Monotonicity(t *testing.T) {
+	s := setupS2(t)
+	points, err := Fig14(s, []int{2, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[1].MeanSlowest >= points[0].MeanSlowest {
+		t.Fatalf("latency did not fall with T: %v -> %v", points[0].MeanSlowest, points[1].MeanSlowest)
+	}
+	if points[1].CenRecall > points[0].CenRecall+0.01 {
+		t.Fatalf("central-only recall rose with T: %v -> %v", points[0].CenRecall, points[1].CenRecall)
+	}
+}
+
+func TestTableIIOverheadSmall(t *testing.T) {
+	s := setupS2(t)
+	row, err := TableII(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Scenario != "S2" {
+		t.Fatalf("scenario = %s", row.Scenario)
+	}
+	if row.Total != row.Central+row.Tracking+row.Distributed+row.Batching {
+		t.Fatal("total inconsistent")
+	}
+	// Framework overhead must be a tiny fraction of a 100 ms frame
+	// budget.
+	if row.Total.Milliseconds() > 50 {
+		t.Fatalf("overhead = %v", row.Total)
+	}
+}

@@ -1,0 +1,261 @@
+// Package flow implements the optical-flow-based tracking-by-detection
+// the cameras run between full-frame inspections. Detection boxes are
+// associated with existing track trajectories by IoU through the
+// Hungarian algorithm; each track carries an exponentially smoothed pixel
+// velocity (the simulated optical-flow motion estimate) used to predict
+// its next location, which in turn defines the partial inspection region
+// for the next frame.
+//
+// The package also provides the paper's "new region" mechanism: clusters
+// of moving pixels not explained by any predicted track box are proposed
+// as regions where a new object may have appeared, so arrivals are
+// noticed before the next key frame.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"mvs/internal/geom"
+	"mvs/internal/hungarian"
+	"mvs/internal/vision"
+)
+
+// Track is one tracked object on one camera.
+type Track struct {
+	// ID is the camera-local track identifier.
+	ID int
+	// TruthID is the ground-truth identity of the last matched detection
+	// (scoring only).
+	TruthID int
+	// Box is the current estimated bounding box.
+	Box geom.Rect
+	// Velocity is the smoothed per-frame pixel motion of the box centre.
+	Velocity geom.Point
+	// QuantSize is the quantized target size for partial inspection,
+	// fixed within a scheduling horizon.
+	QuantSize int
+	// Age is the number of frames since the track was created.
+	Age int
+	// Missed is the number of consecutive frames without a matched
+	// detection.
+	Missed int
+}
+
+// Predicted returns the track's box advanced one frame by its velocity.
+func (t *Track) Predicted() geom.Rect {
+	return t.Box.Translate(t.Velocity)
+}
+
+// Config tunes the tracker.
+type Config struct {
+	// MatchIoU is the minimum IoU for a detection-track association
+	// (default 0.25).
+	MatchIoU float64
+	// MaxMissed is how many frames a track survives without detections
+	// before being dropped (default 3).
+	MaxMissed int
+	// SmoothAlpha is the velocity smoothing factor: 1 = use only the
+	// newest displacement (default 0.5).
+	SmoothAlpha float64
+	// Sizes is the quantized size set (default geom.StandardSizes).
+	Sizes []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MatchIoU <= 0 {
+		c.MatchIoU = 0.25
+	}
+	if c.MaxMissed <= 0 {
+		c.MaxMissed = 3
+	}
+	if c.SmoothAlpha <= 0 {
+		c.SmoothAlpha = 0.5
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = geom.StandardSizes
+	}
+	return c
+}
+
+// Tracker maintains the track set of one camera. Not safe for concurrent
+// use.
+type Tracker struct {
+	cfg    Config
+	frame  geom.Rect
+	nextID int
+	tracks map[int]*Track
+}
+
+// NewTracker builds a tracker over the camera's pixel frame.
+func NewTracker(frame geom.Rect, cfg Config) (*Tracker, error) {
+	if frame.Empty() {
+		return nil, fmt.Errorf("flow: empty camera frame")
+	}
+	return &Tracker{
+		cfg:    cfg.withDefaults(),
+		frame:  frame,
+		nextID: 1,
+		tracks: make(map[int]*Track),
+	}, nil
+}
+
+// Tracks returns the live tracks sorted by ID (deterministic order).
+func (tr *Tracker) Tracks() []*Track {
+	out := make([]*Track, 0, len(tr.tracks))
+	for _, t := range tr.tracks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live tracks.
+func (tr *Tracker) Len() int { return len(tr.tracks) }
+
+// Get returns the track with the given ID, or nil.
+func (tr *Tracker) Get(id int) *Track { return tr.tracks[id] }
+
+// Remove drops a track (used when the scheduler assigns the object to a
+// different camera).
+func (tr *Tracker) Remove(id int) { delete(tr.tracks, id) }
+
+// Update advances all tracks one frame and associates the new detections
+// to them. Unmatched detections become new tracks; tracks unmatched for
+// more than MaxMissed frames are dropped. Matched tracks update box,
+// velocity, and truth ID. It returns the IDs of newly created tracks.
+func (tr *Tracker) Update(dets []vision.Detection) ([]int, error) {
+	tracks := tr.Tracks()
+	// Predict all current tracks forward.
+	predicted := make([]geom.Rect, len(tracks))
+	for i, t := range tracks {
+		predicted[i] = t.Predicted()
+	}
+
+	matchedDet := make([]bool, len(dets))
+	matchedTrack := make([]bool, len(tracks))
+	if len(tracks) > 0 && len(dets) > 0 {
+		profit := make([][]float64, len(tracks))
+		for i := range tracks {
+			profit[i] = make([]float64, len(dets))
+			for j, d := range dets {
+				profit[i][j] = predicted[i].IoU(d.Box)
+			}
+		}
+		assign, _, err := hungarian.MaximizeProfit(profit, tr.cfg.MatchIoU)
+		if err != nil {
+			return nil, fmt.Errorf("flow: association: %w", err)
+		}
+		for i, j := range assign {
+			if j < 0 {
+				continue
+			}
+			tr.applyMatch(tracks[i], dets[j])
+			matchedTrack[i] = true
+			matchedDet[j] = true
+		}
+	}
+
+	// Unmatched tracks coast on prediction and age toward removal.
+	for i, t := range tracks {
+		if matchedTrack[i] {
+			continue
+		}
+		t.Box = predicted[i].Clamp(tr.frame)
+		t.Age++
+		t.Missed++
+		if t.Missed > tr.cfg.MaxMissed || t.Box.Empty() {
+			delete(tr.tracks, t.ID)
+		}
+	}
+
+	// Unmatched detections spawn new tracks.
+	var created []int
+	for j, d := range dets {
+		if matchedDet[j] {
+			continue
+		}
+		id := tr.Spawn(d)
+		created = append(created, id)
+	}
+	return created, nil
+}
+
+// applyMatch updates a track with its matched detection.
+func (tr *Tracker) applyMatch(t *Track, d vision.Detection) {
+	newCentre := d.Box.Center()
+	delta := newCentre.Sub(t.Box.Center())
+	a := tr.cfg.SmoothAlpha
+	t.Velocity = geom.Point{
+		X: a*delta.X + (1-a)*t.Velocity.X,
+		Y: a*delta.Y + (1-a)*t.Velocity.Y,
+	}
+	t.Box = d.Box
+	t.TruthID = d.TruthID
+	t.Age++
+	t.Missed = 0
+}
+
+// Spawn creates a track directly from a detection (used for new-region
+// hits and for objects handed over by the scheduler) and returns its ID.
+// The quantized size is chosen immediately; it stays fixed until the next
+// RefreshSizes.
+func (tr *Tracker) Spawn(d vision.Detection) int {
+	id := tr.nextID
+	tr.nextID++
+	_, size := geom.QuantizeRect(d.Box, tr.frame, tr.cfg.Sizes)
+	tr.tracks[id] = &Track{
+		ID:        id,
+		TruthID:   d.TruthID,
+		Box:       d.Box,
+		QuantSize: size,
+	}
+	return id
+}
+
+// RefreshSizes re-quantizes every track's target size. The pipeline calls
+// this at key frames: "the quantized size is fixed for each object within
+// a scheduling horizon".
+func (tr *Tracker) RefreshSizes() {
+	for _, t := range tr.tracks {
+		_, size := geom.QuantizeRect(t.Box, tr.frame, tr.cfg.Sizes)
+		t.QuantSize = size
+	}
+}
+
+// Region returns the partial inspection region for a track: a square of
+// its fixed quantized size centred on the predicted location, shifted to
+// stay within the frame. If the object has grown beyond the fixed size,
+// the region keeps the fixed size (the real system downsamples the
+// content instead of rebatching).
+func (tr *Tracker) Region(t *Track) geom.Rect {
+	centre := t.Predicted().Center()
+	q, _ := geom.QuantizeRect(geom.RectFromCenter(centre, 1, 1), tr.frame, []int{t.QuantSize})
+	return q
+}
+
+// NewRegions implements the moving-pixel "new region" proposal: every
+// ground-truth motion cluster (observation box) whose centre is not
+// covered by any predicted track box becomes a candidate region, slightly
+// inflated the way a flow-based cluster over-segments. minCover is the
+// IoU above which a cluster counts as explained by a prediction
+// (default 0.1 when <= 0).
+func NewRegions(moving []geom.Rect, predicted []geom.Rect, minCover float64) []geom.Rect {
+	if minCover <= 0 {
+		minCover = 0.1
+	}
+	var out []geom.Rect
+	for _, m := range moving {
+		explained := false
+		for _, p := range predicted {
+			if p.IoU(m) >= minCover || p.Contains(m.Center()) {
+				explained = true
+				break
+			}
+		}
+		if !explained {
+			out = append(out, m.Inflate(m.LongSide()*0.15))
+		}
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package flow
+
+import (
+	"testing"
+
+	"mvs/internal/geom"
+	"mvs/internal/vision"
+)
+
+var frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 1280, MaxY: 704}
+
+func det(id int, x, y, w, h float64) vision.Detection {
+	return vision.Detection{
+		Box:     geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h},
+		Score:   0.9,
+		TruthID: id,
+	}
+}
+
+func newTracker(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(frame, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTrackerRejectsEmptyFrame(t *testing.T) {
+	if _, err := NewTracker(geom.Rect{}, Config{}); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestUpdateCreatesTracks(t *testing.T) {
+	tr := newTracker(t)
+	created, err := tr.Update([]vision.Detection{det(1, 100, 100, 50, 40), det(2, 500, 300, 60, 45)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 2 || tr.Len() != 2 {
+		t.Fatalf("created %v, len %d", created, tr.Len())
+	}
+	tracks := tr.Tracks()
+	if tracks[0].TruthID != 1 || tracks[1].TruthID != 2 {
+		t.Fatalf("truth ids = %d, %d", tracks[0].TruthID, tracks[1].TruthID)
+	}
+	if tracks[0].QuantSize != 64 {
+		t.Fatalf("quant size = %d", tracks[0].QuantSize)
+	}
+}
+
+func TestUpdateAssociatesMovedDetection(t *testing.T) {
+	tr := newTracker(t)
+	if _, err := tr.Update([]vision.Detection{det(7, 100, 100, 50, 40)}); err != nil {
+		t.Fatal(err)
+	}
+	id := tr.Tracks()[0].ID
+	// Object moved 10px right: should match the existing track, not
+	// spawn a new one.
+	created, err := tr.Update([]vision.Detection{det(7, 110, 100, 50, 40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 0 || tr.Len() != 1 {
+		t.Fatalf("created %v, len %d", created, tr.Len())
+	}
+	track := tr.Get(id)
+	if track == nil {
+		t.Fatal("track vanished")
+	}
+	if track.Velocity.X <= 0 {
+		t.Fatalf("velocity = %v", track.Velocity)
+	}
+	if track.Age != 1 || track.Missed != 0 {
+		t.Fatalf("age=%d missed=%d", track.Age, track.Missed)
+	}
+}
+
+func TestVelocityPredictionConverges(t *testing.T) {
+	tr := newTracker(t)
+	// Constant motion of 8 px/frame.
+	for i := 0; i < 10; i++ {
+		x := 100 + float64(i)*8
+		if _, err := tr.Update([]vision.Detection{det(1, x, 100, 50, 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	track := tr.Tracks()[0]
+	if track.Velocity.X < 7 || track.Velocity.X > 9 {
+		t.Fatalf("velocity = %v, want ~8", track.Velocity)
+	}
+	// Prediction should land close to the next true position.
+	pred := track.Predicted()
+	wantX := 100 + 10.0*8
+	if pred.MinX < wantX-3 || pred.MinX > wantX+3 {
+		t.Fatalf("pred.MinX = %v, want ~%v", pred.MinX, wantX)
+	}
+}
+
+func TestMissedTracksAreDropped(t *testing.T) {
+	tr, err := NewTracker(frame, Config{MaxMissed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Update([]vision.Detection{det(1, 100, 100, 50, 40)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Update(nil); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 1 {
+			t.Fatalf("track dropped too early at miss %d", i+1)
+		}
+	}
+	if _, err := tr.Update(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("track not dropped after MaxMissed")
+	}
+}
+
+func TestCoastingTrackFollowsVelocity(t *testing.T) {
+	tr := newTracker(t)
+	for i := 0; i < 5; i++ {
+		x := 100 + float64(i)*10
+		if _, err := tr.Update([]vision.Detection{det(1, x, 100, 50, 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.Tracks()[0].Box
+	if _, err := tr.Update(nil); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.Tracks()[0].Box
+	if after.MinX <= before.MinX {
+		t.Fatalf("coasting box did not advance: %v -> %v", before, after)
+	}
+	if tr.Tracks()[0].Missed != 1 {
+		t.Fatalf("missed = %d", tr.Tracks()[0].Missed)
+	}
+}
+
+func TestTwoObjectsCrossWithoutSwapConfusion(t *testing.T) {
+	tr := newTracker(t)
+	// Two objects far apart moving toward each other; with per-frame
+	// updates the Hungarian match must keep them separate (no track
+	// explosion).
+	for i := 0; i < 20; i++ {
+		a := det(1, 100+float64(i)*10, 100, 40, 40)
+		b := det(2, 500-float64(i)*10, 100, 40, 40)
+		if _, err := tr.Update([]vision.Detection{a, b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("tracks = %d, want 2", tr.Len())
+	}
+}
+
+func TestSpawnAndRemove(t *testing.T) {
+	tr := newTracker(t)
+	id := tr.Spawn(det(9, 200, 200, 120, 90))
+	if tr.Len() != 1 {
+		t.Fatal("spawn failed")
+	}
+	track := tr.Get(id)
+	if track.QuantSize != 128 { // long side 120 -> 128
+		t.Fatalf("quant size = %d", track.QuantSize)
+	}
+	tr.Remove(id)
+	if tr.Len() != 0 || tr.Get(id) != nil {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestRefreshSizes(t *testing.T) {
+	tr := newTracker(t)
+	id := tr.Spawn(det(1, 100, 100, 50, 40)) // 64
+	track := tr.Get(id)
+	// Object grows well past 64 within the horizon; size must stay fixed
+	// until refresh.
+	track.Box = geom.Rect{MinX: 100, MinY: 100, MaxX: 300, MaxY: 250}
+	if track.QuantSize != 64 {
+		t.Fatalf("size changed mid-horizon: %d", track.QuantSize)
+	}
+	tr.RefreshSizes()
+	if track.QuantSize != 256 {
+		t.Fatalf("size after refresh = %d", track.QuantSize)
+	}
+}
+
+func TestRegionGeometry(t *testing.T) {
+	tr := newTracker(t)
+	id := tr.Spawn(det(1, 100, 100, 50, 40))
+	track := tr.Get(id)
+	region := tr.Region(track)
+	if region.W() != 64 || region.H() != 64 {
+		t.Fatalf("region = %v", region)
+	}
+	if !frame.ContainsRect(region) {
+		t.Fatalf("region %v escapes frame", region)
+	}
+	// Region centres on the *predicted* location.
+	track.Velocity = geom.Point{X: 20, Y: 0}
+	moved := tr.Region(track)
+	if moved.Center().X <= region.Center().X {
+		t.Fatalf("region ignored velocity: %v vs %v", moved.Center(), region.Center())
+	}
+}
+
+func TestRegionClampedAtBorder(t *testing.T) {
+	tr := newTracker(t)
+	id := tr.Spawn(det(1, 0, 0, 30, 30))
+	region := tr.Region(tr.Get(id))
+	if !frame.ContainsRect(region) || region.W() != 64 || region.H() != 64 {
+		t.Fatalf("border region = %v", region)
+	}
+}
+
+func TestNewRegionsProposesUnexplainedMotion(t *testing.T) {
+	moving := []geom.Rect{
+		{MinX: 100, MinY: 100, MaxX: 150, MaxY: 140}, // tracked
+		{MinX: 600, MinY: 300, MaxX: 660, MaxY: 350}, // new object
+	}
+	predicted := []geom.Rect{{MinX: 95, MinY: 98, MaxX: 148, MaxY: 139}}
+	regions := NewRegions(moving, predicted, 0)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %v", regions)
+	}
+	// Proposal covers and inflates the unexplained cluster.
+	if !regions[0].ContainsRect(moving[1]) {
+		t.Fatalf("region %v does not cover cluster %v", regions[0], moving[1])
+	}
+}
+
+func TestNewRegionsAllExplained(t *testing.T) {
+	moving := []geom.Rect{{MinX: 100, MinY: 100, MaxX: 150, MaxY: 140}}
+	predicted := []geom.Rect{{MinX: 100, MinY: 100, MaxX: 150, MaxY: 140}}
+	if regions := NewRegions(moving, predicted, 0); len(regions) != 0 {
+		t.Fatalf("regions = %v", regions)
+	}
+}
+
+func TestNewRegionsNoPredictions(t *testing.T) {
+	moving := []geom.Rect{{MinX: 1, MinY: 1, MaxX: 10, MaxY: 10}}
+	if regions := NewRegions(moving, nil, 0); len(regions) != 1 {
+		t.Fatalf("regions = %v", regions)
+	}
+	if regions := NewRegions(nil, nil, 0); len(regions) != 0 {
+		t.Fatalf("regions from no motion = %v", regions)
+	}
+}
+
+func TestTrackIDsMonotonic(t *testing.T) {
+	tr := newTracker(t)
+	a := tr.Spawn(det(1, 10, 10, 20, 20))
+	tr.Remove(a)
+	b := tr.Spawn(det(2, 10, 10, 20, 20))
+	if b <= a {
+		t.Fatalf("IDs not monotonic: %d then %d", a, b)
+	}
+}
+
+func BenchmarkTrackerUpdate20Tracks(b *testing.B) {
+	tr, err := NewTracker(frame, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dets := make([]vision.Detection, 20)
+	for i := range dets {
+		dets[i] = det(i+1, float64(50+i*60), 100, 50, 40)
+	}
+	if _, err := tr.Update(dets); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Update(dets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewRegions(b *testing.B) {
+	var moving, predicted []geom.Rect
+	for i := 0; i < 30; i++ {
+		moving = append(moving, geom.Rect{
+			MinX: float64(i * 40), MinY: 100, MaxX: float64(i*40 + 35), MaxY: 140,
+		})
+		if i%2 == 0 {
+			predicted = append(predicted, moving[i])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewRegions(moving, predicted, 0)
+	}
+}

@@ -1,0 +1,203 @@
+// Package gpu models the task-batching execution of partial-frame DNN
+// inspections on a camera's onboard GPU. Only regions with the same
+// quantized spatial size can share a batch; a camera's per-frame latency
+// is the sum of its batches' execution latencies, executed sequentially
+// without preemption (Definition 1 in the paper).
+//
+// Two latency views coexist, mirroring the paper:
+//
+//   - the *scheduler's* view charges every batch the profiled latency
+//     t_i^s measured at the batch limit (the paper's conservative
+//     operating point);
+//   - the *hardware's* view charges the true latency curve at the actual
+//     fill level, which is what the simulated executor reports.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mvs/internal/profile"
+)
+
+// Task is one partial-region inspection request: find object ObjectID in
+// a region whose quantized side length is Size pixels.
+type Task struct {
+	// ObjectID identifies the tracked object this region belongs to.
+	ObjectID int
+	// Size is the quantized side length of the region in pixels.
+	Size int
+}
+
+// Batch is a set of same-size tasks executed in one GPU launch.
+type Batch struct {
+	// Size is the shared quantized side length of all tasks.
+	Size int
+	// Tasks are the regions in the batch, at most the device's batch
+	// limit for Size.
+	Tasks []Task
+}
+
+// FormBatches greedily packs tasks into the minimum number of batches:
+// tasks are grouped by size and each group is split into ceil(n/B) full
+// batches. The paper notes this greedy packing is optimal because each
+// target size batches independently. Batches are ordered by ascending
+// size, then formation order, giving a deterministic schedule.
+func FormBatches(tasks []Task, prof *profile.Profile) ([]Batch, error) {
+	bySize := make(map[int][]Task)
+	for _, t := range tasks {
+		if _, err := prof.BatchLimitFor(t.Size); err != nil {
+			return nil, fmt.Errorf("gpu: task for object %d: %w", t.ObjectID, err)
+		}
+		bySize[t.Size] = append(bySize[t.Size], t)
+	}
+	sizes := make([]int, 0, len(bySize))
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+
+	var batches []Batch
+	for _, s := range sizes {
+		limit, err := prof.BatchLimitFor(s)
+		if err != nil {
+			return nil, err
+		}
+		group := bySize[s]
+		for start := 0; start < len(group); start += limit {
+			end := start + limit
+			if end > len(group) {
+				end = len(group)
+			}
+			batches = append(batches, Batch{Size: s, Tasks: group[start:end]})
+		}
+	}
+	return batches, nil
+}
+
+// NumBatchesBySize returns, for a task multiset described as size ->
+// count, the number of batches each size needs on the profiled device.
+// This is the counting the BALB scheduler does without materializing
+// tasks.
+func NumBatchesBySize(counts map[int]int, prof *profile.Profile) (map[int]int, error) {
+	out := make(map[int]int, len(counts))
+	for size, n := range counts {
+		if n <= 0 {
+			continue
+		}
+		limit, err := prof.BatchLimitFor(size)
+		if err != nil {
+			return nil, fmt.Errorf("gpu: %w", err)
+		}
+		out[size] = (n + limit - 1) / limit
+	}
+	return out, nil
+}
+
+// ScheduledLatency is the scheduler's estimate of a frame's inspection
+// latency: number of batches per size times the profiled batch latency
+// t_i^s.
+func ScheduledLatency(counts map[int]int, prof *profile.Profile) (time.Duration, error) {
+	batches, err := NumBatchesBySize(counts, prof)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for size, nb := range batches {
+		lat, err := prof.BatchLatencyFor(size)
+		if err != nil {
+			return 0, err
+		}
+		total += lat * time.Duration(nb)
+	}
+	return total, nil
+}
+
+// FrameResult reports the execution of one frame's batches on the
+// simulated device.
+type FrameResult struct {
+	// Batches lists the executed batches in order.
+	Batches []Batch
+	// Latency is the true (hardware-view) total execution latency.
+	Latency time.Duration
+	// ScheduledLatency is what the scheduler's profile-based estimate
+	// would have predicted for the same batches.
+	ScheduledLatency time.Duration
+	// Images is the total number of regions inspected.
+	Images int
+}
+
+// Executor simulates one camera's GPU. The zero value is unusable; create
+// with NewExecutor. Executor is not safe for concurrent use — each camera
+// owns one and frames are strictly sequential, matching the no-preemption
+// execution model.
+type Executor struct {
+	prof  *profile.Profile
+	stats Stats
+}
+
+// Stats accumulates executor counters across frames.
+type Stats struct {
+	// Frames is the number of RunFrame calls.
+	Frames int
+	// Batches is the total batches launched.
+	Batches int
+	// Images is the total regions inspected.
+	Images int
+	// BusyTime is the cumulative true execution latency.
+	BusyTime time.Duration
+	// FullFrames is the number of full-frame inspections executed.
+	FullFrames int
+}
+
+// NewExecutor builds an executor over a validated profile.
+func NewExecutor(prof *profile.Profile) (*Executor, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("gpu: nil profile")
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, fmt.Errorf("gpu: %w", err)
+	}
+	return &Executor{prof: prof}, nil
+}
+
+// Profile returns the executor's device profile.
+func (e *Executor) Profile() *profile.Profile { return e.prof }
+
+// RunFrame batches and "executes" the given partial-region tasks,
+// returning the formed batches and both latency views.
+func (e *Executor) RunFrame(tasks []Task) (FrameResult, error) {
+	batches, err := FormBatches(tasks, e.prof)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	res := FrameResult{Batches: batches}
+	for _, b := range batches {
+		res.Latency += profile.TrueBatchLatency(e.prof.Class, b.Size, len(b.Tasks))
+		sched, err := e.prof.BatchLatencyFor(b.Size)
+		if err != nil {
+			return FrameResult{}, err
+		}
+		res.ScheduledLatency += sched
+		res.Images += len(b.Tasks)
+	}
+	e.stats.Frames++
+	e.stats.Batches += len(batches)
+	e.stats.Images += res.Images
+	e.stats.BusyTime += res.Latency
+	return res, nil
+}
+
+// RunFullFrame "executes" a full-frame inspection and returns its
+// latency.
+func (e *Executor) RunFullFrame() time.Duration {
+	lat := profile.TrueFullFrameLatency(e.prof.Class)
+	e.stats.Frames++
+	e.stats.FullFrames++
+	e.stats.BusyTime += lat
+	return lat
+}
+
+// Stats returns a copy of the accumulated counters.
+func (e *Executor) Stats() Stats { return e.stats }

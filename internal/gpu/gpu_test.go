@@ -1,0 +1,243 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mvs/internal/profile"
+)
+
+func xavier() *profile.Profile { return profile.Default(profile.JetsonXavier) }
+func nano() *profile.Profile   { return profile.Default(profile.JetsonNano) }
+
+func makeTasks(sizes ...int) []Task {
+	tasks := make([]Task, len(sizes))
+	for i, s := range sizes {
+		tasks[i] = Task{ObjectID: i, Size: s}
+	}
+	return tasks
+}
+
+func TestFormBatchesGroupsBySize(t *testing.T) {
+	// Xavier: limit(64)=16, limit(512)=2.
+	tasks := makeTasks(64, 512, 64, 512, 512)
+	batches, err := FormBatches(tasks, xavier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64s fit in one batch; 512s need ceil(3/2)=2 batches.
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d: %+v", len(batches), batches)
+	}
+	if batches[0].Size != 64 || len(batches[0].Tasks) != 2 {
+		t.Fatalf("first batch = %+v", batches[0])
+	}
+	if batches[1].Size != 512 || len(batches[1].Tasks) != 2 {
+		t.Fatalf("second batch = %+v", batches[1])
+	}
+	if batches[2].Size != 512 || len(batches[2].Tasks) != 1 {
+		t.Fatalf("third batch = %+v", batches[2])
+	}
+}
+
+func TestFormBatchesRespectsLimit(t *testing.T) {
+	prof := nano() // limit(64)=4
+	sizes := make([]int, 10)
+	for i := range sizes {
+		sizes[i] = 64
+	}
+	batches, err := FormBatches(makeTasks(sizes...), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 { // ceil(10/4)
+		t.Fatalf("batches = %d", len(batches))
+	}
+	for _, b := range batches {
+		if len(b.Tasks) > 4 {
+			t.Fatalf("batch over limit: %d", len(b.Tasks))
+		}
+	}
+}
+
+func TestFormBatchesEmptyAndUnknownSize(t *testing.T) {
+	batches, err := FormBatches(nil, xavier())
+	if err != nil || len(batches) != 0 {
+		t.Fatalf("empty = %v, %v", batches, err)
+	}
+	if _, err := FormBatches(makeTasks(100), xavier()); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}
+
+func TestFormBatchesPreservesAllTasks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		std := []int{64, 128, 256, 512}
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = Task{ObjectID: i, Size: std[rng.Intn(4)]}
+		}
+		batches, err := FormBatches(tasks, nano())
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, b := range batches {
+			limit, _ := nano().BatchLimitFor(b.Size)
+			if len(b.Tasks) == 0 || len(b.Tasks) > limit {
+				return false
+			}
+			for _, task := range b.Tasks {
+				if task.Size != b.Size || seen[task.ObjectID] {
+					return false
+				}
+				seen[task.ObjectID] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumBatchesBySize(t *testing.T) {
+	counts := map[int]int{64: 17, 512: 2, 128: 0}
+	nb, err := NumBatchesBySize(counts, xavier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb[64] != 2 { // ceil(17/16)
+		t.Fatalf("nb[64] = %d", nb[64])
+	}
+	if nb[512] != 1 {
+		t.Fatalf("nb[512] = %d", nb[512])
+	}
+	if _, ok := nb[128]; ok {
+		t.Fatal("zero count produced a batch entry")
+	}
+	if _, err := NumBatchesBySize(map[int]int{99: 1}, xavier()); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}
+
+func TestScheduledLatencyMatchesHandComputation(t *testing.T) {
+	prof := xavier()
+	counts := map[int]int{64: 17, 512: 3}
+	got, err := ScheduledLatency(counts, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*prof.BatchLatency[64] + 2*prof.BatchLatency[512]
+	if got != want {
+		t.Fatalf("latency = %v want %v", got, want)
+	}
+}
+
+func TestScheduledLatencyEmpty(t *testing.T) {
+	got, err := ScheduledLatency(nil, xavier())
+	if err != nil || got != 0 {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+}
+
+func TestExecutorRunFrame(t *testing.T) {
+	ex, err := NewExecutor(xavier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.RunFrame(makeTasks(64, 64, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Images != 3 || len(res.Batches) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Latency <= 0 || res.ScheduledLatency <= 0 {
+		t.Fatalf("latencies = %v / %v", res.Latency, res.ScheduledLatency)
+	}
+	// Scheduler's estimate (batch-limit pricing) is conservative: >= true.
+	if res.ScheduledLatency < res.Latency {
+		t.Fatalf("scheduled %v < true %v", res.ScheduledLatency, res.Latency)
+	}
+	st := ex.Stats()
+	if st.Frames != 1 || st.Images != 3 || st.Batches != 2 || st.BusyTime != res.Latency {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExecutorFullFrame(t *testing.T) {
+	ex, err := NewExecutor(nano())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := ex.RunFullFrame()
+	if lat != profile.TrueFullFrameLatency(profile.JetsonNano) {
+		t.Fatalf("lat = %v", lat)
+	}
+	if ex.Stats().FullFrames != 1 {
+		t.Fatalf("stats = %+v", ex.Stats())
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	if _, err := NewExecutor(nil); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	bad := xavier()
+	bad.FullFrame = 0
+	if _, err := NewExecutor(bad); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	ex, err := NewExecutor(xavier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.RunFrame(makeTasks(99)); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}
+
+func TestBatchingBeatsSerialEndToEnd(t *testing.T) {
+	// The core speedup mechanism: running 8 size-64 regions on a Xavier
+	// batched must be far cheaper than 8 single-image frames.
+	ex, err := NewExecutor(xavier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = 64
+	}
+	res, err := ex.RunFrame(makeTasks(sizes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial time.Duration
+	for i := 0; i < 8; i++ {
+		serial += profile.TrueBatchLatency(profile.JetsonXavier, 64, 1)
+	}
+	if res.Latency*2 >= serial {
+		t.Fatalf("batched %v not ≥2x cheaper than serial %v", res.Latency, serial)
+	}
+}
+
+func BenchmarkFormBatches(b *testing.B) {
+	prof := xavier()
+	rng := rand.New(rand.NewSource(1))
+	std := []int{64, 128, 256, 512}
+	tasks := make([]Task, 50)
+	for i := range tasks {
+		tasks[i] = Task{ObjectID: i, Size: std[rng.Intn(4)]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FormBatches(tasks, prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package hungarian implements the Kuhn–Munkres assignment algorithm in
+// O(n^3). The framework uses it in two places the paper calls out
+// explicitly: associating detections with predicted track locations inside
+// each camera (tracking-by-detection), and matching projected bounding
+// boxes to detections during cross-camera object association.
+//
+// The solver minimizes total cost over a rectangular cost matrix; use
+// MaximizeProfit for the IoU-matching (max-profit) form. Costs of
+// +Inf mark forbidden pairings.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forbidden marks a pairing that must never be selected.
+const Forbidden = math.MaxFloat64
+
+// Solve returns, for each row of the cost matrix, the column assigned to
+// it (or -1 when rows > cols and the row is unmatched), along with the
+// total cost of the assignment. The matrix may be rectangular; it is
+// padded internally to a square with zero-cost dummy entries. Solve
+// returns an error when cost is empty or ragged, or when no feasible
+// assignment exists (every complete matching uses a Forbidden pair).
+func Solve(cost [][]float64) ([]int, float64, error) {
+	nRows := len(cost)
+	if nRows == 0 {
+		return nil, 0, fmt.Errorf("hungarian: empty cost matrix")
+	}
+	nCols := len(cost[0])
+	if nCols == 0 {
+		return nil, 0, fmt.Errorf("hungarian: zero-width cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != nCols {
+			return nil, 0, fmt.Errorf("hungarian: ragged row %d: %d vs %d", i, len(row), nCols)
+		}
+	}
+	n := nRows
+	if nCols > n {
+		n = nCols
+	}
+
+	// Scale Forbidden down to a large-but-safe sentinel so potentials
+	// can't overflow; remember real forbidden pairs to validate at the
+	// end.
+	big := forbiddenCeiling(cost, n)
+	// Square padded matrix, 1-indexed for the classical potential-based
+	// implementation.
+	a := make([][]float64, n+1)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i >= nRows || j >= nCols:
+				a[i+1][j+1] = 0 // dummy row/col
+			case cost[i][j] == Forbidden:
+				a[i+1][j+1] = big
+			default:
+				a[i+1][j+1] = cost[i][j]
+			}
+		}
+	}
+
+	// Potentials-based Hungarian algorithm (Jonker-style shortest
+	// augmenting paths). u/v are row/col potentials; p[j] is the row
+	// matched to column j.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, nRows)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var total float64
+	for j := 1; j <= n; j++ {
+		i := p[j] - 1
+		if i < 0 || i >= nRows {
+			continue // dummy row
+		}
+		if j-1 >= nCols {
+			continue // dummy column: row stays unmatched
+		}
+		if cost[i][j-1] == Forbidden {
+			// The only complete matchings route through a forbidden pair.
+			// When the matrix is square this means infeasible; when
+			// rectangular, treat the row as unmatched.
+			if nRows == nCols {
+				return nil, 0, fmt.Errorf("hungarian: no feasible assignment")
+			}
+			continue
+		}
+		assign[i] = j - 1
+		total += cost[i][j-1]
+	}
+	// Square infeasibility check (rectangular matrices legitimately leave
+	// rows unmatched through dummy columns).
+	if nRows == nCols {
+		for i, j := range assign {
+			if j == -1 {
+				return nil, 0, fmt.Errorf("hungarian: row %d has no feasible column", i)
+			}
+		}
+	}
+	return assign, total, nil
+}
+
+// forbiddenCeiling picks a sentinel larger than any feasible assignment
+// cost so forbidden pairs are only chosen when unavoidable.
+func forbiddenCeiling(cost [][]float64, n int) float64 {
+	var maxAbs float64 = 1
+	for _, row := range cost {
+		for _, c := range row {
+			if c == Forbidden {
+				continue
+			}
+			if v := math.Abs(c); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	return maxAbs * float64(n+1) * 16
+}
+
+// MaximizeProfit solves the maximum-total-profit assignment over a profit
+// matrix (e.g. IoU scores). Pairs with profit <= minProfit are treated as
+// forbidden and left unmatched. The returned slice maps each row to its
+// matched column or -1.
+func MaximizeProfit(profit [][]float64, minProfit float64) ([]int, float64, error) {
+	if len(profit) == 0 {
+		return nil, 0, fmt.Errorf("hungarian: empty profit matrix")
+	}
+	var maxP float64
+	for _, row := range profit {
+		for _, p := range row {
+			if p > maxP {
+				maxP = p
+			}
+		}
+	}
+	// Augment with one "stay unmatched" dummy column per row, priced just
+	// above the worst feasible match so real pairings are always
+	// preferred. This lets any subset of rows opt out, which is exactly
+	// the semantics of thresholded IoU matching.
+	nRows := len(profit)
+	nCols := len(profit[0])
+	cost := make([][]float64, nRows)
+	for i, row := range profit {
+		if len(row) != nCols {
+			return nil, 0, fmt.Errorf("hungarian: ragged profit row %d", i)
+		}
+		cost[i] = make([]float64, nCols+nRows)
+		for j, p := range row {
+			if p <= minProfit {
+				cost[i][j] = Forbidden
+			} else {
+				cost[i][j] = maxP - p
+			}
+		}
+		for k := 0; k < nRows; k++ {
+			cost[i][nCols+k] = maxP + 1
+		}
+	}
+	assign, _, err := Solve(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	var total float64
+	for i, j := range assign {
+		if j < 0 || j >= nCols || profit[i][j] <= minProfit {
+			assign[i] = -1
+			continue
+		}
+		total += profit[i][j]
+	}
+	return assign, total, nil
+}

@@ -1,0 +1,279 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	assign, total, err := Solve([][]float64{{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 0 || total != 3 {
+		t.Fatalf("assign=%v total=%v", assign, total)
+	}
+}
+
+func TestSolveClassic(t *testing.T) {
+	// Classic 3x3 example: optimal is 1+2+1 = 4 on the anti-diagonal-ish.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %v assign = %v", total, assign)
+	}
+	wantRow := []int{1, 0, 2}
+	for i, j := range assign {
+		if j != wantRow[i] {
+			t.Fatalf("assign = %v", assign)
+		}
+	}
+}
+
+func TestSolveRectangularWide(t *testing.T) {
+	// 2 rows, 3 cols: every row matched, best columns chosen.
+	cost := [][]float64{
+		{10, 2, 8},
+		{7, 3, 1},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || assign[0] != 1 || assign[1] != 2 {
+		t.Fatalf("assign=%v total=%v", assign, total)
+	}
+}
+
+func TestSolveRectangularTall(t *testing.T) {
+	// 3 rows, 2 cols: one row must stay unmatched.
+	cost := [][]float64{
+		{1, 9},
+		{9, 1},
+		{5, 5},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, j := range assign {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched != 2 || total != 2 {
+		t.Fatalf("assign=%v total=%v", assign, total)
+	}
+	if assign[2] != -1 {
+		t.Fatalf("expensive row should be unmatched: %v", assign)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, _, err := Solve(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := Solve([][]float64{{}}); err == nil {
+		t.Fatal("zero-width accepted")
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+}
+
+func TestSolveForbidden(t *testing.T) {
+	// Forbidden diagonal forces the swap.
+	cost := [][]float64{
+		{Forbidden, 2},
+		{3, Forbidden},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 1 || assign[1] != 0 || total != 5 {
+		t.Fatalf("assign=%v total=%v", assign, total)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	cost := [][]float64{
+		{Forbidden, Forbidden},
+		{3, Forbidden},
+	}
+	if _, _, err := Solve(cost); err == nil {
+		t.Fatal("infeasible square matrix accepted")
+	}
+}
+
+func bruteForceMin(cost [][]float64) float64 {
+	n := len(cost)
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	best := math.Inf(1)
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			var sum float64
+			feasible := true
+			for i, j := range cols {
+				if cost[i][j] == Forbidden {
+					feasible = false
+					break
+				}
+				sum += cost[i][j]
+			}
+			if feasible && sum < best {
+				best = sum
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			cols[k], cols[i] = cols[i], cols[k]
+			permute(k + 1)
+			cols[k], cols[i] = cols[i], cols[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		want := bruteForceMin(cost)
+		_, got, err := Solve(cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Solve=%v brute=%v cost=%v", trial, got, want, cost)
+		}
+	}
+}
+
+func TestSolveAssignmentIsPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 100
+			}
+		}
+		assign, _, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, j := range assign {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaximizeProfitIoUStyle(t *testing.T) {
+	// Typical IoU matrix: rows = predictions, cols = detections.
+	profit := [][]float64{
+		{0.9, 0.1, 0.0},
+		{0.2, 0.8, 0.0},
+		{0.0, 0.0, 0.05}, // below threshold
+	}
+	assign, total, err := MaximizeProfit(profit, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 0 || assign[1] != 1 || assign[2] != -1 {
+		t.Fatalf("assign = %v", assign)
+	}
+	if math.Abs(total-1.7) > 1e-9 {
+		t.Fatalf("total = %v", total)
+	}
+}
+
+func TestMaximizeProfitPrefersGlobalOptimum(t *testing.T) {
+	// Greedy would take (0,0)=0.6 then leave row 1 with 0.0; Hungarian
+	// should take (0,1)=0.5 and (1,0)=0.55 for 1.05 total.
+	profit := [][]float64{
+		{0.6, 0.5},
+		{0.55, 0.0},
+	}
+	assign, total, err := MaximizeProfit(profit, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign = %v", assign)
+	}
+	if math.Abs(total-1.05) > 1e-9 {
+		t.Fatalf("total = %v", total)
+	}
+}
+
+func TestMaximizeProfitAllBelowThreshold(t *testing.T) {
+	profit := [][]float64{{0.01, 0.02}, {0.0, 0.01}}
+	assign, total, err := MaximizeProfit(profit, 0.3)
+	if err != nil {
+		// Acceptable: a fully-forbidden square matrix may be reported
+		// infeasible. But if it succeeds, nothing may be matched.
+		return
+	}
+	for _, j := range assign {
+		if j != -1 {
+			t.Fatalf("assign = %v total = %v", assign, total)
+		}
+	}
+}
+
+func TestMaximizeProfitEmpty(t *testing.T) {
+	if _, _, err := MaximizeProfit(nil, 0); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func BenchmarkSolve20x20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 100
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

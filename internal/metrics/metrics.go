@@ -1,0 +1,179 @@
+// Package metrics implements the evaluation quantities the paper
+// reports: object recall (Fig. 12), per-frame inference latency on the
+// slowest camera (Fig. 13), speedups, overhead breakdowns (Table II),
+// and simple descriptive statistics over time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// RecallAccumulator computes the paper's object recall: "at every
+// timestamp, for each groundtruth object, as long as there is at least
+// one camera detects it, then it is counted as a true positive" — the
+// denominator being objects visible to at least one camera.
+type RecallAccumulator struct {
+	tp int
+	fn int
+}
+
+// Observe records one frame: truth is the set of objects visible to at
+// least one camera; detected is the set of objects tracked/detected by at
+// least one camera this frame.
+func (r *RecallAccumulator) Observe(truth map[int]bool, detected map[int]bool) {
+	for id := range truth {
+		if detected[id] {
+			r.tp++
+		} else {
+			r.fn++
+		}
+	}
+}
+
+// Recall returns TP / (TP + FN), or 1 when nothing was ever visible.
+func (r *RecallAccumulator) Recall() float64 {
+	if r.tp+r.fn == 0 {
+		return 1
+	}
+	return float64(r.tp) / float64(r.tp+r.fn)
+}
+
+// Counts returns the raw true-positive / false-negative counts.
+func (r *RecallAccumulator) Counts() (tp, fn int) { return r.tp, r.fn }
+
+// LatencySeries accumulates a per-frame latency series (one value per
+// frame: the slowest camera's inference latency).
+type LatencySeries struct {
+	values []time.Duration
+}
+
+// Add appends one frame's latency.
+func (l *LatencySeries) Add(d time.Duration) { l.values = append(l.values, d) }
+
+// Len returns the number of recorded frames.
+func (l *LatencySeries) Len() int { return len(l.values) }
+
+// Mean returns the average latency, or 0 when empty.
+func (l *LatencySeries) Mean() time.Duration {
+	if len(l.values) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range l.values {
+		sum += v
+	}
+	return sum / time.Duration(len(l.values))
+}
+
+// Max returns the maximum latency, or 0 when empty.
+func (l *LatencySeries) Max() time.Duration {
+	var max time.Duration
+	for _, v := range l.values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank, or 0 when empty.
+func (l *LatencySeries) Percentile(p float64) (time.Duration, error) {
+	if p <= 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %v out of (0,100]", p)
+	}
+	if len(l.values) == 0 {
+		return 0, nil
+	}
+	sorted := append([]time.Duration(nil), l.values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank], nil
+}
+
+// Values returns a copy of the recorded series.
+func (l *LatencySeries) Values() []time.Duration {
+	return append([]time.Duration(nil), l.values...)
+}
+
+// Speedup returns baseline/improved as a multiplicative factor (e.g.
+// full-frame latency over BALB latency), or an error when improved is
+// non-positive.
+func Speedup(baseline, improved time.Duration) (float64, error) {
+	if improved <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive improved latency %v", improved)
+	}
+	return float64(baseline) / float64(improved), nil
+}
+
+// Breakdown accumulates the per-frame overhead of named framework
+// components (Table II): for each component, the maximum across cameras
+// is recorded per frame, then averaged across frames.
+type Breakdown struct {
+	perFrame map[string][]time.Duration
+	current  map[string]time.Duration
+}
+
+// NewBreakdown returns an empty breakdown accumulator.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{
+		perFrame: make(map[string][]time.Duration),
+		current:  make(map[string]time.Duration),
+	}
+}
+
+// ObserveCamera records component's cost on one camera in the current
+// frame; the per-frame figure keeps the maximum across cameras.
+func (b *Breakdown) ObserveCamera(component string, d time.Duration) {
+	if d > b.current[component] {
+		b.current[component] = d
+	}
+}
+
+// EndFrame seals the current frame: every component observed this frame
+// contributes its cross-camera maximum to the running series.
+func (b *Breakdown) EndFrame() {
+	for comp, d := range b.current {
+		b.perFrame[comp] = append(b.perFrame[comp], d)
+	}
+	b.current = make(map[string]time.Duration)
+}
+
+// MeanOf returns the mean per-frame overhead of a component, or 0 if it
+// was never observed.
+func (b *Breakdown) MeanOf(component string) time.Duration {
+	vs := b.perFrame[component]
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / time.Duration(len(vs))
+}
+
+// Components returns the observed component names, sorted.
+func (b *Breakdown) Components() []string {
+	out := make([]string, 0, len(b.perFrame))
+	for c := range b.perFrame {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns the sum of all component means.
+func (b *Breakdown) Total() time.Duration {
+	var sum time.Duration
+	for _, c := range b.Components() {
+		sum += b.MeanOf(c)
+	}
+	return sum
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecallAccumulator(t *testing.T) {
+	var r RecallAccumulator
+	r.Observe(map[int]bool{1: true, 2: true}, map[int]bool{1: true})
+	r.Observe(map[int]bool{1: true}, map[int]bool{1: true})
+	tp, fn := r.Counts()
+	if tp != 2 || fn != 1 {
+		t.Fatalf("tp=%d fn=%d", tp, fn)
+	}
+	if got := r.Recall(); got < 0.66 || got > 0.67 {
+		t.Fatalf("recall = %v", got)
+	}
+}
+
+func TestRecallEmptyIsPerfect(t *testing.T) {
+	var r RecallAccumulator
+	if r.Recall() != 1 {
+		t.Fatalf("empty recall = %v", r.Recall())
+	}
+	r.Observe(nil, nil)
+	if r.Recall() != 1 {
+		t.Fatal("no-truth frames should not hurt recall")
+	}
+}
+
+func TestRecallIgnoresExtraDetections(t *testing.T) {
+	var r RecallAccumulator
+	// Detections for objects not in truth (e.g. ghosts) do not help or
+	// hurt recall.
+	r.Observe(map[int]bool{1: true}, map[int]bool{1: true, 99: true})
+	if r.Recall() != 1 {
+		t.Fatalf("recall = %v", r.Recall())
+	}
+}
+
+func TestLatencySeriesStats(t *testing.T) {
+	var l LatencySeries
+	if l.Mean() != 0 || l.Max() != 0 || l.Len() != 0 {
+		t.Fatal("empty series not zero")
+	}
+	for _, v := range []time.Duration{10, 20, 30} {
+		l.Add(v * time.Millisecond)
+	}
+	if l.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean = %v", l.Mean())
+	}
+	if l.Max() != 30*time.Millisecond {
+		t.Fatalf("max = %v", l.Max())
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	vs := l.Values()
+	vs[0] = 0
+	if l.Mean() != 20*time.Millisecond {
+		t.Fatal("Values aliases internal slice")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var l LatencySeries
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i))
+	}
+	p50, err := l.Percentile(50)
+	if err != nil || p50 != 50 {
+		t.Fatalf("p50 = %v %v", p50, err)
+	}
+	p99, err := l.Percentile(99)
+	if err != nil || p99 != 99 {
+		t.Fatalf("p99 = %v %v", p99, err)
+	}
+	p100, err := l.Percentile(100)
+	if err != nil || p100 != 100 {
+		t.Fatalf("p100 = %v %v", p100, err)
+	}
+	if _, err := l.Percentile(0); err == nil {
+		t.Fatal("p0 accepted")
+	}
+	if _, err := l.Percentile(101); err == nil {
+		t.Fatal("p101 accepted")
+	}
+	var empty LatencySeries
+	if v, err := empty.Percentile(50); err != nil || v != 0 {
+		t.Fatalf("empty percentile = %v %v", v, err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(600*time.Millisecond, 100*time.Millisecond)
+	if err != nil || s != 6 {
+		t.Fatalf("speedup = %v %v", s, err)
+	}
+	if _, err := Speedup(time.Second, 0); err == nil {
+		t.Fatal("zero improved accepted")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	// Frame 1: tracking costs 10ms on cam A, 20ms on cam B -> max 20.
+	b.ObserveCamera("tracking", 10*time.Millisecond)
+	b.ObserveCamera("tracking", 20*time.Millisecond)
+	b.ObserveCamera("batching", 5*time.Millisecond)
+	b.EndFrame()
+	// Frame 2: tracking 30ms.
+	b.ObserveCamera("tracking", 30*time.Millisecond)
+	b.EndFrame()
+	if got := b.MeanOf("tracking"); got != 25*time.Millisecond {
+		t.Fatalf("tracking mean = %v", got)
+	}
+	if got := b.MeanOf("batching"); got != 5*time.Millisecond {
+		t.Fatalf("batching mean = %v", got)
+	}
+	if got := b.MeanOf("absent"); got != 0 {
+		t.Fatalf("absent mean = %v", got)
+	}
+	comps := b.Components()
+	if len(comps) != 2 || comps[0] != "batching" || comps[1] != "tracking" {
+		t.Fatalf("components = %v", comps)
+	}
+	if b.Total() != 30*time.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+}

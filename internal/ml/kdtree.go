@@ -1,0 +1,139 @@
+package ml
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// kdTree is an exact k-nearest-neighbor index over low-dimensional
+// points (the association models use 4-D box vectors). It returns
+// exactly the same neighbors as the brute-force scan, including the
+// deterministic tie-break on point index, so swapping it in cannot
+// change model predictions — only their cost: queries drop from O(n) to
+// roughly O(log n) on the box distributions the tracker produces.
+type kdTree struct {
+	points [][]float64
+	// nodes is a balanced implicit tree over point indices.
+	root *kdNode
+	dim  int
+}
+
+type kdNode struct {
+	index       int // index into points
+	axis        int
+	left, right *kdNode
+}
+
+// kdLeafThreshold is the dataset size below which brute force wins (no
+// tree build or traversal overhead).
+const kdLeafThreshold = 64
+
+// newKDTree builds the index; points must be non-empty and rectangular
+// (callers validate via checkXY/checkXYReg).
+func newKDTree(points [][]float64) *kdTree {
+	t := &kdTree{points: points, dim: len(points[0])}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *kdTree) build(idx []int, depth int) *kdNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	// Median split by the axis coordinate; ties by index keep the build
+	// deterministic.
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := t.points[idx[a]][axis], t.points[idx[b]][axis]
+		if va != vb {
+			return va < vb
+		}
+		return idx[a] < idx[b]
+	})
+	mid := len(idx) / 2
+	node := &kdNode{index: idx[mid], axis: axis}
+	node.left = t.build(idx[:mid], depth+1)
+	node.right = t.build(idx[mid+1:], depth+1)
+	return node
+}
+
+// neighbor is a candidate result; worseThan defines the max-heap order
+// (the worst current candidate sits at the top) and doubles as the
+// brute-force tie-break: larger distance is worse; at equal distance,
+// larger index is worse.
+type neighbor struct {
+	dist  float64
+	index int
+}
+
+func (a neighbor) worseThan(b neighbor) bool {
+	if a.dist != b.dist {
+		return a.dist > b.dist
+	}
+	return a.index > b.index
+}
+
+// neighborHeap is a max-heap of the k best candidates so far.
+type neighborHeap []neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].worseThan(h[j]) }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// kNearest returns the indices of the k nearest points to q in
+// increasing (dist, index) order — identical to the brute-force nearest.
+func (t *kdTree) kNearest(q []float64, k int) []int {
+	if k > len(t.points) {
+		k = len(t.points)
+	}
+	h := make(neighborHeap, 0, k+1)
+	t.search(t.root, q, k, &h)
+	// Heap holds the k best in max-heap order; sort ascending.
+	out := make([]neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool { return out[b].worseThan(out[a]) })
+	idx := make([]int, len(out))
+	for i, n := range out {
+		idx[i] = n.index
+	}
+	return idx
+}
+
+func (t *kdTree) search(n *kdNode, q []float64, k int, h *neighborHeap) {
+	if n == nil {
+		return
+	}
+	cand := neighbor{dist: dist2(t.points[n.index], q), index: n.index}
+	if h.Len() < k {
+		heap.Push(h, cand)
+	} else if (*h)[0].worseThan(cand) {
+		heap.Pop(h)
+		heap.Push(h, cand)
+	}
+
+	diff := q[n.axis] - t.points[n.index][n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, k, h)
+	// Visit the far side only if the splitting plane could still hold a
+	// better candidate. With equal distances breaking ties by index, a
+	// plane at exactly the current worst distance can still hide a
+	// lower-index point, so use <= rather than <.
+	if h.Len() < k || diff*diff <= (*h)[0].dist {
+		t.search(far, q, k, h)
+	}
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64() * 1000
+		}
+	}
+	return pts
+}
+
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		dim := 1 + rng.Intn(5)
+		pts := randomPoints(rng, n, dim)
+		tree := newKDTree(pts)
+		k := 1 + rng.Intn(8)
+		for q := 0; q < 10; q++ {
+			query := make([]float64, dim)
+			for j := range query {
+				query[j] = rng.Float64() * 1000
+			}
+			want := nearest(pts, query, k)
+			got := tree.kNearest(query, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: kd %v vs brute %v", trial, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeDuplicatePointsTieBreak(t *testing.T) {
+	// Many identical points: neighbor order must be by index, exactly as
+	// brute force.
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}, {1, 1}}
+	tree := newKDTree(pts)
+	got := tree.kNearest([]float64{5, 5}, 3)
+	want := nearest(pts, []float64{5, 5}, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kd %v vs brute %v", got, want)
+		}
+	}
+}
+
+func TestKDTreeKLargerThanN(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	tree := newKDTree(pts)
+	got := tree.kNearest([]float64{0}, 10)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKNNModelsIdenticalWithAndWithoutIndex(t *testing.T) {
+	// Train two classifiers on the same data, one below and one above the
+	// index threshold, by padding the large one with far-away points that
+	// never enter any k-neighborhood of the probed region.
+	rng := rand.New(rand.NewSource(23))
+	x, y := linearlySeparable(300, 23) // >= kdLeafThreshold: indexed
+	indexed := &KNNClassifier{K: 5}
+	if err := indexed.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if indexed.tree == nil {
+		t.Fatal("large training set not indexed")
+	}
+	brute := &KNNClassifier{K: 5}
+	if err := brute.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	brute.tree = nil // force the scan path
+	for i := 0; i < 500; i++ {
+		q := []float64{rng.Float64() * 260, rng.Float64() * 260}
+		a, err := indexed.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := brute.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("prediction diverged at %v: indexed=%v brute=%v", q, a, b)
+		}
+	}
+}
+
+func TestKDTreePropertyAgainstBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 64+rng.Intn(64), 4)
+		tree := newKDTree(pts)
+		q := make([]float64, 4)
+		for j := range q {
+			q[j] = rng.Float64() * 1000
+		}
+		want := nearest(pts, q, 5)
+		got := tree.kNearest(q, 5)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkKNNPredictBrute forces the linear scan for comparison with
+// ml_test.go's BenchmarkKNNPredict (which uses the k-d index on the same
+// 2000-point set).
+func BenchmarkKNNPredictBrute(b *testing.B) {
+	x, y := linearlySeparable(2000, 21)
+	c := &KNNClassifier{K: 5}
+	if err := c.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	c.tree = nil
+	q := []float64{100, 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

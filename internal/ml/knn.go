@@ -1,0 +1,187 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNClassifier is the paper's association classifier: a non-parametric
+// K-nearest-neighbors vote over the labelled training cases, acting as "a
+// special lookup table which uses the nearest case(s) in the memory to
+// generate the prediction".
+type KNNClassifier struct {
+	// K is the number of neighbors consulted; 0 means the default of 5.
+	K int
+
+	dim    int
+	points [][]float64
+	labels []bool
+	tree   *kdTree
+}
+
+// Name implements Classifier.
+func (k *KNNClassifier) Name() string { return "knn" }
+
+// Fit stores the training set (KNN is lazy; there is nothing to optimize).
+func (k *KNNClassifier) Fit(x [][]float64, y []bool) error {
+	dim, err := checkXY(x, y)
+	if err != nil {
+		return fmt.Errorf("knn classifier: %w", err)
+	}
+	k.dim = dim
+	k.points = x
+	k.labels = y
+	k.tree = nil
+	if len(x) >= kdLeafThreshold {
+		k.tree = newKDTree(x)
+	}
+	return nil
+}
+
+// Predict returns the majority label among the K nearest training points.
+// Ties break toward positive, matching the deployment bias: a missed
+// association costs a redundant tracker, while the matching step
+// downstream filters false positives.
+func (k *KNNClassifier) Predict(x []float64) (bool, error) {
+	if k.points == nil {
+		return false, ErrNotFitted
+	}
+	if len(x) != k.dim {
+		return false, fmt.Errorf("knn classifier: feature dim %d, want %d", len(x), k.dim)
+	}
+	idx := nearestIdx(k.points, k.tree, x, k.kEff())
+	pos := 0
+	for _, i := range idx {
+		if k.labels[i] {
+			pos++
+		}
+	}
+	return pos*2 >= len(idx), nil
+}
+
+func (k *KNNClassifier) kEff() int {
+	if k.K > 0 {
+		return k.K
+	}
+	return 5
+}
+
+// KNNRegressor is the paper's association regressor: it predicts the
+// mapped bounding box on the target camera as the inverse-distance
+// weighted average of the K nearest training correspondences.
+type KNNRegressor struct {
+	// K is the number of neighbors consulted; 0 means the default of 5.
+	K int
+
+	dim     int
+	out     int
+	points  [][]float64
+	targets [][]float64
+	tree    *kdTree
+}
+
+// Name implements Regressor.
+func (k *KNNRegressor) Name() string { return "knn" }
+
+// Fit stores the training correspondences.
+func (k *KNNRegressor) Fit(x [][]float64, y [][]float64) error {
+	dim, out, err := checkXYReg(x, y)
+	if err != nil {
+		return fmt.Errorf("knn regressor: %w", err)
+	}
+	k.dim, k.out = dim, out
+	k.points = x
+	k.targets = y
+	k.tree = nil
+	if len(x) >= kdLeafThreshold {
+		k.tree = newKDTree(x)
+	}
+	return nil
+}
+
+// Predict returns the inverse-distance-weighted mean of the nearest
+// neighbors' targets. An exact feature match returns that case's target
+// directly (true lookup-table behaviour).
+func (k *KNNRegressor) Predict(x []float64) ([]float64, error) {
+	if k.points == nil {
+		return nil, ErrNotFitted
+	}
+	if len(x) != k.dim {
+		return nil, fmt.Errorf("knn regressor: feature dim %d, want %d", len(x), k.dim)
+	}
+	idx := nearestIdx(k.points, k.tree, x, k.kEff())
+	pred := make([]float64, k.out)
+	var wsum float64
+	for _, i := range idx {
+		d := dist2(k.points[i], x)
+		if d == 0 {
+			copy(pred, k.targets[i])
+			return pred, nil
+		}
+		w := 1 / math.Sqrt(d)
+		wsum += w
+		for j := range pred {
+			pred[j] += w * k.targets[i][j]
+		}
+	}
+	for j := range pred {
+		pred[j] /= wsum
+	}
+	return pred, nil
+}
+
+func (k *KNNRegressor) kEff() int {
+	if k.K > 0 {
+		return k.K
+	}
+	return 5
+}
+
+// nearestIdx dispatches between the k-d index (large training sets) and
+// the brute-force scan (small ones); both return identical neighbor
+// lists including tie-breaks.
+func nearestIdx(points [][]float64, tree *kdTree, x []float64, k int) []int {
+	if tree != nil {
+		return tree.kNearest(x, k)
+	}
+	return nearest(points, x, k)
+}
+
+// nearest returns the indices of the k points nearest to x (all points
+// when k >= len(points)), in increasing distance order.
+func nearest(points [][]float64, x []float64, k int) []int {
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, len(points))
+	for i, p := range points {
+		cands[i] = cand{i, dist2(p, x)}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].i < cands[b].i
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].i
+	}
+	return out
+}
+
+// dist2 returns the squared Euclidean distance between equal-length
+// vectors.
+func dist2(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,322 @@
+// Package node implements a camera node's runtime for the distributed
+// deployment: the local half of the BALB framework (tracking-based
+// slicing, batched partial inspection, and the distributed stage) driven
+// by assignments received from the central scheduler over the cluster
+// protocol.
+//
+// The in-process pipeline package simulates the same logic for
+// evaluation; this package is the deployable flavour, consuming wire
+// messages instead of direct function calls.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"mvs/internal/cluster"
+	"mvs/internal/core"
+	"mvs/internal/flow"
+	"mvs/internal/geom"
+	"mvs/internal/gpu"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+	"mvs/internal/vision"
+)
+
+// shadow mirrors pipeline's shadow: an object assigned to another camera,
+// coasting on its key-frame velocity.
+type shadow struct {
+	box      geom.Rect
+	vel      geom.Point
+	truthID  int
+	assigned int
+	size     int
+}
+
+// Runtime is one camera node's state.
+type Runtime struct {
+	camera   int
+	frame    geom.Rect
+	exec     *gpu.Executor
+	det      *vision.Detector
+	tracker  *flow.Tracker
+	grid     geom.Grid
+	coverage [][]int
+	policy   *core.DistributedPolicy
+	shadows  []*shadow
+
+	// Stats.
+	frames     int
+	latencySum time.Duration
+	detected   map[int]bool
+}
+
+// Config assembles a runtime.
+type Config struct {
+	// Camera is the node's index.
+	Camera int
+	// Frame is the camera's pixel frame.
+	Frame geom.Rect
+	// Profile is the node's device profile.
+	Profile *profile.Profile
+	// GridCols, GridRows and Coverage come from the scheduler's
+	// registration ack.
+	GridCols, GridRows int
+	Coverage           [][]int
+	// NumCameras sizes the default priority order used before the first
+	// assignment arrives.
+	NumCameras int
+	// Seed drives detector noise.
+	Seed int64
+	// Detector tunes the simulated DNN.
+	Detector vision.Config
+}
+
+// New builds a camera runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Frame.Empty() {
+		return nil, fmt.Errorf("node: empty camera frame")
+	}
+	if cfg.NumCameras <= 0 {
+		return nil, fmt.Errorf("node: NumCameras must be positive")
+	}
+	exec, err := gpu.NewExecutor(cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	tracker, err := flow.NewTracker(cfg.Frame, flow.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	grid := geom.NewGrid(cfg.Frame, max(cfg.GridCols, 1), max(cfg.GridRows, 1))
+	if len(cfg.Coverage) > 0 && len(cfg.Coverage) != grid.NumCells() {
+		return nil, fmt.Errorf("node: coverage has %d cells, grid has %d", len(cfg.Coverage), grid.NumCells())
+	}
+	idx := make([]int, cfg.NumCameras)
+	for i := range idx {
+		idx[i] = i
+	}
+	policy, err := core.NewDistributedPolicy(idx)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	return &Runtime{
+		camera:   cfg.Camera,
+		frame:    cfg.Frame,
+		exec:     exec,
+		det:      vision.NewDetector(cfg.Seed+int64(cfg.Camera)*101, cfg.Detector),
+		tracker:  tracker,
+		grid:     grid,
+		coverage: cfg.Coverage,
+		policy:   policy,
+		detected: make(map[int]bool),
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// KeyFrame runs the full-frame inspection and returns the track reports
+// to upload. The caller sends them to the scheduler and feeds the reply
+// to ApplyAssignment.
+func (r *Runtime) KeyFrame(obs []scene.Observation) ([]cluster.TrackReport, error) {
+	lat := r.exec.RunFullFrame()
+	r.latencySum += lat
+	r.frames++
+	dets := r.det.DetectFull(obs)
+	for _, d := range dets {
+		r.detected[d.TruthID] = true
+	}
+	if _, err := r.tracker.Update(dets); err != nil {
+		return nil, fmt.Errorf("node: key-frame tracking: %w", err)
+	}
+	r.tracker.RefreshSizes()
+	r.shadows = r.shadows[:0]
+	return cluster.ReportTracks(r.tracker.Tracks()), nil
+}
+
+// ApplyAssignment installs the scheduler's reply: shadowed tracks are
+// demoted, and the horizon's priority order replaces the old one.
+func (r *Runtime) ApplyAssignment(a *cluster.Assignment) error {
+	if a == nil {
+		return fmt.Errorf("node: nil assignment")
+	}
+	policy, err := core.NewDistributedPolicy(a.Priority)
+	if err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	r.policy = policy
+	for _, sh := range a.Shadows {
+		t := r.tracker.Get(sh.TrackID)
+		if t == nil {
+			continue // dropped since the report; nothing to demote
+		}
+		r.shadows = append(r.shadows, &shadow{
+			box:      t.Box,
+			vel:      t.Velocity,
+			truthID:  t.TruthID,
+			assigned: sh.AssignedCamera,
+			size:     t.QuantSize,
+		})
+		r.tracker.Remove(sh.TrackID)
+	}
+	return nil
+}
+
+// RegularFrame runs one regular-frame step: advance shadows, inspect
+// active track regions plus owned new regions, update the tracker, and
+// apply the distributed-stage ownership rules. It returns the frame's
+// modelled inference latency.
+func (r *Runtime) RegularFrame(obs []scene.Observation) (time.Duration, error) {
+	// Advance shadows.
+	alive := r.shadows[:0]
+	for _, sh := range r.shadows {
+		sh.box = sh.box.Translate(sh.vel)
+		if r.frame.Contains(sh.box.Center()) {
+			alive = append(alive, sh)
+		}
+	}
+	r.shadows = alive
+
+	tracks := r.tracker.Tracks()
+	regions := make([]geom.Rect, 0, len(tracks))
+	tasks := make([]gpu.Task, 0, len(tracks))
+	explained := make([]geom.Rect, 0, len(tracks)+len(r.shadows))
+	for _, t := range tracks {
+		regions = append(regions, r.tracker.Region(t))
+		tasks = append(tasks, gpu.Task{ObjectID: t.ID, Size: t.QuantSize})
+		explained = append(explained, t.Predicted())
+	}
+	for _, sh := range r.shadows {
+		explained = append(explained, sh.box)
+	}
+
+	// New-region proposals, mask-filtered before inspection.
+	moving := make([]geom.Rect, 0, len(obs))
+	for _, o := range obs {
+		moving = append(moving, o.Box)
+	}
+	for _, nr := range flow.NewRegions(moving, explained, 0) {
+		if !r.ownsCell(nr.Center()) {
+			continue
+		}
+		q, size := geom.QuantizeRect(nr, r.frame, nil)
+		regions = append(regions, q)
+		tasks = append(tasks, gpu.Task{ObjectID: -1, Size: size})
+	}
+
+	res, err := r.exec.RunFrame(tasks)
+	if err != nil {
+		return 0, fmt.Errorf("node: inspection: %w", err)
+	}
+	r.latencySum += res.Latency
+	r.frames++
+
+	dets, err := r.det.DetectRegions(regions, obs)
+	if err != nil {
+		return 0, fmt.Errorf("node: detect: %w", err)
+	}
+	for _, d := range dets {
+		r.detected[d.TruthID] = true
+	}
+	created, err := r.tracker.Update(dets)
+	if err != nil {
+		return 0, fmt.Errorf("node: tracking: %w", err)
+	}
+	for _, id := range created {
+		t := r.tracker.Get(id)
+		if t != nil && !r.ownsCell(t.Box.Center()) {
+			r.tracker.Remove(id)
+		}
+	}
+	r.takeoverCheck()
+	return res.Latency, nil
+}
+
+// ownsCell reports whether this camera is the mask owner of the cell
+// containing the point. Without coverage data (scheduler did not send
+// masks) the camera owns everything it sees.
+func (r *Runtime) ownsCell(centre geom.Point) bool {
+	if len(r.coverage) == 0 {
+		return true
+	}
+	cell, _ := r.grid.CellIndex(centre)
+	return r.policy.ShouldTrack(r.camera, r.coverage[cell])
+}
+
+func (r *Runtime) takeoverCheck() {
+	if len(r.coverage) == 0 {
+		return
+	}
+	alive := r.shadows[:0]
+	for _, sh := range r.shadows {
+		cell, inside := r.grid.CellIndex(sh.box.Center())
+		if !inside {
+			continue
+		}
+		cover := r.coverage[cell]
+		assignedSees := false
+		for _, c := range cover {
+			if c == sh.assigned {
+				assignedSees = true
+				break
+			}
+		}
+		if assignedSees {
+			alive = append(alive, sh)
+			continue
+		}
+		if r.policy.ShouldTrack(r.camera, cover) {
+			r.tracker.Spawn(vision.Detection{Box: sh.box, Score: 0.5, TruthID: sh.truthID})
+			continue
+		}
+		if owner, ok := r.policy.Owner(cover); ok {
+			sh.assigned = owner
+			alive = append(alive, sh)
+		}
+	}
+	r.shadows = alive
+}
+
+// Stats summarizes the node's run so far.
+type Stats struct {
+	// Frames processed.
+	Frames int
+	// MeanLatency is the mean modelled inference latency per frame.
+	MeanLatency time.Duration
+	// ActiveTracks is the current live track count.
+	ActiveTracks int
+	// Shadows is the current shadow count.
+	Shadows int
+	// DetectedObjects is the number of distinct ground-truth objects this
+	// node has detected at least once.
+	DetectedObjects int
+}
+
+// Stats returns the node's running counters.
+func (r *Runtime) Stats() Stats {
+	s := Stats{
+		Frames:          r.frames,
+		ActiveTracks:    r.tracker.Len(),
+		Shadows:         len(r.shadows),
+		DetectedObjects: len(r.detected),
+	}
+	if r.frames > 0 {
+		s.MeanLatency = r.latencySum / time.Duration(r.frames)
+	}
+	return s
+}
+
+// DetectedIDs returns the set of ground-truth objects seen so far
+// (scoring only).
+func (r *Runtime) DetectedIDs() map[int]bool {
+	out := make(map[int]bool, len(r.detected))
+	for k := range r.detected {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package node
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mvs/internal/assoc"
+	"mvs/internal/cluster"
+	"mvs/internal/geom"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+)
+
+func twoCamWorld(seed int64) *scene.World {
+	road := scene.MustPath(geom.Point{X: 5, Y: -40}, geom.Point{X: 5, Y: 40})
+	camA := &scene.Camera{
+		Name: "a", Pos: geom.Point{X: 0, Y: -50}, Height: 8, Yaw: math.Pi / 2,
+		Pitch: 0.4, Focal: 1000, ImageW: 1280, ImageH: 704, MaxRange: 62,
+	}
+	camB := &scene.Camera{
+		Name: "b", Pos: geom.Point{X: 0, Y: 50}, Height: 8, Yaw: -math.Pi / 2,
+		Pitch: 0.4, Focal: 1000, ImageW: 1280, ImageH: 704, MaxRange: 62,
+	}
+	return &scene.World{
+		Routes:  []scene.Route{{Path: road, Speed: 8, Arrivals: scene.Poisson{RatePerSec: 0.5}}},
+		Cameras: []*scene.Camera{camA, camB},
+		FPS:     10, Seed: seed,
+	}
+}
+
+func baseConfig(cam int) Config {
+	return Config{
+		Camera:     cam,
+		Frame:      geom.Rect{MaxX: 1280, MaxY: 704},
+		Profile:    profile.Default(profile.JetsonXavier),
+		GridCols:   16,
+		GridRows:   9,
+		NumCameras: 2,
+		Seed:       9,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.Frame = geom.Rect{}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	cfg = baseConfig(0)
+	cfg.NumCameras = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero cameras accepted")
+	}
+	cfg = baseConfig(0)
+	cfg.Profile = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	cfg = baseConfig(0)
+	cfg.Coverage = [][]int{{0}} // wrong cell count
+	if _, err := New(cfg); err == nil {
+		t.Fatal("coverage/grid mismatch accepted")
+	}
+}
+
+func TestStandaloneLoopWithoutMasks(t *testing.T) {
+	// Without coverage, the node behaves like BALB-Ind: it owns
+	// everything it sees.
+	world := twoCamWorld(3)
+	trace, err := world.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(baseConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range trace.Frames {
+		obs := trace.Frames[fi].PerCamera[0]
+		if fi%10 == 0 {
+			reports, err := rt.KeyFrame(obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Standalone: apply an identity assignment (keep all).
+			keep := make([]int, len(reports))
+			for i, r := range reports {
+				keep[i] = r.TrackID
+			}
+			err = rt.ApplyAssignment(&cluster.Assignment{Frame: fi, Keep: keep, Priority: []int{0, 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := rt.RegularFrame(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := rt.Stats()
+	if st.Frames != 200 {
+		t.Fatalf("frames = %d", st.Frames)
+	}
+	if st.MeanLatency <= 0 {
+		t.Fatalf("mean latency = %v", st.MeanLatency)
+	}
+	if st.DetectedObjects == 0 {
+		t.Fatal("nothing detected")
+	}
+}
+
+func TestApplyAssignmentDemotesShadows(t *testing.T) {
+	rt, err := New(baseConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []scene.Observation{
+		{ObjectID: 1, Box: geom.Rect{MinX: 100, MinY: 100, MaxX: 160, MaxY: 150}},
+	}
+	reports, err := rt.KeyFrame(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	err = rt.ApplyAssignment(&cluster.Assignment{
+		Frame:    0,
+		Shadows:  []cluster.ShadowOrder{{TrackID: reports[0].TrackID, AssignedCamera: 1}},
+		Priority: []int{1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.ActiveTracks != 0 || st.Shadows != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestApplyAssignmentErrors(t *testing.T) {
+	rt, err := New(baseConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ApplyAssignment(nil); err == nil {
+		t.Fatal("nil assignment accepted")
+	}
+	if err := rt.ApplyAssignment(&cluster.Assignment{Priority: []int{0, 0}}); err == nil {
+		t.Fatal("bad priority accepted")
+	}
+	// Shadow for an unknown track is ignored, not an error.
+	if err := rt.ApplyAssignment(&cluster.Assignment{
+		Priority: []int{0, 1},
+		Shadows:  []cluster.ShadowOrder{{TrackID: 999, AssignedCamera: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedMatchesSchedulerEndToEnd drives two node runtimes
+// against a real scheduler over loopback TCP for several horizons and
+// checks the joint outcome: consistent priorities, no double tracking of
+// shadowed objects, and overall detection coverage.
+func TestDistributedMatchesSchedulerEndToEnd(t *testing.T) {
+	world := twoCamWorld(5)
+	trace, err := world.Run(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := trace.SplitTrain()
+	model, err := assoc.Train(train, assoc.Factories{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := []*profile.Profile{
+		profile.Default(profile.JetsonXavier),
+		profile.Default(profile.JetsonNano),
+	}
+	sched, err := cluster.NewScheduler(model, profiles, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sched.Serve(ln) }()
+	defer func() {
+		sched.Close()
+		ln.Close()
+	}()
+
+	runCam := func(cam int, errOut *error, detected *map[int]bool, wg *sync.WaitGroup) {
+		defer wg.Done()
+		sc := world.Cameras[cam]
+		client, err := cluster.Dial(ln.Addr().String(), cam, 5*time.Second, sc.ImageW, sc.ImageH)
+		if err != nil {
+			*errOut = err
+			return
+		}
+		defer client.Close()
+		ack := client.Ack()
+		rt, err := New(Config{
+			Camera: cam, Frame: sc.Frame(), Profile: profiles[cam],
+			GridCols: ack.GridCols, GridRows: ack.GridRows, Coverage: ack.Coverage,
+			NumCameras: 2, Seed: 4,
+		})
+		if err != nil {
+			*errOut = err
+			return
+		}
+		for fi := range test.Frames {
+			obs := test.Frames[fi].PerCamera[cam]
+			if fi%10 == 0 {
+				reports, err := rt.KeyFrame(obs)
+				if err != nil {
+					*errOut = err
+					return
+				}
+				a, err := client.KeyFrame(fi, reports, 10*time.Second)
+				if err != nil {
+					*errOut = err
+					return
+				}
+				if err := rt.ApplyAssignment(a); err != nil {
+					*errOut = err
+					return
+				}
+			} else if _, err := rt.RegularFrame(obs); err != nil {
+				*errOut = err
+				return
+			}
+		}
+		*detected = rt.DetectedIDs()
+	}
+
+	var wg sync.WaitGroup
+	var err0, err1 error
+	var det0, det1 map[int]bool
+	wg.Add(2)
+	go runCam(0, &err0, &det0, &wg)
+	go runCam(1, &err1, &det1, &wg)
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("node errors: %v / %v", err0, err1)
+	}
+
+	// Joint recall over the test half must stay high: every ground-truth
+	// object visible somewhere should be detected by some node.
+	truth := make(map[int]bool)
+	for fi := range test.Frames {
+		for id := range test.Frames[fi].VisibleObjectIDs() {
+			truth[id] = true
+		}
+	}
+	missed := 0
+	for id := range truth {
+		if !det0[id] && !det1[id] {
+			missed++
+		}
+	}
+	if len(truth) == 0 {
+		t.Skip("no objects in test half")
+	}
+	if frac := float64(missed) / float64(len(truth)); frac > 0.1 {
+		t.Fatalf("missed %d/%d distinct objects", missed, len(truth))
+	}
+}

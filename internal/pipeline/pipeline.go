@@ -1,0 +1,722 @@
+// Package pipeline wires every substrate into the end-to-end system of
+// Fig. 5: per-camera full-frame inspection at key frames, cross-camera
+// association and central BALB scheduling on key frames, tracking-based
+// slicing with batched partial inspection on regular frames, and the
+// distributed BALB stage (camera masks) handling object dynamics in
+// between — plus the evaluation baselines the paper compares against.
+//
+// Time is two-layered, as in the paper's evaluation: GPU inference
+// latencies are *modelled* from the device profiles (the quantity the
+// scheduler optimizes, Fig. 13), while framework overheads — tracking,
+// association, scheduling, batching — are *measured* wall-clock costs of
+// this implementation (Table II).
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"mvs/internal/assoc"
+	"mvs/internal/core"
+	"mvs/internal/flow"
+	"mvs/internal/geom"
+	"mvs/internal/gpu"
+	"mvs/internal/metrics"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+	"mvs/internal/vision"
+)
+
+// Mode selects the scheduling algorithm under evaluation.
+type Mode int
+
+const (
+	// Full runs full-frame detection on every frame of every camera (the
+	// paper's recall upper bound and latency worst case).
+	Full Mode = iota
+	// Independent is BALB-Ind: slicing and batching per camera, no
+	// cross-camera sharing.
+	Independent
+	// CentralOnly is BALB-Cen: the central stage alone, no distributed
+	// stage between key frames.
+	CentralOnly
+	// BALB is the complete two-stage algorithm.
+	BALB
+	// StaticPartition is the SP baseline: overlap cells partitioned
+	// offline by processing power.
+	StaticPartition
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "Full"
+	case Independent:
+		return "BALB-Ind"
+	case CentralOnly:
+		return "BALB-Cen"
+	case BALB:
+		return "BALB"
+	case StaticPartition:
+		return "SP"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Mode is the algorithm under test.
+	Mode Mode
+	// Horizon is T, the frames per scheduling horizon (default 10).
+	Horizon int
+	// Seed drives detector noise.
+	Seed int64
+	// GridCols, GridRows shape the per-camera cell grid for masks
+	// (default 16 x 9).
+	GridCols, GridRows int
+	// Detector tunes the simulated DNN.
+	Detector vision.Config
+	// AssocMinIoU is the association matching threshold (default 0.1).
+	AssocMinIoU float64
+	// Redundancy, when > 1, makes the central stage keep up to this many
+	// trackers per object (latency budget permitting) — the paper's §V
+	// occlusion-hedging extension. Only meaningful in BALB/CentralOnly
+	// modes; 0 or 1 is standard single-tracker BALB.
+	Redundancy int
+	// RedundancySlack bounds the extra trackers' latency cost as a
+	// multiple of the base system latency (default 1.2).
+	RedundancySlack float64
+	// CameraLag models imperfect synchronization (the paper's §V): when
+	// non-nil, camera i processes the scene as it was CameraLag[i] frames
+	// ago ("while some cameras are processing the 'current' scene, others
+	// might still be working on older versions"). Recall is still scored
+	// against the current frame, so lag shows up as handoff anomalies.
+	CameraLag []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Horizon <= 0 {
+		o.Horizon = 10
+	}
+	if o.GridCols <= 0 {
+		o.GridCols = 16
+	}
+	if o.GridRows <= 0 {
+		o.GridRows = 9
+	}
+	if o.AssocMinIoU <= 0 {
+		o.AssocMinIoU = 0.1
+	}
+	if o.Redundancy < 1 {
+		o.Redundancy = 1
+	}
+	if o.RedundancySlack <= 0 {
+		o.RedundancySlack = 1.2
+	}
+	return o
+}
+
+// Report is the outcome of a pipeline run.
+type Report struct {
+	// Mode echoes the algorithm evaluated.
+	Mode Mode
+	// Frames is the number of frames processed.
+	Frames int
+	// Horizon echoes T.
+	Horizon int
+	// Recall is the paper's object recall (Fig. 12).
+	Recall float64
+	// TP, FN are the recall counts.
+	TP, FN int
+	// MeanSlowest is the Fig. 13 metric: per horizon, each camera's mean
+	// per-frame inference latency is computed, the slowest camera taken,
+	// and the result averaged across horizons.
+	MeanSlowest time.Duration
+	// PerCameraMean is each camera's mean per-frame inference latency.
+	PerCameraMean []time.Duration
+	// CentralPerFrame is the measured central-stage overhead (association
+	// + central BALB), amortized per frame (Table II).
+	CentralPerFrame time.Duration
+	// TrackingPerFrame is the measured per-frame tracking overhead,
+	// maximum across cameras, averaged over frames (Table II).
+	TrackingPerFrame time.Duration
+	// DistributedPerFrame is the measured distributed-stage overhead
+	// (Table II).
+	DistributedPerFrame time.Duration
+	// BatchingPerFrame is the measured batch-formation overhead
+	// (Table II).
+	BatchingPerFrame time.Duration
+	// P95Slowest and MaxSlowest summarize the tail of the per-frame
+	// system latency (max across cameras per frame): the paper's
+	// motivation is responsiveness, so the tail matters as much as the
+	// mean.
+	P95Slowest time.Duration
+	MaxSlowest time.Duration
+}
+
+// OverheadTotal returns the summed per-frame framework overhead.
+func (r *Report) OverheadTotal() time.Duration {
+	return r.CentralPerFrame + r.TrackingPerFrame + r.DistributedPerFrame + r.BatchingPerFrame
+}
+
+// shadow is a camera's knowledge of an object assigned to another camera:
+// its last known box here, coasting on the key-frame velocity, so the
+// camera can take over tracking without communication if the object
+// leaves its assigned camera's view.
+type shadow struct {
+	box      geom.Rect
+	vel      geom.Point
+	truthID  int
+	assigned int
+	size     int
+}
+
+// cameraState is all per-camera runtime state.
+type cameraState struct {
+	index    int
+	cam      *scene.Camera
+	exec     *gpu.Executor
+	det      *vision.Detector
+	tracker  *flow.Tracker
+	grid     geom.Grid
+	coverage [][]int // static per-cell coverage sets (BALB modes)
+	spOwner  []int   // static per-cell owners (SP mode)
+	shadows  []*shadow
+}
+
+// Run executes the pipeline over a pre-generated trace. The association
+// model may be nil for Full and Independent modes; every other mode
+// requires one trained on a disjoint (earlier) part of the deployment.
+func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if len(trace.Frames) == 0 {
+		return nil, fmt.Errorf("pipeline: empty trace")
+	}
+	if len(profiles) != len(trace.Cameras) {
+		return nil, fmt.Errorf("pipeline: %d profiles for %d cameras", len(profiles), len(trace.Cameras))
+	}
+	needsModel := opts.Mode == CentralOnly || opts.Mode == BALB || opts.Mode == StaticPartition
+	if needsModel {
+		if model == nil {
+			return nil, fmt.Errorf("pipeline: mode %v requires an association model", opts.Mode)
+		}
+		if model.NumCameras() != len(trace.Cameras) {
+			return nil, fmt.Errorf("pipeline: model trained for %d cameras, trace has %d",
+				model.NumCameras(), len(trace.Cameras))
+		}
+	}
+
+	cams, err := buildCameraStates(trace, profiles, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	coreCams := make([]core.CameraSpec, len(cams))
+	for i := range cams {
+		coreCams[i] = core.CameraSpec{Index: i, Profile: profiles[i]}
+	}
+
+	var (
+		recall       metrics.RecallAccumulator
+		perCamTotal  = make([]time.Duration, len(cams))
+		horizonCam   = make([]time.Duration, len(cams))
+		horizonLen   int
+		slowestSum   time.Duration
+		horizons     int
+		centralTotal time.Duration
+		breakdown    = metrics.NewBreakdown()
+		policy       *core.DistributedPolicy
+		frameSeries  metrics.LatencySeries
+		prevBusy     = make([]time.Duration, len(cams))
+	)
+
+	// Default policy (before the first central stage): priority by index.
+	if needsModel || opts.Mode == Independent {
+		idx := make([]int, len(cams))
+		for i := range idx {
+			idx[i] = i
+		}
+		policy, err = core.NewDistributedPolicy(idx)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	flushHorizon := func() {
+		if horizonLen == 0 {
+			return
+		}
+		var slowest time.Duration
+		for i := range horizonCam {
+			mean := horizonCam[i] / time.Duration(horizonLen)
+			if mean > slowest {
+				slowest = mean
+			}
+			horizonCam[i] = 0
+		}
+		slowestSum += slowest
+		horizons++
+		horizonLen = 0
+	}
+
+	if opts.CameraLag != nil && len(opts.CameraLag) != len(cams) {
+		return nil, fmt.Errorf("pipeline: CameraLag has %d entries for %d cameras",
+			len(opts.CameraLag), len(cams))
+	}
+
+	for fi := range trace.Frames {
+		frame := &trace.Frames[fi]
+		// Each camera sees the scene as of its own (possibly lagged)
+		// frame — the paper's imperfect-synchronization model.
+		obs := make([][]scene.Observation, len(cams))
+		for i := range cams {
+			src := fi
+			if opts.CameraLag != nil && opts.CameraLag[i] > 0 {
+				src = fi - opts.CameraLag[i]
+				if src < 0 {
+					src = 0
+				}
+			}
+			obs[i] = trace.Frames[src].PerCamera[i]
+		}
+		isKey := fi%opts.Horizon == 0
+		detectedIDs := make(map[int]bool)
+
+		if isKey {
+			flushHorizon()
+			if err := runKeyFrame(cams, obs, detectedIDs, breakdown, horizonCam, opts); err != nil {
+				return nil, err
+			}
+			if needsModel {
+				start := time.Now()
+				newPolicy, err := centralStage(cams, coreCams, model, opts)
+				if err != nil {
+					return nil, err
+				}
+				centralTotal += time.Since(start)
+				if newPolicy != nil {
+					policy = newPolicy
+				}
+			}
+		} else {
+			if err := runRegularFrame(cams, obs, detectedIDs, breakdown, horizonCam, policy, opts); err != nil {
+				return nil, err
+			}
+		}
+
+		breakdown.EndFrame()
+		horizonLen++
+		recall.Observe(frame.VisibleObjectIDs(), detectedIDs)
+
+		// Per-frame system latency (max across cameras) for tail stats.
+		var frameMax time.Duration
+		for i, c := range cams {
+			busy := c.exec.Stats().BusyTime
+			if d := busy - prevBusy[i]; d > frameMax {
+				frameMax = d
+			}
+			prevBusy[i] = busy
+		}
+		frameSeries.Add(frameMax)
+	}
+	flushHorizon()
+
+	for i, c := range cams {
+		perCamTotal[i] = c.exec.Stats().BusyTime / time.Duration(len(trace.Frames))
+	}
+
+	rep := &Report{
+		Mode:                opts.Mode,
+		Frames:              len(trace.Frames),
+		Horizon:             opts.Horizon,
+		Recall:              recall.Recall(),
+		PerCameraMean:       perCamTotal,
+		CentralPerFrame:     centralTotal / time.Duration(len(trace.Frames)),
+		TrackingPerFrame:    breakdown.MeanOf("tracking"),
+		DistributedPerFrame: breakdown.MeanOf("distributed"),
+		BatchingPerFrame:    breakdown.MeanOf("batching"),
+	}
+	rep.TP, rep.FN = recall.Counts()
+	if horizons > 0 {
+		rep.MeanSlowest = slowestSum / time.Duration(horizons)
+	}
+	rep.MaxSlowest = frameSeries.Max()
+	p95, err := frameSeries.Percentile(95)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	rep.P95Slowest = p95
+	return rep, nil
+}
+
+func buildCameraStates(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, opts Options) ([]*cameraState, error) {
+	cams := make([]*cameraState, len(trace.Cameras))
+	for i, sc := range trace.Cameras {
+		exec, err := gpu.NewExecutor(profiles[i])
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: camera %d: %w", i, err)
+		}
+		tracker, err := flow.NewTracker(sc.Frame(), flow.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: camera %d: %w", i, err)
+		}
+		cs := &cameraState{
+			index:   i,
+			cam:     sc,
+			exec:    exec,
+			det:     vision.NewDetector(opts.Seed+int64(i)*101, opts.Detector),
+			tracker: tracker,
+			grid:    geom.NewGrid(sc.Frame(), opts.GridCols, opts.GridRows),
+		}
+		cams[i] = cs
+	}
+
+	// Static precomputation: cell coverage sets (the cameras are
+	// statically mounted, so this happens once, as in the paper).
+	if opts.Mode == CentralOnly || opts.Mode == BALB || opts.Mode == StaticPartition {
+		for _, cs := range cams {
+			cover, err := model.CellCoverage(cs.index, cs.grid)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: camera %d coverage: %w", cs.index, err)
+			}
+			cs.coverage = cover
+		}
+	}
+	if opts.Mode == StaticPartition {
+		if err := computeStaticOwners(cams, profiles); err != nil {
+			return nil, err
+		}
+	}
+	return cams, nil
+}
+
+// computeStaticOwners implements the SP baseline's offline step: all
+// cells across all cameras are partitioned by capacity-weighted
+// round-robin over their coverage sets.
+func computeStaticOwners(cams []*cameraState, profiles []*profile.Profile) error {
+	specs := make([]core.CameraSpec, len(profiles))
+	for i, p := range profiles {
+		specs[i] = core.CameraSpec{Index: i, Profile: p}
+	}
+	weights, err := core.CapacityWeights(specs)
+	if err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	for _, cs := range cams {
+		owners, err := core.WeightedPartition(cs.coverage, weights)
+		if err != nil {
+			return fmt.Errorf("pipeline: camera %d owners: %w", cs.index, err)
+		}
+		cs.spOwner = owners
+	}
+	return nil
+}
+
+// runKeyFrame performs the full-frame inspections.
+func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
+	breakdown *metrics.Breakdown, horizonCam []time.Duration, opts Options) error {
+	for _, cs := range cams {
+		lat := cs.exec.RunFullFrame()
+		horizonCam[cs.index] += lat
+		dets := cs.det.DetectFull(obs[cs.index])
+		for _, d := range dets {
+			detected[d.TruthID] = true
+		}
+		start := time.Now()
+		if _, err := cs.tracker.Update(dets); err != nil {
+			return fmt.Errorf("pipeline: camera %d key-frame tracking: %w", cs.index, err)
+		}
+		cs.tracker.RefreshSizes()
+		breakdown.ObserveCamera("tracking", time.Since(start))
+		cs.shadows = cs.shadows[:0]
+	}
+
+	// SP keeps only tracks in owned cells; Full/Independent/Central modes
+	// keep everything (the central stage reassigns right after).
+	if opts.Mode == StaticPartition {
+		for _, cs := range cams {
+			for _, t := range cs.tracker.Tracks() {
+				cell, _ := cs.grid.CellIndex(t.Box.Center())
+				if cs.spOwner[cell] != cs.index {
+					cs.tracker.Remove(t.ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// centralStage runs association plus the central-stage scheduler and
+// applies the assignment: unassigned members become shadows. For SP the
+// association is skipped (its partition is static), so the stage only
+// reconciles track ownership by cell owner, which key-frame handling
+// already did — it returns a nil policy to keep the previous one.
+func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model, opts Options) (*core.DistributedPolicy, error) {
+	if opts.Mode == StaticPartition {
+		return nil, nil
+	}
+
+	// Gather per-camera track boxes.
+	boxes := make([][]geom.Rect, len(cams))
+	trackIDs := make([][]int, len(cams))
+	for i, cs := range cams {
+		for _, t := range cs.tracker.Tracks() {
+			boxes[i] = append(boxes[i], t.Box)
+			trackIDs[i] = append(trackIDs[i], t.ID)
+		}
+	}
+	groups, err := model.Associate(boxes, opts.AssocMinIoU)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: association: %w", err)
+	}
+
+	// Build the MVS instance: one object per associated group.
+	objects := make([]core.ObjectSpec, 0, len(groups))
+	for gi, g := range groups {
+		spec := core.ObjectSpec{ID: gi + 1, Size: make(map[int]int)}
+		for _, ref := range g.Members {
+			cs := cams[ref.Cam]
+			track := cs.tracker.Get(trackIDs[ref.Cam][ref.Index])
+			if track == nil {
+				continue
+			}
+			if _, seen := spec.Size[ref.Cam]; !seen {
+				spec.Coverage = append(spec.Coverage, ref.Cam)
+			}
+			if track.QuantSize > spec.Size[ref.Cam] {
+				spec.Size[ref.Cam] = track.QuantSize
+			}
+		}
+		if len(spec.Coverage) > 0 {
+			objects = append(objects, spec)
+		}
+	}
+
+	var sol *core.Solution
+	extra := map[int][]int{}
+	if opts.Redundancy > 1 {
+		var err error
+		sol, extra, err = core.CentralRedundant(coreCams, objects, opts.Redundancy, opts.RedundancySlack)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: redundant central BALB: %w", err)
+		}
+	} else {
+		var err error
+		sol, err = core.Central(coreCams, objects, core.CentralOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: central BALB: %w", err)
+		}
+	}
+
+	// Apply: members on non-assigned (and non-redundant) cameras become
+	// shadows.
+	for gi, g := range groups {
+		assignedCam, ok := sol.Assign[gi+1]
+		if !ok {
+			continue // group with no live members
+		}
+		for _, ref := range g.Members {
+			if ref.Cam == assignedCam || containsCam(extra[gi+1], ref.Cam) {
+				continue
+			}
+			cs := cams[ref.Cam]
+			id := trackIDs[ref.Cam][ref.Index]
+			track := cs.tracker.Get(id)
+			if track == nil {
+				continue
+			}
+			cs.shadows = append(cs.shadows, &shadow{
+				box:      track.Box,
+				vel:      track.Velocity,
+				truthID:  track.TruthID,
+				assigned: assignedCam,
+				size:     track.QuantSize,
+			})
+			cs.tracker.Remove(id)
+		}
+	}
+
+	policy, err := core.NewDistributedPolicy(sol.Priority)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	return policy, nil
+}
+
+func containsCam(cams []int, cam int) bool {
+	for _, c := range cams {
+		if c == cam {
+			return true
+		}
+	}
+	return false
+}
+
+// runRegularFrame performs sliced, batched partial inspection plus the
+// distributed stage.
+func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
+	breakdown *metrics.Breakdown, horizonCam []time.Duration, policy *core.DistributedPolicy, opts Options) error {
+	if opts.Mode == Full {
+		for _, cs := range cams {
+			lat := cs.exec.RunFullFrame()
+			horizonCam[cs.index] += lat
+			for _, d := range cs.det.DetectFull(obs[cs.index]) {
+				detected[d.TruthID] = true
+			}
+		}
+		return nil
+	}
+
+	useDistributed := opts.Mode == BALB || opts.Mode == Independent || opts.Mode == StaticPartition
+
+	for _, cs := range cams {
+		// --- Tracking: advance shadows, slice regions. ---
+		trackStart := time.Now()
+		alive := cs.shadows[:0]
+		for _, sh := range cs.shadows {
+			sh.box = sh.box.Translate(sh.vel)
+			if cs.cam.Frame().Contains(sh.box.Center()) {
+				alive = append(alive, sh)
+			}
+		}
+		cs.shadows = alive
+
+		tracks := cs.tracker.Tracks()
+		regions := make([]geom.Rect, 0, len(tracks))
+		tasks := make([]gpu.Task, 0, len(tracks))
+		predicted := make([]geom.Rect, 0, len(tracks))
+		for _, t := range tracks {
+			r := cs.tracker.Region(t)
+			regions = append(regions, r)
+			tasks = append(tasks, gpu.Task{ObjectID: t.ID, Size: t.QuantSize})
+			predicted = append(predicted, t.Predicted())
+		}
+		breakdown.ObserveCamera("tracking", time.Since(trackStart))
+
+		// --- Distributed stage part 1: new-region proposals. ---
+		var newRegions []geom.Rect
+		if useDistributed {
+			distStart := time.Now()
+			moving := make([]geom.Rect, 0, len(obs[cs.index]))
+			for _, o := range obs[cs.index] {
+				moving = append(moving, o.Box)
+			}
+			explained := predicted
+			for _, sh := range cs.shadows {
+				explained = append(explained, sh.box)
+			}
+			newRegions = flow.NewRegions(moving, explained, 0)
+			for _, nr := range newRegions {
+				// The camera masks filter *before* inspection: a camera
+				// never spends GPU time on new regions another camera is
+				// responsible for (Fig. 8).
+				if !cs.keepNewTrack(nr.Center(), policy, opts) {
+					continue
+				}
+				q, size := geom.QuantizeRect(nr, cs.cam.Frame(), nil)
+				regions = append(regions, q)
+				tasks = append(tasks, gpu.Task{ObjectID: -1, Size: size})
+			}
+			breakdown.ObserveCamera("distributed", time.Since(distStart))
+		}
+
+		// --- Batched GPU execution. ---
+		batchStart := time.Now()
+		res, err := cs.exec.RunFrame(tasks)
+		if err != nil {
+			return fmt.Errorf("pipeline: camera %d inspection: %w", cs.index, err)
+		}
+		breakdown.ObserveCamera("batching", time.Since(batchStart))
+		horizonCam[cs.index] += res.Latency
+
+		dets, err := cs.det.DetectRegions(regions, obs[cs.index])
+		if err != nil {
+			return fmt.Errorf("pipeline: camera %d detect: %w", cs.index, err)
+		}
+		for _, d := range dets {
+			detected[d.TruthID] = true
+		}
+
+		// --- Tracking update. ---
+		trackStart = time.Now()
+		created, err := cs.tracker.Update(dets)
+		if err != nil {
+			return fmt.Errorf("pipeline: camera %d tracking: %w", cs.index, err)
+		}
+		breakdown.ObserveCamera("tracking", time.Since(trackStart))
+
+		// --- Distributed stage part 2: ownership decisions. ---
+		distStart := time.Now()
+		for _, id := range created {
+			t := cs.tracker.Get(id)
+			if t == nil {
+				continue
+			}
+			if !cs.keepNewTrack(t.Box.Center(), policy, opts) {
+				cs.tracker.Remove(id)
+			}
+		}
+		if opts.Mode == BALB {
+			cs.takeoverCheck(policy)
+		}
+		breakdown.ObserveCamera("distributed", time.Since(distStart))
+	}
+	return nil
+}
+
+// keepNewTrack decides whether this camera keeps a freshly spawned track,
+// by mode: Independent keeps all; SP keeps tracks in its owned cells;
+// BALB keeps tracks whose cell it owns under the latency-priority masks;
+// CentralOnly never spawns between key frames (no distributed stage).
+func (cs *cameraState) keepNewTrack(centre geom.Point, policy *core.DistributedPolicy, opts Options) bool {
+	switch opts.Mode {
+	case Independent:
+		return true
+	case StaticPartition:
+		cell, _ := cs.grid.CellIndex(centre)
+		return cs.spOwner[cell] == cs.index
+	case BALB:
+		cell, _ := cs.grid.CellIndex(centre)
+		return policy.ShouldTrack(cs.index, cs.coverage[cell])
+	default:
+		return false
+	}
+}
+
+// takeoverCheck implements the second distributed-stage rule: when a
+// shadowed object's assigned camera can (per the static cell coverage) no
+// longer see it, the highest-priority camera still covering it takes over
+// — without any communication, because every camera evaluates the same
+// masks.
+func (cs *cameraState) takeoverCheck(policy *core.DistributedPolicy) {
+	alive := cs.shadows[:0]
+	for _, sh := range cs.shadows {
+		cell, inside := cs.grid.CellIndex(sh.box.Center())
+		if !inside {
+			continue // left this camera's view; drop the shadow
+		}
+		cover := cs.coverage[cell]
+		assignedSees := false
+		for _, c := range cover {
+			if c == sh.assigned {
+				assignedSees = true
+				break
+			}
+		}
+		if assignedSees {
+			alive = append(alive, sh)
+			continue
+		}
+		// Assigned camera lost it: does this camera take over?
+		if policy.ShouldTrack(cs.index, cover) {
+			cs.tracker.Spawn(vision.Detection{Box: sh.box, Score: 0.5, TruthID: sh.truthID})
+			continue // shadow promoted to active track
+		}
+		if owner, ok := policy.Owner(cover); ok {
+			sh.assigned = owner // another camera takes it; keep shadowing
+			alive = append(alive, sh)
+		}
+	}
+	cs.shadows = alive
+}

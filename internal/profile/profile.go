@@ -1,0 +1,309 @@
+// Package profile models the heterogeneous edge devices of the paper's
+// testbed (NVIDIA Jetson Nano, TX2, and Xavier) as detector latency
+// profiles. A profile answers the three questions the BALB scheduler asks
+// offline:
+//
+//   - t_i^full: how long does a full-frame DNN inspection take?
+//   - t_i^s:    how long does a batch of partial regions of size s take
+//     (evaluated at the batch limit, per the paper's footnote)?
+//   - B_i^s:    how many size-s regions fit in one batch?
+//
+// The underlying latency curve is a synthetic stand-in for the paper's
+// offline YOLO profiling (200 timed runs per configuration on each
+// board): execution time grows only slightly with batch size up to the
+// batch limit, then inflects upward — exactly the regime the paper
+// exploits. Relative speeds between device classes follow published
+// Jetson inference benchmarks (Nano ≈ 5x slower than Xavier, TX2 ≈ 2.5x).
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DeviceClass identifies a hardware class in the testbed.
+type DeviceClass int
+
+// Device classes, ordered from weakest to strongest.
+const (
+	JetsonNano DeviceClass = iota
+	JetsonTX2
+	JetsonXavier
+)
+
+// String implements fmt.Stringer.
+func (d DeviceClass) String() string {
+	switch d {
+	case JetsonNano:
+		return "nano"
+	case JetsonTX2:
+		return "tx2"
+	case JetsonXavier:
+		return "xavier"
+	default:
+		return fmt.Sprintf("device(%d)", int(d))
+	}
+}
+
+// ParseDeviceClass converts a device-class name (as printed by String)
+// back to the class, for CLI flags and cluster configs.
+func ParseDeviceClass(s string) (DeviceClass, error) {
+	switch s {
+	case "nano":
+		return JetsonNano, nil
+	case "tx2":
+		return JetsonTX2, nil
+	case "xavier":
+		return JetsonXavier, nil
+	default:
+		return 0, fmt.Errorf("profile: unknown device class %q", s)
+	}
+}
+
+// deviceParams are the ground-truth latency parameters for each class.
+// baseLatency is the single-image inference time for a 64px region;
+// sizeExp controls how latency scales with input side length (inference
+// cost grows roughly with pixel count but sub-quadratically because of
+// fixed per-launch overheads); batchSlope is the marginal cost per extra
+// image within the batch limit; inflectSlope the much steeper cost past
+// it.
+type deviceParams struct {
+	baseLatency  time.Duration
+	sizeExp      float64
+	batchSlope   float64
+	inflectSlope float64
+	batchLimits  map[int]int
+	fullFrame    time.Duration
+}
+
+func paramsFor(class DeviceClass) deviceParams {
+	switch class {
+	case JetsonXavier:
+		return deviceParams{
+			baseLatency:  4 * time.Millisecond,
+			sizeExp:      0.80,
+			batchSlope:   0.06,
+			inflectSlope: 0.75,
+			batchLimits:  map[int]int{64: 16, 128: 8, 256: 4, 512: 2},
+			fullFrame:    95 * time.Millisecond,
+		}
+	case JetsonTX2:
+		return deviceParams{
+			baseLatency:  8 * time.Millisecond,
+			sizeExp:      0.88,
+			batchSlope:   0.08,
+			inflectSlope: 0.85,
+			batchLimits:  map[int]int{64: 8, 128: 4, 256: 2, 512: 1},
+			fullFrame:    240 * time.Millisecond,
+		}
+	default: // JetsonNano and anything unknown degrades to the weakest
+		return deviceParams{
+			baseLatency:  15 * time.Millisecond,
+			sizeExp:      0.92,
+			batchSlope:   0.12,
+			inflectSlope: 1.0,
+			batchLimits:  map[int]int{64: 4, 128: 2, 256: 1, 512: 1},
+			fullFrame:    470 * time.Millisecond,
+		}
+	}
+}
+
+// TrueBatchLatency returns the ground-truth execution latency of a batch
+// of n regions with side length size on the given device class. It is the
+// quantity the simulated GPU "hardware" charges; the Profiler below
+// estimates it with measurement noise, as offline profiling would.
+func TrueBatchLatency(class DeviceClass, size, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	p := paramsFor(class)
+	single := float64(p.baseLatency) * math.Pow(float64(size)/64.0, p.sizeExp)
+	limit := p.batchLimits[size]
+	if limit == 0 {
+		limit = 1
+	}
+	within := n
+	if within > limit {
+		within = limit
+	}
+	lat := single * (1 + p.batchSlope*float64(within-1))
+	if n > limit {
+		// Past the inflection point batching stops being nearly free.
+		lat += single * p.inflectSlope * float64(n-limit)
+	}
+	return time.Duration(lat)
+}
+
+// TrueFullFrameLatency returns the ground-truth full-frame inspection
+// latency for the device class.
+func TrueFullFrameLatency(class DeviceClass) time.Duration {
+	return paramsFor(class).fullFrame
+}
+
+// Profile is the offline-measured latency profile the scheduler consumes:
+// t_i^full, t_i^s, and B_i^s for every quantized target size.
+type Profile struct {
+	// Class is the device class the profile was measured on.
+	Class DeviceClass
+	// Sizes lists the quantized target sizes, ascending.
+	Sizes []int
+	// FullFrame is t_i^full, the full-frame inspection latency.
+	FullFrame time.Duration
+	// BatchLimit maps size -> B_i^s, the max regions per batch.
+	BatchLimit map[int]int
+	// BatchLatency maps size -> t_i^s, the latency of a batch executed at
+	// the batch limit (the paper's operating point).
+	BatchLatency map[int]time.Duration
+}
+
+// Validate checks internal consistency; a zero Profile is invalid.
+func (p *Profile) Validate() error {
+	if len(p.Sizes) == 0 {
+		return fmt.Errorf("profile: no sizes")
+	}
+	if p.FullFrame <= 0 {
+		return fmt.Errorf("profile: non-positive full-frame latency %v", p.FullFrame)
+	}
+	for i, s := range p.Sizes {
+		if i > 0 && s <= p.Sizes[i-1] {
+			return fmt.Errorf("profile: sizes not strictly ascending at %d", i)
+		}
+		if p.BatchLimit[s] <= 0 {
+			return fmt.Errorf("profile: size %d has batch limit %d", s, p.BatchLimit[s])
+		}
+		if p.BatchLatency[s] <= 0 {
+			return fmt.Errorf("profile: size %d has latency %v", s, p.BatchLatency[s])
+		}
+	}
+	return nil
+}
+
+// BatchLatencyFor returns t_i^s for a size, or an error for an unknown
+// size (a scheduling bug, since sizes come from the shared quantized set).
+func (p *Profile) BatchLatencyFor(size int) (time.Duration, error) {
+	lat, ok := p.BatchLatency[size]
+	if !ok {
+		return 0, fmt.Errorf("profile: no latency for size %d on %s", size, p.Class)
+	}
+	return lat, nil
+}
+
+// BatchLimitFor returns B_i^s for a size, or an error for an unknown size.
+func (p *Profile) BatchLimitFor(size int) (int, error) {
+	b, ok := p.BatchLimit[size]
+	if !ok {
+		return 0, fmt.Errorf("profile: no batch limit for size %d on %s", size, p.Class)
+	}
+	return b, nil
+}
+
+// Clone returns a deep copy, so callers can perturb profiles (e.g. for
+// heterogeneity sweeps) without aliasing.
+func (p *Profile) Clone() *Profile {
+	out := &Profile{
+		Class:        p.Class,
+		Sizes:        append([]int(nil), p.Sizes...),
+		FullFrame:    p.FullFrame,
+		BatchLimit:   make(map[int]int, len(p.BatchLimit)),
+		BatchLatency: make(map[int]time.Duration, len(p.BatchLatency)),
+	}
+	for k, v := range p.BatchLimit {
+		out.BatchLimit[k] = v
+	}
+	for k, v := range p.BatchLatency {
+		out.BatchLatency[k] = v
+	}
+	return out
+}
+
+// Profiler estimates a device's latency profile by repeated timed runs,
+// mirroring the paper's offline stage ("we profile the YOLO inference
+// time with 200 runs on each Jetson board").
+type Profiler struct {
+	// Runs is the number of timed executions per configuration
+	// (default 200).
+	Runs int
+	// NoiseFrac is the relative standard deviation of a single timing
+	// measurement (default 0.05).
+	NoiseFrac float64
+	// Seed makes the measurement noise reproducible.
+	Seed int64
+}
+
+// Measure produces the profile for a device class over the given sizes
+// (nil means the standard set {64, 128, 256, 512}).
+func (pr *Profiler) Measure(class DeviceClass, sizes []int) (*Profile, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 128, 256, 512}
+	}
+	runs := pr.Runs
+	if runs <= 0 {
+		runs = 200
+	}
+	noise := pr.NoiseFrac
+	if noise <= 0 {
+		noise = 0.05
+	}
+	rng := rand.New(rand.NewSource(pr.Seed*2654435761 + int64(class) + 1))
+
+	p := &Profile{
+		Class:        class,
+		Sizes:        append([]int(nil), sizes...),
+		BatchLimit:   make(map[int]int, len(sizes)),
+		BatchLatency: make(map[int]time.Duration, len(sizes)),
+	}
+	params := paramsFor(class)
+	p.FullFrame = measured(rng, TrueFullFrameLatency(class), runs, noise)
+	for _, s := range sizes {
+		limit := params.batchLimits[s]
+		if limit == 0 {
+			limit = 1
+		}
+		p.BatchLimit[s] = limit
+		p.BatchLatency[s] = measured(rng, TrueBatchLatency(class, s, limit), runs, noise)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("profile: measurement produced invalid profile: %w", err)
+	}
+	return p, nil
+}
+
+// measured simulates averaging n noisy timing measurements of a true
+// latency value.
+func measured(rng *rand.Rand, truth time.Duration, runs int, noise float64) time.Duration {
+	var sum float64
+	for i := 0; i < runs; i++ {
+		sum += float64(truth) * (1 + rng.NormFloat64()*noise)
+	}
+	mean := sum / float64(runs)
+	if mean < 1 {
+		mean = 1
+	}
+	return time.Duration(mean)
+}
+
+// Default returns the noiseless profile for a device class — the exact
+// ground-truth parameters, convenient for tests and deterministic
+// experiments.
+func Default(class DeviceClass) *Profile {
+	sizes := []int{64, 128, 256, 512}
+	p := &Profile{
+		Class:        class,
+		Sizes:        sizes,
+		FullFrame:    TrueFullFrameLatency(class),
+		BatchLimit:   make(map[int]int, len(sizes)),
+		BatchLatency: make(map[int]time.Duration, len(sizes)),
+	}
+	params := paramsFor(class)
+	for _, s := range sizes {
+		limit := params.batchLimits[s]
+		if limit == 0 {
+			limit = 1
+		}
+		p.BatchLimit[s] = limit
+		p.BatchLatency[s] = TrueBatchLatency(class, s, limit)
+	}
+	return p
+}

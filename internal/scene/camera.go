@@ -1,0 +1,213 @@
+// Package scene simulates the multi-camera world that stands in for the
+// AI City Challenge dataset: vehicles follow road paths through a
+// monitored area while statically mounted cameras with partially
+// overlapping fields of view project them to per-camera pixel bounding
+// boxes.
+//
+// The camera model is a full pinhole projection of 3D vehicle boxes (not
+// a planar map), so the pixel-space mapping of a bounding box between two
+// cameras is genuinely non-linear in the box coordinates — the property
+// that makes the paper's KNN association outperform homography (Fig. 11).
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"mvs/internal/geom"
+)
+
+// Dims is the physical size of an object in metres.
+type Dims struct {
+	// W is width (across the heading), L length (along it), H height.
+	W, L, H float64
+}
+
+// ObjectState is the ground truth for one object at one frame.
+type ObjectState struct {
+	// ID is a world-unique object identifier.
+	ID int
+	// Pos is the ground-plane position of the object's centre (metres).
+	Pos geom.Point
+	// Heading is the travel direction in radians.
+	Heading float64
+	// Speed is the current speed in metres/second.
+	Speed float64
+	// Dims is the physical bounding box.
+	Dims Dims
+}
+
+// Camera is a statically mounted pinhole camera observing the ground
+// plane.
+type Camera struct {
+	// Name labels the camera in experiment output.
+	Name string
+	// Pos is the ground position of the mount (metres).
+	Pos geom.Point
+	// Height is the mount height above ground (metres).
+	Height float64
+	// Yaw is the viewing direction in the ground plane (radians).
+	Yaw float64
+	// Pitch is the downward tilt (radians, positive = down).
+	Pitch float64
+	// Focal is the focal length in pixels.
+	Focal float64
+	// ImageW, ImageH are the image dimensions in pixels.
+	ImageW, ImageH float64
+	// MaxRange is the furthest ground distance (metres) at which objects
+	// are still visible; 0 means unlimited.
+	MaxRange float64
+	// MinPixelArea is the smallest projected box area still considered
+	// visible (objects smaller than this are below detector resolution).
+	MinPixelArea float64
+}
+
+// Validate checks the camera parameters.
+func (c *Camera) Validate() error {
+	if c.Height <= 0 {
+		return fmt.Errorf("scene: camera %q height %v must be positive", c.Name, c.Height)
+	}
+	if c.Pitch <= 0 || c.Pitch >= math.Pi/2 {
+		return fmt.Errorf("scene: camera %q pitch %v must be in (0, pi/2)", c.Name, c.Pitch)
+	}
+	if c.Focal <= 0 {
+		return fmt.Errorf("scene: camera %q focal %v must be positive", c.Name, c.Focal)
+	}
+	if c.ImageW <= 0 || c.ImageH <= 0 {
+		return fmt.Errorf("scene: camera %q image %vx%v must be positive", c.Name, c.ImageW, c.ImageH)
+	}
+	return nil
+}
+
+// Frame returns the camera's image rectangle in pixels.
+func (c *Camera) Frame() geom.Rect {
+	return geom.Rect{MinX: 0, MinY: 0, MaxX: c.ImageW, MaxY: c.ImageH}
+}
+
+// nearPlane is the minimum forward distance (metres) for a point to
+// project; anything closer is behind or degenerate.
+const nearPlane = 0.5
+
+// camCoords converts a world point at height z to (right, down, forward)
+// camera coordinates.
+func (c *Camera) camCoords(p geom.Point, z float64) (x, y, zc float64) {
+	d := p.Sub(c.Pos)
+	cosT, sinT := math.Cos(c.Yaw), math.Sin(c.Yaw)
+	forward := d.X*cosT + d.Y*sinT
+	lateral := -d.X*sinT + d.Y*cosT
+	cosP, sinP := math.Cos(c.Pitch), math.Sin(c.Pitch)
+	x = lateral
+	y = (c.Height-z)*cosP - forward*sinP
+	zc = forward*cosP + (c.Height-z)*sinP
+	return x, y, zc
+}
+
+// ProjectPoint projects a world point at height z to pixel coordinates.
+// The boolean is false when the point is behind the near plane.
+func (c *Camera) ProjectPoint(p geom.Point, z float64) (geom.Point, bool) {
+	x, y, zc := c.camCoords(p, z)
+	if zc < nearPlane {
+		return geom.Point{}, false
+	}
+	return geom.Point{
+		X: c.ImageW/2 + c.Focal*x/zc,
+		Y: c.ImageH/2 + c.Focal*y/zc,
+	}, true
+}
+
+// ProjectBox projects the 3D bounding box of an object state to its 2D
+// pixel bounding box, clipped to the image. The boolean reports
+// visibility: every corner in front of the camera, the ground centre
+// within range, and enough projected area inside the frame.
+func (c *Camera) ProjectBox(s ObjectState) (geom.Rect, bool) {
+	if c.MaxRange > 0 && s.Pos.Dist(c.Pos) > c.MaxRange {
+		return geom.Rect{}, false
+	}
+	cosH, sinH := math.Cos(s.Heading), math.Sin(s.Heading)
+	fwd := geom.Point{X: cosH, Y: sinH}
+	side := geom.Point{X: -sinH, Y: cosH}
+
+	box := geom.Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+	for _, df := range []float64{-s.Dims.L / 2, s.Dims.L / 2} {
+		for _, ds := range []float64{-s.Dims.W / 2, s.Dims.W / 2} {
+			corner := s.Pos.Add(fwd.Scale(df)).Add(side.Scale(ds))
+			for _, z := range []float64{0, s.Dims.H} {
+				px, ok := c.ProjectPoint(corner, z)
+				if !ok {
+					return geom.Rect{}, false
+				}
+				box.MinX = math.Min(box.MinX, px.X)
+				box.MinY = math.Min(box.MinY, px.Y)
+				box.MaxX = math.Max(box.MaxX, px.X)
+				box.MaxY = math.Max(box.MaxY, px.Y)
+			}
+		}
+	}
+	clipped := box.Clamp(c.Frame())
+	minArea := c.MinPixelArea
+	if minArea <= 0 {
+		minArea = 64 // ~8x8 px, below typical detector resolution
+	}
+	if clipped.Area() < minArea {
+		return geom.Rect{}, false
+	}
+	// Require the object centre to be within the frame: objects sliced in
+	// half at the border are not reliably trackable.
+	centre, ok := c.ProjectPoint(s.Pos, s.Dims.H/2)
+	if !ok || !c.Frame().Contains(centre) {
+		return geom.Rect{}, false
+	}
+	return clipped, true
+}
+
+// GroundFromPixel inverts the projection for ground-plane points: it
+// returns the world point whose z=0 projection is the given pixel. The
+// boolean is false for pixels on or above the horizon line, which never
+// meet the ground in front of the camera.
+//
+// Derivation: with normalized coordinates a = (u-cx)/f, b = (v-cy)/f and
+// ground points (z=0) at horizontal forward distance zf,
+//
+//	b = (h cosP − zf sinP) / (zf cosP + h sinP)
+//	=> zf = h (cosP − b sinP) / (b cosP + sinP)
+//
+// where ground pixels satisfy b cosP + sinP > 0 (below the horizon,
+// b → −tanP as zf → ∞).
+func (c *Camera) GroundFromPixel(px geom.Point) (geom.Point, bool) {
+	a := (px.X - c.ImageW/2) / c.Focal
+	b := (px.Y - c.ImageH/2) / c.Focal
+	cosP, sinP := math.Cos(c.Pitch), math.Sin(c.Pitch)
+	den := b*cosP + sinP
+	if den <= 1e-9 {
+		return geom.Point{}, false
+	}
+	forward := c.Height * (cosP - b*sinP) / den
+	if forward <= nearPlane {
+		return geom.Point{}, false
+	}
+	zc := forward*cosP + c.Height*sinP
+	if zc < nearPlane {
+		return geom.Point{}, false
+	}
+	lateral := a * zc
+	cosT, sinT := math.Cos(c.Yaw), math.Sin(c.Yaw)
+	fwdVec := geom.Point{X: cosT, Y: sinT}
+	sideVec := geom.Point{X: -sinT, Y: cosT}
+	return c.Pos.Add(fwdVec.Scale(forward)).Add(sideVec.Scale(lateral)), true
+}
+
+// SeesGround reports whether the camera would see a small reference
+// object (a 1.8x4.5x1.5 m car) centred at the given ground point. The
+// distributed-stage mask computation uses this to build per-cell coverage
+// sets.
+func (c *Camera) SeesGround(p geom.Point) bool {
+	_, ok := c.ProjectBox(ObjectState{
+		Pos:     p,
+		Heading: 0,
+		Dims:    Dims{W: 1.8, L: 4.5, H: 1.5},
+	})
+	return ok
+}

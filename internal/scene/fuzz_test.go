@@ -1,0 +1,44 @@
+package scene
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary JSON to the trace decoder: it must never
+// panic, and anything it accepts must round-trip through Save.
+func FuzzReadTrace(f *testing.F) {
+	trace, err := testWorld(1).Run(5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := trace.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(`{"fps_milli":10000,"cameras":[]}`)
+	f.Add(`{"fps_milli":-1}`)
+	f.Add(`garbage`)
+	f.Add(`{"fps_milli":10000,"cameras":[{"name":"x","height":5,"pitch":0.4,"focal":100,"image_w":10,"image_h":10}],"frames":[{"index":0,"per_camera":[[]]}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must re-serialize and re-parse losslessly.
+		var buf bytes.Buffer
+		if err := got.Save(&buf); err != nil {
+			t.Fatalf("accepted trace failed to save: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if len(again.Frames) != len(got.Frames) || len(again.Cameras) != len(got.Cameras) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

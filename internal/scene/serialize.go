@@ -1,0 +1,145 @@
+package scene
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mvs/internal/geom"
+)
+
+// The wire representation of a trace, decoupled from the runtime structs
+// so the on-disk format stays stable if internals evolve.
+
+type traceJSON struct {
+	FPS     int64        `json:"fps_milli"` // FPS x 1000, to avoid float drift
+	Cameras []cameraJSON `json:"cameras"`
+	Frames  []frameJSON  `json:"frames"`
+}
+
+type cameraJSON struct {
+	Name         string  `json:"name"`
+	PosX         float64 `json:"pos_x"`
+	PosY         float64 `json:"pos_y"`
+	Height       float64 `json:"height"`
+	Yaw          float64 `json:"yaw"`
+	Pitch        float64 `json:"pitch"`
+	Focal        float64 `json:"focal"`
+	ImageW       float64 `json:"image_w"`
+	ImageH       float64 `json:"image_h"`
+	MaxRange     float64 `json:"max_range,omitempty"`
+	MinPixelArea float64 `json:"min_pixel_area,omitempty"`
+}
+
+type frameJSON struct {
+	Index     int          `json:"index"`
+	Objects   []objectJSON `json:"objects,omitempty"`
+	PerCamera [][]obsJSON  `json:"per_camera"`
+}
+
+type objectJSON struct {
+	ID      int     `json:"id"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Heading float64 `json:"heading"`
+	Speed   float64 `json:"speed"`
+	W       float64 `json:"w"`
+	L       float64 `json:"l"`
+	H       float64 `json:"h"`
+}
+
+type obsJSON struct {
+	ID  int        `json:"id"`
+	Box [4]float64 `json:"box"`
+}
+
+// Save serializes the trace as JSON, so a generated workload can be
+// archived and replayed (e.g. shipped to camera nodes instead of
+// regenerating from a seed).
+func (t *Trace) Save(w io.Writer) error {
+	out := traceJSON{FPS: int64(t.FPS * 1000)}
+	for _, c := range t.Cameras {
+		out.Cameras = append(out.Cameras, cameraJSON{
+			Name: c.Name, PosX: c.Pos.X, PosY: c.Pos.Y,
+			Height: c.Height, Yaw: c.Yaw, Pitch: c.Pitch, Focal: c.Focal,
+			ImageW: c.ImageW, ImageH: c.ImageH,
+			MaxRange: c.MaxRange, MinPixelArea: c.MinPixelArea,
+		})
+	}
+	for fi := range t.Frames {
+		f := &t.Frames[fi]
+		jf := frameJSON{Index: f.Index, PerCamera: make([][]obsJSON, len(f.PerCamera))}
+		for _, o := range f.Objects {
+			jf.Objects = append(jf.Objects, objectJSON{
+				ID: o.ID, X: o.Pos.X, Y: o.Pos.Y, Heading: o.Heading,
+				Speed: o.Speed, W: o.Dims.W, L: o.Dims.L, H: o.Dims.H,
+			})
+		}
+		for ci, obs := range f.PerCamera {
+			for _, o := range obs {
+				jf.PerCamera[ci] = append(jf.PerCamera[ci], obsJSON{
+					ID:  o.ObjectID,
+					Box: [4]float64{o.Box.MinX, o.Box.MinY, o.Box.MaxX, o.Box.MaxY},
+				})
+			}
+		}
+		out.Frames = append(out.Frames, jf)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("scene: encode trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace deserializes a trace written by Save.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var in traceJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("scene: decode trace: %w", err)
+	}
+	if in.FPS <= 0 {
+		return nil, fmt.Errorf("scene: trace has non-positive fps")
+	}
+	if len(in.Cameras) == 0 {
+		return nil, fmt.Errorf("scene: trace has no cameras")
+	}
+	t := &Trace{FPS: float64(in.FPS) / 1000}
+	for _, c := range in.Cameras {
+		cam := &Camera{
+			Name: c.Name, Pos: geom.Point{X: c.PosX, Y: c.PosY},
+			Height: c.Height, Yaw: c.Yaw, Pitch: c.Pitch, Focal: c.Focal,
+			ImageW: c.ImageW, ImageH: c.ImageH,
+			MaxRange: c.MaxRange, MinPixelArea: c.MinPixelArea,
+		}
+		if err := cam.Validate(); err != nil {
+			return nil, err
+		}
+		t.Cameras = append(t.Cameras, cam)
+	}
+	for _, jf := range in.Frames {
+		if len(jf.PerCamera) != len(t.Cameras) {
+			return nil, fmt.Errorf("scene: frame %d has %d camera lists, want %d",
+				jf.Index, len(jf.PerCamera), len(t.Cameras))
+		}
+		f := FrameTruth{Index: jf.Index, PerCamera: make([][]Observation, len(t.Cameras))}
+		for _, o := range jf.Objects {
+			f.Objects = append(f.Objects, ObjectState{
+				ID: o.ID, Pos: geom.Point{X: o.X, Y: o.Y},
+				Heading: o.Heading, Speed: o.Speed,
+				Dims: Dims{W: o.W, L: o.L, H: o.H},
+			})
+		}
+		for ci, obs := range jf.PerCamera {
+			for _, o := range obs {
+				f.PerCamera[ci] = append(f.PerCamera[ci], Observation{
+					ObjectID: o.ID,
+					Box:      geom.Rect{MinX: o.Box[0], MinY: o.Box[1], MaxX: o.Box[2], MaxY: o.Box[3]},
+				})
+			}
+		}
+		t.Frames = append(t.Frames, f)
+	}
+	return t, nil
+}

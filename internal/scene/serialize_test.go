@@ -1,0 +1,105 @@
+package scene
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	trace, err := testWorld(4).Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FPS != trace.FPS {
+		t.Fatalf("fps = %v want %v", back.FPS, trace.FPS)
+	}
+	if len(back.Cameras) != len(trace.Cameras) {
+		t.Fatalf("cameras = %d", len(back.Cameras))
+	}
+	for i, c := range back.Cameras {
+		o := trace.Cameras[i]
+		if c.Name != o.Name || c.Pos != o.Pos || c.Focal != o.Focal ||
+			c.Height != o.Height || c.Yaw != o.Yaw || c.Pitch != o.Pitch ||
+			c.ImageW != o.ImageW || c.MaxRange != o.MaxRange {
+			t.Fatalf("camera %d differs: %+v vs %+v", i, c, o)
+		}
+	}
+	if len(back.Frames) != len(trace.Frames) {
+		t.Fatalf("frames = %d", len(back.Frames))
+	}
+	for fi := range trace.Frames {
+		a, b := &trace.Frames[fi], &back.Frames[fi]
+		if a.Index != b.Index || len(a.Objects) != len(b.Objects) {
+			t.Fatalf("frame %d metadata differs", fi)
+		}
+		for oi := range a.Objects {
+			if a.Objects[oi] != b.Objects[oi] {
+				t.Fatalf("frame %d object %d differs: %+v vs %+v",
+					fi, oi, a.Objects[oi], b.Objects[oi])
+			}
+		}
+		for ci := range a.PerCamera {
+			if len(a.PerCamera[ci]) != len(b.PerCamera[ci]) {
+				t.Fatalf("frame %d camera %d obs count differs", fi, ci)
+			}
+			for oi := range a.PerCamera[ci] {
+				if a.PerCamera[ci][oi] != b.PerCamera[ci][oi] {
+					t.Fatalf("frame %d camera %d obs %d differs", fi, ci, oi)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceRoundTripPreservesProjection(t *testing.T) {
+	// A replayed trace's cameras must still project/unproject: the
+	// GroundFromPixel path is needed for masks.
+	trace, err := testWorld(5).Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := back.Cameras[0]
+	if err := cam.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"fps_milli":0,"cameras":[]}`)); err == nil {
+		t.Fatal("zero fps accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"fps_milli":10000,"cameras":[]}`)); err == nil {
+		t.Fatal("no cameras accepted")
+	}
+	// A camera that fails validation.
+	bad := `{"fps_milli":10000,"cameras":[{"name":"x","height":0,"pitch":0.4,"focal":100,"image_w":10,"image_h":10}]}`
+	if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid camera accepted")
+	}
+	// Frame with wrong camera-list count.
+	mismatch := `{"fps_milli":10000,"cameras":[{"name":"x","height":5,"pitch":0.4,"focal":100,"image_w":10,"image_h":10}],` +
+		`"frames":[{"index":0,"per_camera":[[],[]]}]}`
+	if _, err := ReadTrace(strings.NewReader(mismatch)); err == nil {
+		t.Fatal("camera-count mismatch accepted")
+	}
+}

@@ -1,0 +1,456 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mvs/internal/geom"
+)
+
+// Path is a polyline route through the world, parameterized by arc
+// length.
+type Path struct {
+	waypoints []geom.Point
+	cumLen    []float64
+}
+
+// NewPath builds a path from at least two waypoints.
+func NewPath(waypoints ...geom.Point) (*Path, error) {
+	if len(waypoints) < 2 {
+		return nil, fmt.Errorf("scene: path needs >= 2 waypoints, got %d", len(waypoints))
+	}
+	p := &Path{waypoints: waypoints, cumLen: make([]float64, len(waypoints))}
+	for i := 1; i < len(waypoints); i++ {
+		seg := waypoints[i].Dist(waypoints[i-1])
+		if seg <= 0 {
+			return nil, fmt.Errorf("scene: path has zero-length segment at %d", i)
+		}
+		p.cumLen[i] = p.cumLen[i-1] + seg
+	}
+	return p, nil
+}
+
+// MustPath is NewPath that panics on error, for static scenario tables.
+func MustPath(waypoints ...geom.Point) *Path {
+	p, err := NewPath(waypoints...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Length returns the total path length in metres.
+func (p *Path) Length() float64 { return p.cumLen[len(p.cumLen)-1] }
+
+// PosAt returns the position and heading at the given arc length. The
+// boolean is false when dist is beyond the end of the path (the object
+// has left the world).
+func (p *Path) PosAt(dist float64) (geom.Point, float64, bool) {
+	if dist < 0 || dist > p.Length() {
+		return geom.Point{}, 0, false
+	}
+	// Find the segment containing dist.
+	seg := 1
+	for seg < len(p.cumLen)-1 && p.cumLen[seg] < dist {
+		seg++
+	}
+	a, b := p.waypoints[seg-1], p.waypoints[seg]
+	segStart := p.cumLen[seg-1]
+	segLen := p.cumLen[seg] - segStart
+	t := (dist - segStart) / segLen
+	pos := a.Lerp(b, t)
+	heading := math.Atan2(b.Y-a.Y, b.X-a.X)
+	return pos, heading, true
+}
+
+// ArrivalProcess decides how many new objects enter a route at each
+// frame.
+type ArrivalProcess interface {
+	// Arrivals returns the number of objects spawning at the given frame
+	// index. fps converts frames to seconds; rng provides determinism.
+	Arrivals(frame int, fps float64, rng *rand.Rand) int
+}
+
+// Poisson is a memoryless arrival process with a constant rate, used for
+// the sparse residential scenario (S2).
+type Poisson struct {
+	// RatePerSec is the expected arrivals per second.
+	RatePerSec float64
+}
+
+// Arrivals implements ArrivalProcess by Knuth's Poisson sampling with
+// mean RatePerSec/fps.
+func (p Poisson) Arrivals(_ int, fps float64, rng *rand.Rand) int {
+	return samplePoisson(p.RatePerSec/fps, rng)
+}
+
+// TrafficLight gates a Poisson process with a periodic green phase,
+// producing the platooned, periodic workload of a signalized intersection
+// (S1): "regular traffic patterns are observed caused by the traffic
+// lights".
+type TrafficLight struct {
+	// RatePerSec is the arrival rate during green.
+	RatePerSec float64
+	// PeriodSec is the full light cycle length in seconds.
+	PeriodSec float64
+	// GreenStartSec is when the green phase begins within the cycle.
+	GreenStartSec float64
+	// GreenDurSec is the green phase duration.
+	GreenDurSec float64
+}
+
+// Arrivals implements ArrivalProcess.
+func (t TrafficLight) Arrivals(frame int, fps float64, rng *rand.Rand) int {
+	sec := math.Mod(float64(frame)/fps, t.PeriodSec)
+	phase := sec - t.GreenStartSec
+	if phase < 0 {
+		phase += t.PeriodSec
+	}
+	if phase >= t.GreenDurSec {
+		return 0
+	}
+	return samplePoisson(t.RatePerSec/fps, rng)
+}
+
+// Burst spawns a fixed number of objects at one specific frame — useful
+// for tests and for stressing the distributed stage with synchronized
+// arrivals.
+type Burst struct {
+	// Frame is the spawn frame index.
+	Frame int
+	// Count is how many objects appear.
+	Count int
+}
+
+// Arrivals implements ArrivalProcess.
+func (b Burst) Arrivals(frame int, _ float64, _ *rand.Rand) int {
+	if frame == b.Frame {
+		return b.Count
+	}
+	return 0
+}
+
+func samplePoisson(mean float64, rng *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's algorithm; mean is << 1 per frame in all our workloads.
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Route is a path plus its traffic: objects spawn per the arrival process
+// and travel the path at a per-object randomized speed.
+type Route struct {
+	// Path is the route geometry.
+	Path *Path
+	// Speed is the nominal travel speed (m/s).
+	Speed float64
+	// SpeedJitter is the relative std-dev of per-object speed (default
+	// 0.1).
+	SpeedJitter float64
+	// Arrivals drives object spawning.
+	Arrivals ArrivalProcess
+	// HeadwayMin is the minimum spawn gap in metres to the previous
+	// vehicle on the route (default 6).
+	HeadwayMin float64
+}
+
+// vehicleTypes are the sampled physical classes (car, SUV, truck) with
+// rough AIC21-like proportions.
+var vehicleTypes = []struct {
+	dims   Dims
+	weight float64
+}{
+	{Dims{W: 1.8, L: 4.5, H: 1.5}, 0.65}, // car
+	{Dims{W: 2.0, L: 5.0, H: 1.9}, 0.25}, // SUV / van
+	{Dims{W: 2.5, L: 8.0, H: 3.2}, 0.10}, // truck / bus
+}
+
+func sampleDims(rng *rand.Rand) Dims {
+	r := rng.Float64()
+	for _, vt := range vehicleTypes {
+		if r < vt.weight {
+			d := vt.dims
+			j := 1 + rng.NormFloat64()*0.05
+			return Dims{W: d.W * j, L: d.L * j, H: d.H * j}
+		}
+		r -= vt.weight
+	}
+	return vehicleTypes[0].dims
+}
+
+// World is the full simulated deployment: routes, cameras, and timing.
+type World struct {
+	// Routes carry the traffic.
+	Routes []Route
+	// Cameras observe the scene.
+	Cameras []*Camera
+	// FPS is the camera sampling rate (the paper uses 10).
+	FPS float64
+	// Seed drives all stochastic choices.
+	Seed int64
+	// OcclusionFrac enables dynamic occlusions: an object whose projected
+	// box is covered at least this fraction by a closer object's box is
+	// invisible to that camera. 0 disables occlusion (the default); the
+	// paper's §V "dynamic occlusion" experiments use ~0.6.
+	OcclusionFrac float64
+}
+
+// Validate checks the world configuration.
+func (w *World) Validate() error {
+	if len(w.Routes) == 0 {
+		return fmt.Errorf("scene: world has no routes")
+	}
+	if len(w.Cameras) == 0 {
+		return fmt.Errorf("scene: world has no cameras")
+	}
+	if w.FPS <= 0 {
+		return fmt.Errorf("scene: fps %v must be positive", w.FPS)
+	}
+	for i, r := range w.Routes {
+		if r.Path == nil {
+			return fmt.Errorf("scene: route %d has nil path", i)
+		}
+		if r.Speed <= 0 {
+			return fmt.Errorf("scene: route %d speed %v must be positive", i, r.Speed)
+		}
+		if r.Arrivals == nil {
+			return fmt.Errorf("scene: route %d has nil arrival process", i)
+		}
+	}
+	for _, c := range w.Cameras {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Observation is one camera's view of one object at one frame.
+type Observation struct {
+	// ObjectID is the world-unique object identity (ground truth; the
+	// analytics pipeline must not use it for matching, only for scoring).
+	ObjectID int
+	// Box is the projected pixel bounding box.
+	Box geom.Rect
+}
+
+// FrameTruth is the full ground truth for a single frame.
+type FrameTruth struct {
+	// Index is the frame number.
+	Index int
+	// Objects are all live objects, whether or not any camera sees them.
+	Objects []ObjectState
+	// PerCamera has, for each camera (same order as World.Cameras), the
+	// objects visible to it with their pixel boxes.
+	PerCamera [][]Observation
+}
+
+// VisibleObjectIDs returns the set of objects visible to at least one
+// camera this frame — the denominator of the paper's object recall.
+func (f *FrameTruth) VisibleObjectIDs() map[int]bool {
+	out := make(map[int]bool)
+	for _, obs := range f.PerCamera {
+		for _, o := range obs {
+			out[o.ObjectID] = true
+		}
+	}
+	return out
+}
+
+// Trace is a completed simulation: per-frame ground truth plus the camera
+// roster that produced it.
+type Trace struct {
+	// FPS is the frame rate the trace was generated at.
+	FPS float64
+	// Cameras are the world's cameras, for projection bookkeeping.
+	Cameras []*Camera
+	// Frames are the per-frame ground truths, in order.
+	Frames []FrameTruth
+}
+
+// vehicle is the internal per-object simulation state.
+type vehicle struct {
+	id         int
+	route      int
+	spawnFrame int
+	speed      float64
+	dims       Dims
+	offset     float64 // initial arc-length offset (headway stacking)
+}
+
+// Run simulates numFrames frames and returns the trace. It is
+// deterministic for a fixed (world, numFrames) pair.
+func (w *World) Run(numFrames int) (*Trace, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if numFrames <= 0 {
+		return nil, fmt.Errorf("scene: numFrames %d must be positive", numFrames)
+	}
+	rng := rand.New(rand.NewSource(w.Seed*6364136223846793005 + 1442695040888963407))
+
+	trace := &Trace{FPS: w.FPS, Cameras: w.Cameras, Frames: make([]FrameTruth, 0, numFrames)}
+	var live []*vehicle
+	nextID := 1
+	// lastSpawnDist tracks per-route the most recent spawn's current
+	// distance, to enforce headway.
+	for frame := 0; frame < numFrames; frame++ {
+		// Spawns.
+		for ri := range w.Routes {
+			r := &w.Routes[ri]
+			n := r.Arrivals.Arrivals(frame, w.FPS, rng)
+			for k := 0; k < n; k++ {
+				jitter := r.SpeedJitter
+				if jitter <= 0 {
+					jitter = 0.1
+				}
+				speed := r.Speed * (1 + rng.NormFloat64()*jitter)
+				if speed < r.Speed*0.3 {
+					speed = r.Speed * 0.3
+				}
+				headway := r.HeadwayMin
+				if headway <= 0 {
+					headway = 6
+				}
+				v := &vehicle{
+					id:         nextID,
+					route:      ri,
+					spawnFrame: frame,
+					speed:      speed,
+					dims:       sampleDims(rng),
+				}
+				// Enforce headway: if another vehicle on this route is
+				// still near the route start, hold this one back by
+				// spawning it with a negative offset (it enters later).
+				for _, u := range live {
+					if u.route != ri {
+						continue
+					}
+					ud := u.distAt(frame, w.FPS)
+					if ud-v.offset < headway {
+						v.offset = ud - headway
+					}
+				}
+				nextID++
+				live = append(live, v)
+			}
+		}
+
+		// Advance and collect states.
+		ft := FrameTruth{Index: frame}
+		survivors := live[:0]
+		for _, v := range live {
+			d := v.distAt(frame, w.FPS)
+			if d < 0 {
+				// Held back by headway; not yet in the world.
+				survivors = append(survivors, v)
+				continue
+			}
+			pos, heading, ok := w.Routes[v.route].Path.PosAt(d)
+			if !ok {
+				continue // left the world
+			}
+			survivors = append(survivors, v)
+			ft.Objects = append(ft.Objects, ObjectState{
+				ID:      v.id,
+				Pos:     pos,
+				Heading: heading,
+				Speed:   v.speed,
+				Dims:    v.dims,
+			})
+		}
+		live = survivors
+
+		// Project per camera, applying occlusion if modelled.
+		ft.PerCamera = make([][]Observation, len(w.Cameras))
+		for ci, cam := range w.Cameras {
+			type proj struct {
+				obs  Observation
+				dist float64
+			}
+			var projs []proj
+			for _, s := range ft.Objects {
+				if box, ok := cam.ProjectBox(s); ok {
+					projs = append(projs, proj{
+						obs:  Observation{ObjectID: s.ID, Box: box},
+						dist: s.Pos.Dist(cam.Pos),
+					})
+				}
+			}
+			if w.OcclusionFrac > 0 {
+				// Nearer objects can hide farther ones: an object is
+				// dropped when a strictly closer box covers enough of it.
+				for i := 0; i < len(projs); i++ {
+					a := &projs[i]
+					hidden := false
+					for j := range projs {
+						b := &projs[j]
+						if i == j || b.dist >= a.dist {
+							continue
+						}
+						area := a.obs.Box.Area()
+						if area <= 0 {
+							continue
+						}
+						if a.obs.Box.Intersect(b.obs.Box).Area()/area >= w.OcclusionFrac {
+							hidden = true
+							break
+						}
+					}
+					if !hidden {
+						ft.PerCamera[ci] = append(ft.PerCamera[ci], a.obs)
+					}
+				}
+			} else {
+				for _, p := range projs {
+					ft.PerCamera[ci] = append(ft.PerCamera[ci], p.obs)
+				}
+			}
+		}
+		trace.Frames = append(trace.Frames, ft)
+	}
+	return trace, nil
+}
+
+// distAt returns the vehicle's arc-length position at the given frame.
+func (v *vehicle) distAt(frame int, fps float64) float64 {
+	return v.offset + v.speed*float64(frame-v.spawnFrame)/fps
+}
+
+// SplitTrain splits the trace into train/test halves, following the
+// paper's protocol ("we use half length of the video to train the
+// cross-camera object association model ... and use the remaining half
+// for testing").
+func (t *Trace) SplitTrain() (train, test *Trace) {
+	mid := len(t.Frames) / 2
+	train = &Trace{FPS: t.FPS, Cameras: t.Cameras, Frames: t.Frames[:mid]}
+	test = &Trace{FPS: t.FPS, Cameras: t.Cameras, Frames: t.Frames[mid:]}
+	return train, test
+}
+
+// ObjectCounts returns, per camera, the time series of visible-object
+// counts sampled every sampleEvery frames — the data behind the paper's
+// Fig. 2.
+func (t *Trace) ObjectCounts(sampleEvery int) [][]int {
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	out := make([][]int, len(t.Cameras))
+	for fi := 0; fi < len(t.Frames); fi += sampleEvery {
+		for ci := range t.Cameras {
+			out[ci] = append(out[ci], len(t.Frames[fi].PerCamera[ci]))
+		}
+	}
+	return out
+}
