@@ -9,6 +9,7 @@ package mvs
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -360,14 +361,30 @@ func BenchmarkCrossCameraAssociation(b *testing.B) {
 	}
 }
 
+var (
+	s4Once  sync.Once
+	setupS4 *experiments.Setup
+	s4Err   error
+)
+
+// benchS4 caches the 8-camera S4 setup shared by the scale and
+// parallelism benchmarks.
+func benchS4(b *testing.B) *experiments.Setup {
+	b.Helper()
+	s4Once.Do(func() {
+		setupS4, s4Err = experiments.Prepare("S4", 42, 400)
+	})
+	if s4Err != nil {
+		b.Fatal(s4Err)
+	}
+	return setupS4
+}
+
 // BenchmarkScaleS4EightCameras runs the full BALB pipeline on the
 // 8-camera S4 scale scenario and reports recall and speedup — evidence
 // the framework holds up beyond the paper's 5-camera testbed.
 func BenchmarkScaleS4EightCameras(b *testing.B) {
-	setup, err := experiments.Prepare("S4", 42, 400)
-	if err != nil {
-		b.Fatal(err)
-	}
+	setup := benchS4(b)
 	var recall, speedup float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -386,6 +403,69 @@ func BenchmarkScaleS4EightCameras(b *testing.B) {
 	}
 	b.ReportMetric(recall, "recall")
 	b.ReportMetric(speedup, "speedup-x")
+}
+
+// --- Parallel-execution benches (docs/CONCURRENCY.md) ---
+
+// workerCounts returns the deduplicated, ordered worker bounds worth
+// benchmarking for a scenario with cams cameras: sequential, the
+// hardware width, and one worker per camera.
+func workerCounts(cams int) []int {
+	candidates := []int{1, runtime.GOMAXPROCS(0), cams}
+	var out []int
+	for _, c := range candidates {
+		dup := false
+		for _, o := range out {
+			if o == c {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenchmarkPipelineWorkers compares sequential (workers-1) against
+// fanned-out BALB pipeline runs on every scenario, S1 through the
+// 8-camera S4. The modelled results are identical across sub-benches
+// (the determinism contract); only wall-clock time may differ, and only
+// on multi-core hosts — EXPERIMENTS.md records measured speedups.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	s1, s2, s3 := benchSetups(b)
+	scenarios := []struct {
+		name string
+		s    *experiments.Setup
+	}{{"S1", s1}, {"S2", s2}, {"S3", s3}, {"S4", benchS4(b)}}
+	for _, sc := range scenarios {
+		for _, w := range workerCounts(len(sc.s.Test.Cameras)) {
+			b.Run(fmt.Sprintf("%s/workers-%d", sc.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := pipeline.Run(sc.s.Test, sc.s.Scenario.Profiles(), sc.s.Model,
+						pipeline.Options{Mode: pipeline.BALB, Seed: 42, Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRunModesWorkers compares the sequential experiment harness
+// (all five scheduling modes back to back) against the concurrent
+// fan-out on the S1 setup.
+func BenchmarkRunModesWorkers(b *testing.B) {
+	s1, _, _ := benchSetups(b)
+	for _, w := range workerCounts(len(experiments.Modes())) {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunModesWorkers(s1, 10, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCentralStageScaling measures how the central stage scales

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	mvexp [-exp all|fig2|table1|fig10|fig11|fig12|fig13|fig14|table2]
-//	      [-scenario S1|S2|S3|all] [-frames N] [-seed N]
+//	      [-scenario S1|S2|S3|all] [-frames N] [-seed N] [-workers N]
+//
+// -workers bounds the concurrency of independent experiment points
+// (modes, sweep points) and the per-camera fan-out inside each pipeline
+// run (0 = GOMAXPROCS, 1 = fully sequential). Results are identical for
+// every value (see docs/CONCURRENCY.md).
 //
 // Output is plain text, one table per experiment, with the paper's
 // qualitative expectations noted next to each.
@@ -30,6 +35,7 @@ func main() {
 		scenario = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
 		frames   = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
 		seed     = flag.Int64("seed", 42, "simulation seed")
+		workers  = flag.Int("workers", 0, "experiment/camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	)
 	flag.Parse()
@@ -41,7 +47,7 @@ func main() {
 		}
 		csvOut = *csvDir
 	}
-	if err := run(*exp, *scenario, *frames, *seed); err != nil {
+	if err := run(*exp, *scenario, *frames, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mvexp:", err)
 		os.Exit(1)
 	}
@@ -58,7 +64,7 @@ func scenarioNames(scenario string) ([]string, error) {
 	}
 }
 
-func run(exp, scenario string, frames int, seed int64) error {
+func run(exp, scenario string, frames int, seed int64, workers int) error {
 	names, err := scenarioNames(scenario)
 	if err != nil {
 		return err
@@ -79,7 +85,7 @@ func run(exp, scenario string, frames int, seed int64) error {
 	// they only run when asked for explicitly.
 	if exp == "sweep" {
 		for _, name := range names {
-			if err := printArrivalSweep(name, seed, frames); err != nil {
+			if err := printArrivalSweep(name, seed, frames, workers); err != nil {
 				return err
 			}
 		}
@@ -140,7 +146,7 @@ func run(exp, scenario string, frames int, seed int64) error {
 			}
 		}
 		if want("fig12") || want("fig13") || want("table2") {
-			reports, err := experiments.RunModes(s, 10)
+			reports, err := experiments.RunModesWorkers(s, 10, workers)
 			if err != nil {
 				return err
 			}
@@ -155,7 +161,7 @@ func run(exp, scenario string, frames int, seed int64) error {
 			}
 		}
 		if want("fig14") && name == "S1" {
-			if err := printFig14(s); err != nil {
+			if err := printFig14(s, workers); err != nil {
 				return err
 			}
 		}
@@ -302,9 +308,9 @@ func printFig13(s *experiments.Setup, reports map[pipeline.Mode]*pipeline.Report
 	fmt.Println("expected shape: BALB fastest; speedup largest in S1/S2, smallest in S3; BALB beats SP")
 }
 
-func printFig14(s *experiments.Setup) error {
+func printFig14(s *experiments.Setup, workers int) error {
 	header("Fig 14 (S1): scheduling-horizon length sweep (BALB)")
-	points, err := experiments.Fig14(s, nil)
+	points, err := experiments.Fig14Workers(s, nil, workers)
 	if err != nil {
 		return err
 	}
@@ -323,9 +329,9 @@ func printFig14(s *experiments.Setup) error {
 	return nil
 }
 
-func printArrivalSweep(name string, seed int64, frames int) error {
+func printArrivalSweep(name string, seed int64, frames, workers int) error {
 	header(fmt.Sprintf("Arrival-rate sweep (%s): distributed-stage contribution vs churn", name))
-	points, err := experiments.ArrivalSweep(name, seed, frames, nil)
+	points, err := experiments.ArrivalSweepWorkers(name, seed, frames, nil, workers)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,11 @@
 // Usage:
 //
 //	mvsim [-scenario S1|S2|S3] [-mode full|ind|cen|balb|sp]
-//	      [-frames N] [-horizon T] [-seed N]
+//	      [-frames N] [-horizon T] [-seed N] [-workers N]
+//
+// -workers bounds the per-camera parallelism inside the pipeline
+// (0 = GOMAXPROCS, 1 = sequential); results are identical for every
+// value (see docs/CONCURRENCY.md).
 package main
 
 import (
@@ -42,6 +46,7 @@ func main() {
 		frames    = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
 		horizon   = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
+		workers   = flag.Int("workers", 0, "per-camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
 		saveTrace = flag.String("save-trace", "", "write the generated trace as JSON and exit")
 	)
 	flag.Parse()
@@ -53,7 +58,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scenario, *modeName, *frames, *horizon, *seed); err != nil {
+	if err := run(*scenario, *modeName, *frames, *horizon, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mvsim:", err)
 		os.Exit(1)
 	}
@@ -83,7 +88,7 @@ func dumpTrace(scenario string, frames int, seed int64, path string) error {
 	return f.Close()
 }
 
-func run(scenario, modeName string, frames, horizon int, seed int64) error {
+func run(scenario, modeName string, frames, horizon int, seed int64, workers int) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
@@ -94,7 +99,7 @@ func run(scenario, modeName string, frames, horizon int, seed int64) error {
 		return err
 	}
 	rep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, pipeline.Options{
-		Mode: mode, Horizon: horizon, Seed: seed,
+		Mode: mode, Horizon: horizon, Seed: seed, Workers: workers,
 	})
 	if err != nil {
 		return err
@@ -116,7 +121,7 @@ func run(scenario, modeName string, frames, horizon int, seed int64) error {
 
 	if mode != pipeline.Full {
 		fullRep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, pipeline.Options{
-			Mode: pipeline.Full, Horizon: horizon, Seed: seed,
+			Mode: pipeline.Full, Horizon: horizon, Seed: seed, Workers: workers,
 		})
 		if err != nil {
 			return err

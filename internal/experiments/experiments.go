@@ -4,7 +4,22 @@
 // mvexp command and the repository benchmarks so that both always report
 // the same quantities.
 //
-// Experiment index (see DESIGN.md for the full mapping):
+// # Execution model
+//
+// A prepared Setup is read-only, so independent experiment points —
+// the five scheduling modes of RunModes, the horizon points of Fig14,
+// the rate-scale points of ArrivalSweep — run concurrently on the
+// shared internal/pool worker pool. Every experiment takes a workers
+// knob (0 = GOMAXPROCS, 1 = fully sequential) that bounds both the
+// outer point-level fan-out and, via pipeline.Options.Workers, the
+// per-camera fan-out inside each pipeline run. Results are assembled
+// positionally, and the pipeline's determinism contract
+// (docs/CONCURRENCY.md) guarantees the numbers are identical for every
+// workers value.
+//
+// # Experiment index
+//
+// See DESIGN.md for the full mapping:
 //
 //	Fig2    — temporal variation of per-camera object workload
 //	TableI  — hardware configuration per scenario
@@ -24,6 +39,7 @@ import (
 	"mvs/internal/assoc"
 	"mvs/internal/ml"
 	"mvs/internal/pipeline"
+	"mvs/internal/pool"
 	"mvs/internal/profile"
 	"mvs/internal/scene"
 	"mvs/internal/workload"
@@ -262,17 +278,35 @@ func Modes() []pipeline.Mode {
 
 // RunModes executes the pipeline once per scheduling algorithm and
 // returns the reports keyed by mode. Figs. 12 and 13 and Table II all
-// read from these.
+// read from these. The modes run concurrently with default (GOMAXPROCS)
+// parallelism; use RunModesWorkers to control the fan-out.
 func RunModes(s *Setup, horizon int) (map[pipeline.Mode]*pipeline.Report, error) {
-	out := make(map[pipeline.Mode]*pipeline.Report, 5)
-	for _, mode := range Modes() {
+	return RunModesWorkers(s, horizon, 0)
+}
+
+// RunModesWorkers is RunModes with an explicit workers bound: the five
+// modes run on at most workers goroutines, and each pipeline run reuses
+// the same bound for its per-camera fan-out. workers=1 reproduces the
+// fully sequential harness.
+func RunModesWorkers(s *Setup, horizon, workers int) (map[pipeline.Mode]*pipeline.Report, error) {
+	modes := Modes()
+	reports := make([]*pipeline.Report, len(modes))
+	err := pool.Do(workers, len(modes), func(i int) error {
 		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: mode, Horizon: horizon, Seed: s.Seed,
+			Mode: modes[i], Horizon: horizon, Seed: s.Seed, Workers: workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: mode %v: %w", mode, err)
+			return fmt.Errorf("experiments: mode %v: %w", modes[i], err)
 		}
-		out[mode] = rep
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[pipeline.Mode]*pipeline.Report, len(modes))
+	for i, mode := range modes {
+		out[mode] = reports[i]
 	}
 	return out, nil
 }
@@ -293,29 +327,41 @@ type HorizonPoint struct {
 
 // Fig14 sweeps the scheduling-horizon length for the full BALB algorithm
 // (and the central-only ablation). horizons nil defaults to the
-// paper-style sweep {2, 5, 10, 20, 30, 50}.
+// paper-style sweep {2, 5, 10, 20, 30, 50}. Points run concurrently
+// with default parallelism; use Fig14Workers to control the fan-out.
 func Fig14(s *Setup, horizons []int) ([]HorizonPoint, error) {
+	return Fig14Workers(s, horizons, 0)
+}
+
+// Fig14Workers is Fig14 with an explicit workers bound over the sweep
+// points (and, through it, the per-camera fan-out of each run).
+func Fig14Workers(s *Setup, horizons []int, workers int) ([]HorizonPoint, error) {
 	if len(horizons) == 0 {
 		horizons = []int{2, 5, 10, 20, 30, 50}
 	}
-	out := make([]HorizonPoint, 0, len(horizons))
-	for _, h := range horizons {
+	out := make([]HorizonPoint, len(horizons))
+	err := pool.Do(workers, len(horizons), func(i int) error {
+		h := horizons[i]
 		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: pipeline.BALB, Horizon: h, Seed: s.Seed,
+			Mode: pipeline.BALB, Horizon: h, Seed: s.Seed, Workers: workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: horizon %d: %w", h, err)
+			return fmt.Errorf("experiments: horizon %d: %w", h, err)
 		}
 		cen, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: pipeline.CentralOnly, Horizon: h, Seed: s.Seed,
+			Mode: pipeline.CentralOnly, Horizon: h, Seed: s.Seed, Workers: workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: horizon %d (central-only): %w", h, err)
+			return fmt.Errorf("experiments: horizon %d (central-only): %w", h, err)
 		}
-		out = append(out, HorizonPoint{
+		out[i] = HorizonPoint{
 			Horizon: h, Recall: rep.Recall, MeanSlowest: rep.MeanSlowest,
 			CenRecall: cen.Recall,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -365,19 +411,30 @@ type ArrivalPoint struct {
 // ArrivalSweep regenerates the scenario at several arrival-rate scales
 // and compares BALB with BALB-Cen: the distributed stage's recall
 // contribution should grow with churn (DESIGN.md's ablation index). It
-// rebuilds the world per point, so it is the most expensive experiment.
+// rebuilds the world per point, so it is the most expensive experiment
+// — and the one that profits most from the concurrent points (each one
+// regenerates a trace and trains an association model from scratch).
+// Points run with default parallelism; use ArrivalSweepWorkers to
+// control the fan-out.
 func ArrivalSweep(name string, seed int64, frames int, scales []float64) ([]ArrivalPoint, error) {
+	return ArrivalSweepWorkers(name, seed, frames, scales, 0)
+}
+
+// ArrivalSweepWorkers is ArrivalSweep with an explicit workers bound
+// over the sweep points.
+func ArrivalSweepWorkers(name string, seed int64, frames int, scales []float64, workers int) ([]ArrivalPoint, error) {
 	if len(scales) == 0 {
 		scales = []float64{0.5, 1, 2}
 	}
 	if frames <= 0 {
 		frames = 800
 	}
-	out := make([]ArrivalPoint, 0, len(scales))
-	for _, scale := range scales {
+	out := make([]ArrivalPoint, len(scales))
+	err := pool.Do(workers, len(scales), func(i int) error {
+		scale := scales[i]
 		s, err := workload.ByName(name, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for ri := range s.World.Routes {
 			r := &s.World.Routes[ri]
@@ -391,31 +448,35 @@ func ArrivalSweep(name string, seed int64, frames int, scales []float64) ([]Arri
 		}
 		trace, err := s.World.Run(frames)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
+			return fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
 		}
 		train, test := trace.SplitTrain()
 		model, err := assoc.Train(train, assoc.Factories{})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
+			return fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
 		}
 		balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-			Mode: pipeline.BALB, Seed: seed,
+			Mode: pipeline.BALB, Seed: seed, Workers: workers,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cen, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-			Mode: pipeline.CentralOnly, Seed: seed,
+			Mode: pipeline.CentralOnly, Seed: seed, Workers: workers,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ArrivalPoint{
+		out[i] = ArrivalPoint{
 			RateScale:   scale,
 			BALBRecall:  balb.Recall,
 			CenRecall:   cen.Recall,
 			BALBLatency: balb.MeanSlowest,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -132,6 +133,51 @@ func TestRunModesCoversAll(t *testing.T) {
 	balb := reports[pipeline.BALB]
 	if balb.MeanSlowest >= full.MeanSlowest {
 		t.Fatalf("BALB %v not faster than Full %v", balb.MeanSlowest, full.MeanSlowest)
+	}
+}
+
+// TestRunModesWorkersDeterministic asserts the harness-level determinism
+// contract: the concurrent mode fan-out produces modelled reports
+// bit-identical to the fully sequential harness. Run under -race this
+// also exercises concurrent pipeline runs over one shared Setup.
+func TestRunModesWorkersDeterministic(t *testing.T) {
+	s := setupS2(t)
+	seq, err := RunModesWorkers(s, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunModesWorkers(s, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("reports = %d vs %d", len(par), len(seq))
+	}
+	for mode, a := range seq {
+		b, ok := par[mode]
+		if !ok {
+			t.Fatalf("mode %v missing from parallel reports", mode)
+		}
+		if !reflect.DeepEqual(a.Modeled(), b.Modeled()) {
+			t.Errorf("mode %v diverged:\nseq: %+v\npar: %+v", mode, a.Modeled(), b.Modeled())
+		}
+	}
+}
+
+// TestFig14WorkersDeterministic checks the sweep-point fan-out keeps
+// point order and values.
+func TestFig14WorkersDeterministic(t *testing.T) {
+	s := setupS2(t)
+	seq, err := Fig14Workers(s, []int{2, 10, 20}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig14Workers(s, []int{2, 10, 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("horizon sweep diverged:\nseq: %+v\npar: %+v", seq, par)
 	}
 }
 

@@ -145,6 +145,41 @@ func (b *Breakdown) EndFrame() {
 	b.current = make(map[string]time.Duration)
 }
 
+// CameraSample holds one camera's component observations for a single
+// frame. It is the per-worker shard of a Breakdown: a goroutine running
+// one camera's share of a frame records into its own CameraSample with
+// no synchronization, and the pipeline folds the samples into the
+// Breakdown afterwards, in fixed camera order, with Absorb. A
+// CameraSample must not be shared across goroutines.
+type CameraSample struct {
+	durations map[string]time.Duration
+}
+
+// Observe records one component cost on this camera; repeated
+// observations of the same component within the frame keep the maximum,
+// matching Breakdown.ObserveCamera.
+func (s *CameraSample) Observe(component string, d time.Duration) {
+	if s.durations == nil {
+		s.durations = make(map[string]time.Duration)
+	}
+	if d > s.durations[component] {
+		s.durations[component] = d
+	}
+}
+
+// Absorb folds a camera's frame sample into the current frame, exactly
+// as if ObserveCamera had been called for each component. Absorb (like
+// every Breakdown method) must be called from a single goroutine; the
+// concurrency boundary is the CameraSample, not the Breakdown.
+func (b *Breakdown) Absorb(s *CameraSample) {
+	if s == nil {
+		return
+	}
+	for comp, d := range s.durations {
+		b.ObserveCamera(comp, d)
+	}
+}
+
 // MeanOf returns the mean per-frame overhead of a component, or 0 if it
 // was never observed.
 func (b *Breakdown) MeanOf(component string) time.Duration {

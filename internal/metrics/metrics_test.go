@@ -129,3 +129,44 @@ func TestBreakdown(t *testing.T) {
 		t.Fatalf("total = %v", b.Total())
 	}
 }
+
+// TestCameraSampleAbsorb checks the per-worker shard path is equivalent
+// to calling ObserveCamera directly: max within a camera's frame, max
+// across cameras, mean across frames.
+func TestCameraSampleAbsorb(t *testing.T) {
+	direct := NewBreakdown()
+	direct.ObserveCamera("tracking", 4*time.Millisecond)
+	direct.ObserveCamera("tracking", 2*time.Millisecond)
+	direct.ObserveCamera("batching", 1*time.Millisecond)
+	direct.ObserveCamera("tracking", 6*time.Millisecond)
+	direct.EndFrame()
+
+	sharded := NewBreakdown()
+	var cam0, cam1 CameraSample
+	cam0.Observe("tracking", 4*time.Millisecond)
+	cam0.Observe("tracking", 2*time.Millisecond) // within-camera max, not sum
+	cam0.Observe("batching", 1*time.Millisecond)
+	cam1.Observe("tracking", 6*time.Millisecond)
+	sharded.Absorb(&cam0)
+	sharded.Absorb(&cam1)
+	sharded.EndFrame()
+
+	for _, comp := range []string{"tracking", "batching"} {
+		if got, want := sharded.MeanOf(comp), direct.MeanOf(comp); got != want {
+			t.Errorf("%s: sharded %v != direct %v", comp, got, want)
+		}
+	}
+	if got := sharded.MeanOf("tracking"); got != 6*time.Millisecond {
+		t.Errorf("tracking mean = %v, want 6ms", got)
+	}
+}
+
+func TestAbsorbEmptyAndNil(t *testing.T) {
+	b := NewBreakdown()
+	b.Absorb(nil)
+	b.Absorb(&CameraSample{})
+	b.EndFrame()
+	if got := b.Components(); len(got) != 0 {
+		t.Fatalf("components = %v, want none", got)
+	}
+}

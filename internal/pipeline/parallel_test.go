@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mvs/internal/assoc"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+	"mvs/internal/workload"
+)
+
+// parallelEnv is an S1 (5-camera) fixture: enough cameras that the
+// per-camera fan-out actually interleaves, unlike the 2-camera S2 env.
+type parallelEnv struct {
+	scenario *workload.Scenario
+	test     *scene.Trace
+	model    *assoc.Model
+	profiles []*profile.Profile
+}
+
+var (
+	parOnce sync.Once
+	parEnv  parallelEnv
+)
+
+func getParallelEnv(t *testing.T) *parallelEnv {
+	t.Helper()
+	parOnce.Do(func() {
+		s := workload.S1(17)
+		trace, err := s.World.Run(400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train, test := trace.SplitTrain()
+		model, err := assoc.Train(train, assoc.Factories{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parEnv = parallelEnv{scenario: s, test: test, model: model, profiles: s.Profiles()}
+	})
+	if parEnv.test == nil {
+		t.Fatal("parallel environment failed to initialize")
+	}
+	return &parEnv
+}
+
+// TestWorkersDeterministic is the determinism contract: for every
+// scheduling mode, the modelled report is bit-identical whether the
+// per-camera work runs sequentially (Workers=1) or fanned out across
+// several goroutines. Run on both the 5-camera S1 and 2-camera S2
+// fixtures.
+func TestWorkersDeterministic(t *testing.T) {
+	type fixture struct {
+		name     string
+		test     *scene.Trace
+		model    *assoc.Model
+		profiles []*profile.Profile
+		seed     int64
+	}
+	p := getParallelEnv(t)
+	e := getEnv(t)
+	fixtures := []fixture{
+		{"S1", p.test, p.model, p.profiles, 17},
+		{"S2", e.test, e.model, e.profiles, 5},
+	}
+	modes := []Mode{Full, Independent, CentralOnly, BALB, StaticPartition}
+	for _, f := range fixtures {
+		for _, mode := range modes {
+			seq, err := Run(f.test, f.profiles, f.model, Options{Mode: mode, Seed: f.seed, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%v sequential: %v", f.name, mode, err)
+			}
+			for _, workers := range []int{2, 4, 0} {
+				par, err := Run(f.test, f.profiles, f.model, Options{Mode: mode, Seed: f.seed, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", f.name, mode, workers, err)
+				}
+				if !reflect.DeepEqual(seq.Modeled(), par.Modeled()) {
+					t.Errorf("%s/%v workers=%d diverged from sequential:\nseq: %+v\npar: %+v",
+						f.name, mode, workers, seq.Modeled(), par.Modeled())
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersExceedingCameras verifies that a worker bound above the
+// camera count is harmless (pool caps it) and still deterministic.
+func TestWorkersExceedingCameras(t *testing.T) {
+	e := getEnv(t)
+	seq, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Modeled(), wide.Modeled()) {
+		t.Fatalf("workers=64 diverged:\nseq: %+v\nwide: %+v", seq.Modeled(), wide.Modeled())
+	}
+}
+
+// TestConcurrentRuns drives several whole pipeline runs at once over the
+// same trace, model, and options — the RunModes shape — and checks they
+// all agree. Under -race this also proves the shared inputs (trace,
+// association model) are never written during a run.
+func TestConcurrentRuns(t *testing.T) {
+	p := getParallelEnv(t)
+	const n = 4
+	reports := make([]*Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Fresh profiles per run: executors accumulate stats.
+			reports[i], errs[i] = Run(p.test, p.scenario.Profiles(), p.model,
+				Options{Mode: BALB, Seed: 17, Workers: 2})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+	}
+	want := reports[0].Modeled()
+	for i := 1; i < n; i++ {
+		if got := reports[i].Modeled(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("concurrent run %d diverged:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+func TestModeledProjection(t *testing.T) {
+	rep := runMode(t, BALB)
+	m := rep.Modeled()
+	if m.CentralPerFrame != 0 || m.TrackingPerFrame != 0 ||
+		m.DistributedPerFrame != 0 || m.BatchingPerFrame != 0 {
+		t.Fatalf("measured fields survived the projection: %+v", m)
+	}
+	if m.Recall != rep.Recall || m.TP != rep.TP || m.FN != rep.FN ||
+		m.MeanSlowest != rep.MeanSlowest || m.P95Slowest != rep.P95Slowest ||
+		m.MaxSlowest != rep.MaxSlowest {
+		t.Fatalf("modelled fields altered: %+v vs %+v", m, rep)
+	}
+	if len(m.PerCameraMean) != len(rep.PerCameraMean) {
+		t.Fatal("per-camera means dropped")
+	}
+	// The projection must be a copy: mutating it cannot touch the
+	// original report.
+	if len(m.PerCameraMean) > 0 {
+		m.PerCameraMean[0]++
+		if m.PerCameraMean[0] == rep.PerCameraMean[0] {
+			t.Fatal("PerCameraMean aliases the original report")
+		}
+	}
+}

@@ -10,6 +10,26 @@
 // scheduler optimizes, Fig. 13), while framework overheads — tracking,
 // association, scheduling, batching — are *measured* wall-clock costs of
 // this implementation (Table II).
+//
+// # Execution model
+//
+// The paper's cameras are independent devices, and Run mirrors that:
+// within each frame the per-camera work (detection, tracking, slicing,
+// batched GPU execution, distributed-stage decisions) fans out across a
+// bounded worker pool sized by Options.Workers (default: GOMAXPROCS,
+// capped at the camera count). Each camera's mutable state — its RNG,
+// tracker, executor, shadows — lives in its cameraState and is touched
+// by exactly one goroutine per frame; per-camera outputs are collected
+// into camFrame shards and merged in fixed camera order, so the modelled
+// results are bit-identical for every worker count (the determinism
+// contract, docs/CONCURRENCY.md). Cross-camera stages (association,
+// central BALB, the SP ownership pass) stay sequential between fan-outs,
+// exactly as the paper's central scheduler is a single node. Workers=1
+// runs everything inline on the calling goroutine.
+//
+// Run itself is safe to call concurrently from multiple goroutines as
+// long as each call gets its own profiles slice (trace and model are
+// only read).
 package pipeline
 
 import (
@@ -22,6 +42,7 @@ import (
 	"mvs/internal/geom"
 	"mvs/internal/gpu"
 	"mvs/internal/metrics"
+	"mvs/internal/pool"
 	"mvs/internal/profile"
 	"mvs/internal/scene"
 	"mvs/internal/vision"
@@ -94,6 +115,12 @@ type Options struct {
 	// might still be working on older versions"). Recall is still scored
 	// against the current frame, so lag shows up as handoff anomalies.
 	CameraLag []int
+	// Workers bounds the goroutines used for per-camera work within a
+	// frame: 1 forces the sequential reference path, 0 (the default)
+	// selects GOMAXPROCS, and any value is capped at the camera count.
+	// The modelled report fields are identical for every value (see
+	// Report.Modeled and docs/CONCURRENCY.md).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +186,24 @@ type Report struct {
 // OverheadTotal returns the summed per-frame framework overhead.
 func (r *Report) OverheadTotal() time.Duration {
 	return r.CentralPerFrame + r.TrackingPerFrame + r.DistributedPerFrame + r.BatchingPerFrame
+}
+
+// Modeled returns the deterministic projection of the report: every
+// field derived from the simulation model (recall counts, modelled GPU
+// latencies, tail statistics), with the wall-clock-measured overhead
+// fields (CentralPerFrame, TrackingPerFrame, DistributedPerFrame,
+// BatchingPerFrame) zeroed out. The determinism contract — the same
+// (trace, profiles, model, Options modulo Workers) produces identical
+// results — holds exactly for this projection; the measured overheads
+// are timings of this host and vary run to run even sequentially.
+func (r *Report) Modeled() Report {
+	out := *r
+	out.CentralPerFrame = 0
+	out.TrackingPerFrame = 0
+	out.DistributedPerFrame = 0
+	out.BatchingPerFrame = 0
+	out.PerCameraMean = append([]time.Duration(nil), r.PerCameraMean...)
+	return out
 }
 
 // shadow is a camera's knowledge of an object assigned to another camera:
@@ -413,24 +458,43 @@ func computeStaticOwners(cams []*cameraState, profiles []*profile.Profile) error
 	return nil
 }
 
-// runKeyFrame performs the full-frame inspections.
+// camFrame is one camera's contribution to a frame, produced by exactly
+// one worker goroutine and merged into the shared accumulators (detected
+// set, horizon latencies, overhead breakdown) in fixed camera order —
+// the mechanism that keeps parallel runs bit-identical to sequential
+// ones.
+type camFrame struct {
+	latency  time.Duration
+	truthIDs []int
+	sample   metrics.CameraSample
+}
+
+// mergeCamFrames folds per-camera frame shards into the run accumulators
+// in camera-index order.
+func mergeCamFrames(results []camFrame, detected map[int]bool,
+	breakdown *metrics.Breakdown, horizonCam []time.Duration) {
+	for i := range results {
+		r := &results[i]
+		horizonCam[i] += r.latency
+		for _, id := range r.truthIDs {
+			detected[id] = true
+		}
+		breakdown.Absorb(&r.sample)
+	}
+}
+
+// runKeyFrame performs the full-frame inspections, fanned out per
+// camera.
 func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
 	breakdown *metrics.Breakdown, horizonCam []time.Duration, opts Options) error {
-	for _, cs := range cams {
-		lat := cs.exec.RunFullFrame()
-		horizonCam[cs.index] += lat
-		dets := cs.det.DetectFull(obs[cs.index])
-		for _, d := range dets {
-			detected[d.TruthID] = true
-		}
-		start := time.Now()
-		if _, err := cs.tracker.Update(dets); err != nil {
-			return fmt.Errorf("pipeline: camera %d key-frame tracking: %w", cs.index, err)
-		}
-		cs.tracker.RefreshSizes()
-		breakdown.ObserveCamera("tracking", time.Since(start))
-		cs.shadows = cs.shadows[:0]
+	results := make([]camFrame, len(cams))
+	err := pool.Do(opts.Workers, len(cams), func(i int) error {
+		return cams[i].keyFrame(obs[i], &results[i])
+	})
+	if err != nil {
+		return err
 	}
+	mergeCamFrames(results, detected, breakdown, horizonCam)
 
 	// SP keeps only tracks in owned cells; Full/Independent/Central modes
 	// keep everything (the central stage reassigns right after).
@@ -444,6 +508,25 @@ func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, detected map[in
 			}
 		}
 	}
+	return nil
+}
+
+// keyFrame is one camera's share of a key frame: full-frame inspection
+// plus track refresh. It touches only this camera's state and its own
+// camFrame shard.
+func (cs *cameraState) keyFrame(obs []scene.Observation, out *camFrame) error {
+	out.latency = cs.exec.RunFullFrame()
+	dets := cs.det.DetectFull(obs)
+	for _, d := range dets {
+		out.truthIDs = append(out.truthIDs, d.TruthID)
+	}
+	start := time.Now()
+	if _, err := cs.tracker.Update(dets); err != nil {
+		return fmt.Errorf("pipeline: camera %d key-frame tracking: %w", cs.index, err)
+	}
+	cs.tracker.RefreshSizes()
+	out.sample.Observe("tracking", time.Since(start))
+	cs.shadows = cs.shadows[:0]
 	return nil
 }
 
@@ -554,114 +637,135 @@ func containsCam(cams []int, cam int) bool {
 }
 
 // runRegularFrame performs sliced, batched partial inspection plus the
-// distributed stage.
+// distributed stage, fanned out per camera. The shared policy is only
+// read by the workers; every write stays inside one camera's state and
+// camFrame shard.
 func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
 	breakdown *metrics.Breakdown, horizonCam []time.Duration, policy *core.DistributedPolicy, opts Options) error {
+	results := make([]camFrame, len(cams))
+	var err error
 	if opts.Mode == Full {
-		for _, cs := range cams {
-			lat := cs.exec.RunFullFrame()
-			horizonCam[cs.index] += lat
-			for _, d := range cs.det.DetectFull(obs[cs.index]) {
-				detected[d.TruthID] = true
-			}
-		}
-		return nil
+		err = pool.Do(opts.Workers, len(cams), func(i int) error {
+			cams[i].fullFrame(obs[i], &results[i])
+			return nil
+		})
+	} else {
+		err = pool.Do(opts.Workers, len(cams), func(i int) error {
+			return cams[i].regularFrame(obs[i], policy, opts, &results[i])
+		})
 	}
+	if err != nil {
+		return err
+	}
+	mergeCamFrames(results, detected, breakdown, horizonCam)
+	return nil
+}
 
+// fullFrame is one camera's share of a Full-mode regular frame.
+func (cs *cameraState) fullFrame(obs []scene.Observation, out *camFrame) {
+	out.latency = cs.exec.RunFullFrame()
+	for _, d := range cs.det.DetectFull(obs) {
+		out.truthIDs = append(out.truthIDs, d.TruthID)
+	}
+}
+
+// regularFrame is one camera's share of a non-Full regular frame:
+// shadow advance, slicing, new-region proposals, batched GPU execution,
+// tracking update, and the distributed-stage ownership decisions.
+func (cs *cameraState) regularFrame(obs []scene.Observation, policy *core.DistributedPolicy,
+	opts Options, out *camFrame) error {
 	useDistributed := opts.Mode == BALB || opts.Mode == Independent || opts.Mode == StaticPartition
 
-	for _, cs := range cams {
-		// --- Tracking: advance shadows, slice regions. ---
-		trackStart := time.Now()
-		alive := cs.shadows[:0]
-		for _, sh := range cs.shadows {
-			sh.box = sh.box.Translate(sh.vel)
-			if cs.cam.Frame().Contains(sh.box.Center()) {
-				alive = append(alive, sh)
-			}
+	// --- Tracking: advance shadows, slice regions. ---
+	trackStart := time.Now()
+	alive := cs.shadows[:0]
+	for _, sh := range cs.shadows {
+		sh.box = sh.box.Translate(sh.vel)
+		if cs.cam.Frame().Contains(sh.box.Center()) {
+			alive = append(alive, sh)
 		}
-		cs.shadows = alive
+	}
+	cs.shadows = alive
 
-		tracks := cs.tracker.Tracks()
-		regions := make([]geom.Rect, 0, len(tracks))
-		tasks := make([]gpu.Task, 0, len(tracks))
-		predicted := make([]geom.Rect, 0, len(tracks))
-		for _, t := range tracks {
-			r := cs.tracker.Region(t)
-			regions = append(regions, r)
-			tasks = append(tasks, gpu.Task{ObjectID: t.ID, Size: t.QuantSize})
-			predicted = append(predicted, t.Predicted())
-		}
-		breakdown.ObserveCamera("tracking", time.Since(trackStart))
+	tracks := cs.tracker.Tracks()
+	regions := make([]geom.Rect, 0, len(tracks))
+	tasks := make([]gpu.Task, 0, len(tracks))
+	predicted := make([]geom.Rect, 0, len(tracks))
+	for _, t := range tracks {
+		r := cs.tracker.Region(t)
+		regions = append(regions, r)
+		tasks = append(tasks, gpu.Task{ObjectID: t.ID, Size: t.QuantSize})
+		predicted = append(predicted, t.Predicted())
+	}
+	out.sample.Observe("tracking", time.Since(trackStart))
 
-		// --- Distributed stage part 1: new-region proposals. ---
-		var newRegions []geom.Rect
-		if useDistributed {
-			distStart := time.Now()
-			moving := make([]geom.Rect, 0, len(obs[cs.index]))
-			for _, o := range obs[cs.index] {
-				moving = append(moving, o.Box)
-			}
-			explained := predicted
-			for _, sh := range cs.shadows {
-				explained = append(explained, sh.box)
-			}
-			newRegions = flow.NewRegions(moving, explained, 0)
-			for _, nr := range newRegions {
-				// The camera masks filter *before* inspection: a camera
-				// never spends GPU time on new regions another camera is
-				// responsible for (Fig. 8).
-				if !cs.keepNewTrack(nr.Center(), policy, opts) {
-					continue
-				}
-				q, size := geom.QuantizeRect(nr, cs.cam.Frame(), nil)
-				regions = append(regions, q)
-				tasks = append(tasks, gpu.Task{ObjectID: -1, Size: size})
-			}
-			breakdown.ObserveCamera("distributed", time.Since(distStart))
-		}
-
-		// --- Batched GPU execution. ---
-		batchStart := time.Now()
-		res, err := cs.exec.RunFrame(tasks)
-		if err != nil {
-			return fmt.Errorf("pipeline: camera %d inspection: %w", cs.index, err)
-		}
-		breakdown.ObserveCamera("batching", time.Since(batchStart))
-		horizonCam[cs.index] += res.Latency
-
-		dets, err := cs.det.DetectRegions(regions, obs[cs.index])
-		if err != nil {
-			return fmt.Errorf("pipeline: camera %d detect: %w", cs.index, err)
-		}
-		for _, d := range dets {
-			detected[d.TruthID] = true
-		}
-
-		// --- Tracking update. ---
-		trackStart = time.Now()
-		created, err := cs.tracker.Update(dets)
-		if err != nil {
-			return fmt.Errorf("pipeline: camera %d tracking: %w", cs.index, err)
-		}
-		breakdown.ObserveCamera("tracking", time.Since(trackStart))
-
-		// --- Distributed stage part 2: ownership decisions. ---
+	// --- Distributed stage part 1: new-region proposals. ---
+	var newRegions []geom.Rect
+	if useDistributed {
 		distStart := time.Now()
-		for _, id := range created {
-			t := cs.tracker.Get(id)
-			if t == nil {
+		moving := make([]geom.Rect, 0, len(obs))
+		for _, o := range obs {
+			moving = append(moving, o.Box)
+		}
+		explained := predicted
+		for _, sh := range cs.shadows {
+			explained = append(explained, sh.box)
+		}
+		newRegions = flow.NewRegions(moving, explained, 0)
+		for _, nr := range newRegions {
+			// The camera masks filter *before* inspection: a camera
+			// never spends GPU time on new regions another camera is
+			// responsible for (Fig. 8).
+			if !cs.keepNewTrack(nr.Center(), policy, opts) {
 				continue
 			}
-			if !cs.keepNewTrack(t.Box.Center(), policy, opts) {
-				cs.tracker.Remove(id)
-			}
+			q, size := geom.QuantizeRect(nr, cs.cam.Frame(), nil)
+			regions = append(regions, q)
+			tasks = append(tasks, gpu.Task{ObjectID: -1, Size: size})
 		}
-		if opts.Mode == BALB {
-			cs.takeoverCheck(policy)
-		}
-		breakdown.ObserveCamera("distributed", time.Since(distStart))
+		out.sample.Observe("distributed", time.Since(distStart))
 	}
+
+	// --- Batched GPU execution. ---
+	batchStart := time.Now()
+	res, err := cs.exec.RunFrame(tasks)
+	if err != nil {
+		return fmt.Errorf("pipeline: camera %d inspection: %w", cs.index, err)
+	}
+	out.sample.Observe("batching", time.Since(batchStart))
+	out.latency = res.Latency
+
+	dets, err := cs.det.DetectRegions(regions, obs)
+	if err != nil {
+		return fmt.Errorf("pipeline: camera %d detect: %w", cs.index, err)
+	}
+	for _, d := range dets {
+		out.truthIDs = append(out.truthIDs, d.TruthID)
+	}
+
+	// --- Tracking update. ---
+	trackStart = time.Now()
+	created, err := cs.tracker.Update(dets)
+	if err != nil {
+		return fmt.Errorf("pipeline: camera %d tracking: %w", cs.index, err)
+	}
+	out.sample.Observe("tracking", time.Since(trackStart))
+
+	// --- Distributed stage part 2: ownership decisions. ---
+	distStart := time.Now()
+	for _, id := range created {
+		t := cs.tracker.Get(id)
+		if t == nil {
+			continue
+		}
+		if !cs.keepNewTrack(t.Box.Center(), policy, opts) {
+			cs.tracker.Remove(id)
+		}
+	}
+	if opts.Mode == BALB {
+		cs.takeoverCheck(policy)
+	}
+	out.sample.Observe("distributed", time.Since(distStart))
 	return nil
 }
 

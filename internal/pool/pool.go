@@ -1,0 +1,86 @@
+// Package pool is the repository's single bounded worker-pool
+// abstraction. Both hot loops of the system — per-camera work inside a
+// pipeline frame and independent experiment points in the harness — fan
+// out through pool.Do, so the execution model documented in
+// docs/CONCURRENCY.md is implemented in exactly one place.
+//
+// The contract callers rely on:
+//
+//   - fn(i) runs exactly once for every i in [0, n), regardless of
+//     worker count (the parallel path never short-circuits; see Do for
+//     the error rule);
+//   - workers == 1 degenerates to a plain inline loop on the calling
+//     goroutine — the deterministic sequential reference path;
+//   - the returned error is the lowest-index failure, so error
+//     reporting is independent of goroutine interleaving.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS(0) (use the hardware), and the result is capped at
+// n, the number of independent work items.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Do runs fn(0), ..., fn(n-1) on at most Workers(workers, n) goroutines
+// and returns the error of the lowest failing index, or nil.
+//
+// With one worker the calls run inline, in index order, and stop at the
+// first error — byte-for-byte the behaviour of the loop it replaces.
+// With more workers all n calls are executed (work items must therefore
+// tolerate siblings failing); indices are handed out in order but may
+// complete in any order, so fn must confine its writes to per-index
+// state and leave shared merging to the caller.
+func Do(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
