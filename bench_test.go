@@ -200,7 +200,7 @@ func BenchmarkFig14Horizon(b *testing.B) {
 	var balbRecall, cenRecall float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig14(s1, []int{20})
+		points, err := experiments.Fig14(s1, []int{20}, experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -452,15 +452,15 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkRunModesWorkers compares the sequential experiment harness
+// BenchmarkRunModes compares the sequential experiment harness
 // (all five scheduling modes back to back) against the concurrent
 // fan-out on the S1 setup.
-func BenchmarkRunModesWorkers(b *testing.B) {
+func BenchmarkRunModes(b *testing.B) {
 	s1, _, _ := benchSetups(b)
 	for _, w := range workerCounts(len(experiments.Modes())) {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.RunModesWorkers(s1, 10, w); err != nil {
+				if _, err := experiments.RunModes(s1, 10, experiments.Options{Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}

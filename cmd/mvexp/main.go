@@ -5,6 +5,7 @@
 //
 //	mvexp [-exp all|fig2|table1|fig10|fig11|fig12|fig13|fig14|table2]
 //	      [-scenario S1|S2|S3|all] [-frames N] [-seed N] [-workers N]
+//	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
 //
 // -workers bounds the concurrency of independent experiment points
 // (modes, sweep points) and the per-camera fan-out inside each pipeline
@@ -31,12 +32,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2")
-		scenario = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
-		frames   = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		workers  = flag.Int("workers", 0, "experiment/camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
-		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		exp         = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2")
+		scenario    = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
+		frames      = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
+		seed        = flag.Int64("seed", 42, "simulation seed")
+		workers     = flag.Int("workers", 0, "experiment/camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
+		csvDir      = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
+		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
 	)
 	flag.Parse()
 
@@ -47,8 +50,21 @@ func main() {
 		}
 		csvOut = *csvDir
 	}
-	if err := run(*exp, *scenario, *frames, *seed, *workers); err != nil {
+	export, err := metrics.OpenExport(*metricsAddr, *metricsLog)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvexp:", err)
+		os.Exit(1)
+	}
+	opts := experiments.Options{Workers: *workers}
+	if *metricsAddr != "" || *metricsLog != "" {
+		opts.Sink = export.Sink
+	}
+	runErr := run(*exp, *scenario, *frames, *seed, opts)
+	if err := export.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mvexp:", runErr)
 		os.Exit(1)
 	}
 }
@@ -64,7 +80,7 @@ func scenarioNames(scenario string) ([]string, error) {
 	}
 }
 
-func run(exp, scenario string, frames int, seed int64, workers int) error {
+func run(exp, scenario string, frames int, seed int64, opts experiments.Options) error {
 	names, err := scenarioNames(scenario)
 	if err != nil {
 		return err
@@ -85,7 +101,7 @@ func run(exp, scenario string, frames int, seed int64, workers int) error {
 	// they only run when asked for explicitly.
 	if exp == "sweep" {
 		for _, name := range names {
-			if err := printArrivalSweep(name, seed, frames, workers); err != nil {
+			if err := printArrivalSweep(name, seed, frames, opts); err != nil {
 				return err
 			}
 		}
@@ -146,7 +162,7 @@ func run(exp, scenario string, frames int, seed int64, workers int) error {
 			}
 		}
 		if want("fig12") || want("fig13") || want("table2") {
-			reports, err := experiments.RunModesWorkers(s, 10, workers)
+			reports, err := experiments.RunModes(s, 10, opts)
 			if err != nil {
 				return err
 			}
@@ -161,7 +177,7 @@ func run(exp, scenario string, frames int, seed int64, workers int) error {
 			}
 		}
 		if want("fig14") && name == "S1" {
-			if err := printFig14(s, workers); err != nil {
+			if err := printFig14(s, opts); err != nil {
 				return err
 			}
 		}
@@ -308,9 +324,9 @@ func printFig13(s *experiments.Setup, reports map[pipeline.Mode]*pipeline.Report
 	fmt.Println("expected shape: BALB fastest; speedup largest in S1/S2, smallest in S3; BALB beats SP")
 }
 
-func printFig14(s *experiments.Setup, workers int) error {
+func printFig14(s *experiments.Setup, opts experiments.Options) error {
 	header("Fig 14 (S1): scheduling-horizon length sweep (BALB)")
-	points, err := experiments.Fig14Workers(s, nil, workers)
+	points, err := experiments.Fig14(s, nil, opts)
 	if err != nil {
 		return err
 	}
@@ -329,9 +345,9 @@ func printFig14(s *experiments.Setup, workers int) error {
 	return nil
 }
 
-func printArrivalSweep(name string, seed int64, frames, workers int) error {
+func printArrivalSweep(name string, seed int64, frames int, opts experiments.Options) error {
 	header(fmt.Sprintf("Arrival-rate sweep (%s): distributed-stage contribution vs churn", name))
-	points, err := experiments.ArrivalSweepWorkers(name, seed, frames, nil, workers)
+	points, err := experiments.ArrivalSweep(name, seed, frames, nil, opts)
 	if err != nil {
 		return err
 	}

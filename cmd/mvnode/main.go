@@ -20,29 +20,41 @@ import (
 	"time"
 
 	"mvs/internal/cluster"
+	"mvs/internal/metrics"
 	"mvs/internal/node"
 	"mvs/internal/workload"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:7001", "scheduler address")
-		camera   = flag.Int("camera", 0, "this node's camera index")
-		scenario = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
-		seed     = flag.Int64("seed", 42, "shared simulation seed")
-		frames   = flag.Int("frames", 1200, "trace length (first half is the model's training split)")
-		horizon  = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
-		rate     = flag.Duration("rate", 0, "real-time pacing per frame (0 = as fast as possible)")
+		addr        = flag.String("addr", "localhost:7001", "scheduler address")
+		camera      = flag.Int("camera", 0, "this node's camera index")
+		scenario    = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
+		seed        = flag.Int64("seed", 42, "shared simulation seed")
+		frames      = flag.Int("frames", 1200, "trace length (first half is the model's training split)")
+		horizon     = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
+		rate        = flag.Duration("rate", 0, "real-time pacing per frame (0 = as fast as possible)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8081)")
+		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *camera, *scenario, *seed, *frames, *horizon, *rate); err != nil {
+	export, err := metrics.OpenExport(*metricsAddr, *metricsLog)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvnode:", err)
+		os.Exit(1)
+	}
+	runErr := run(*addr, *camera, *scenario, *seed, *frames, *horizon, *rate, export)
+	if err := export.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mvnode:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, camera int, scenario string, seed int64, frames, horizon int, rate time.Duration) error {
+func run(addr string, camera int, scenario string, seed int64, frames, horizon int, rate time.Duration, export *metrics.Export) error {
 	s, err := workload.ByName(scenario, seed)
 	if err != nil {
 		return err
@@ -73,6 +85,9 @@ func run(addr string, camera int, scenario string, seed int64, frames, horizon i
 	log.Printf("registered: %dx%d mask grid, %d cells",
 		ack.GridCols, ack.GridRows, len(ack.Coverage))
 
+	if export.Addr != "" {
+		log.Printf("serving live metrics at http://%s/metricsz", export.Addr)
+	}
 	rt, err := node.New(node.Config{
 		Camera:     camera,
 		Frame:      cam.Frame(),
@@ -82,6 +97,7 @@ func run(addr string, camera int, scenario string, seed int64, frames, horizon i
 		Coverage:   ack.Coverage,
 		NumCameras: len(s.World.Cameras),
 		Seed:       seed,
+		Sink:       export.Sink,
 	})
 	if err != nil {
 		return err

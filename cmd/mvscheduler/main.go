@@ -9,6 +9,12 @@
 // Usage:
 //
 //	mvscheduler [-listen :7001] [-scenario S2] [-seed 42] [-frames 1200]
+//	            [-metrics-addr :8080] [-metrics-jsonl rounds.jsonl]
+//
+// With -metrics-addr the scheduler serves its latest scheduling-round
+// snapshot as JSON at /metricsz; -metrics-jsonl appends one snapshot
+// per round to a file (see docs/OBSERVABILITY.md). SIGINT/SIGTERM shut
+// the scheduler down cleanly, flushing the metrics log.
 package main
 
 import (
@@ -17,28 +23,33 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mvs/internal/assoc"
 	"mvs/internal/cluster"
+	"mvs/internal/metrics"
 	"mvs/internal/workload"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7001", "listen address")
-		scenario = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
-		seed     = flag.Int64("seed", 42, "shared simulation seed")
-		frames   = flag.Int("frames", 1200, "trace length used for model training")
+		listen      = flag.String("listen", ":7001", "listen address")
+		scenario    = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
+		seed        = flag.Int64("seed", 42, "shared simulation seed")
+		frames      = flag.Int("frames", 1200, "trace length used for model training")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
+		metricsLog  = flag.String("metrics-jsonl", "", "append per-round metrics snapshots to this JSONL file")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *scenario, *seed, *frames); err != nil {
+	if err := run(*listen, *scenario, *seed, *frames, *metricsAddr, *metricsLog); err != nil {
 		fmt.Fprintln(os.Stderr, "mvscheduler:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, scenario string, seed int64, frames int) error {
+func run(listen, scenario string, seed int64, frames int, metricsAddr, metricsLog string) error {
 	s, err := workload.ByName(scenario, seed)
 	if err != nil {
 		return err
@@ -54,17 +65,38 @@ func run(listen, scenario string, seed int64, frames int) error {
 		return err
 	}
 
-	sched, err := cluster.NewScheduler(model, s.Profiles(), 0)
+	export, err := metrics.OpenExport(metricsAddr, metricsLog)
 	if err != nil {
 		return err
 	}
-	sched.SetLogger(log.Default())
+	sched, err := cluster.NewScheduler(model, s.Profiles(), 0,
+		cluster.WithLogger(log.Default()), cluster.WithSink(export.Sink))
+	if err != nil {
+		_ = export.Close()
+		return err
+	}
+	if export.Addr != "" {
+		log.Printf("serving live metrics at http://%s/metricsz", export.Addr)
+	}
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
+		_ = export.Close()
 		return err
 	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Printf("shutting down...")
+		sched.Close() // also closes ln, unblocking Serve
+	}()
+
 	log.Printf("central scheduler for %s (%d cameras) listening on %s",
 		scenario, len(s.Devices), ln.Addr())
-	return sched.Serve(ln)
+	serveErr := sched.Serve(ln)
+	if err := export.Close(); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	return serveErr
 }

@@ -5,10 +5,14 @@
 //
 //	mvsim [-scenario S1|S2|S3] [-mode full|ind|cen|balb|sp]
 //	      [-frames N] [-horizon T] [-seed N] [-workers N]
+//	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
 //
 // -workers bounds the per-camera parallelism inside the pipeline
 // (0 = GOMAXPROCS, 1 = sequential); results are identical for every
-// value (see docs/CONCURRENCY.md).
+// value (see docs/CONCURRENCY.md). -metrics-addr serves the latest
+// per-frame snapshot at /metricsz while the run is in flight;
+// -metrics-jsonl appends every snapshot to a file
+// (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -41,13 +45,15 @@ func parseMode(s string) (pipeline.Mode, error) {
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "S1", "scenario: S1, S2, or S3")
-		modeName  = flag.String("mode", "balb", "scheduler: full, ind, cen, balb, sp")
-		frames    = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
-		horizon   = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
-		seed      = flag.Int64("seed", 42, "simulation seed")
-		workers   = flag.Int("workers", 0, "per-camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
-		saveTrace = flag.String("save-trace", "", "write the generated trace as JSON and exit")
+		scenario    = flag.String("scenario", "S1", "scenario: S1, S2, or S3")
+		modeName    = flag.String("mode", "balb", "scheduler: full, ind, cen, balb, sp")
+		frames      = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
+		horizon     = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
+		seed        = flag.Int64("seed", 42, "simulation seed")
+		workers     = flag.Int("workers", 0, "per-camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
+		saveTrace   = flag.String("save-trace", "", "write the generated trace as JSON and exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
+		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
 	)
 	flag.Parse()
 
@@ -58,8 +64,21 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scenario, *modeName, *frames, *horizon, *seed, *workers); err != nil {
+	export, err := metrics.OpenExport(*metricsAddr, *metricsLog)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvsim:", err)
+		os.Exit(1)
+	}
+	var sink metrics.Sink
+	if *metricsAddr != "" || *metricsLog != "" {
+		sink = export.Sink
+	}
+	runErr := run(*scenario, *modeName, *frames, *horizon, *seed, *workers, sink)
+	if err := export.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mvsim:", runErr)
 		os.Exit(1)
 	}
 }
@@ -88,7 +107,7 @@ func dumpTrace(scenario string, frames int, seed int64, path string) error {
 	return f.Close()
 }
 
-func run(scenario, modeName string, frames, horizon int, seed int64, workers int) error {
+func run(scenario, modeName string, frames, horizon int, seed int64, workers int, sink metrics.Sink) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
@@ -99,7 +118,7 @@ func run(scenario, modeName string, frames, horizon int, seed int64, workers int
 		return err
 	}
 	rep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, pipeline.Options{
-		Mode: mode, Horizon: horizon, Seed: seed, Workers: workers,
+		Mode: mode, Horizon: horizon, Seed: seed, Workers: workers, Sink: sink,
 	})
 	if err != nil {
 		return err

@@ -70,7 +70,7 @@ func run(scenario string, frames int, seed int64, outDir string, latency bool) e
 	// 3. Latency bars (optional: needs five pipeline runs).
 	if latency {
 		fmt.Fprintln(os.Stderr, "running all scheduling algorithms...")
-		reports, err := experiments.RunModes(setup, 10)
+		reports, err := experiments.RunModes(setup, 10, experiments.Options{})
 		if err != nil {
 			return err
 		}

@@ -21,7 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	points, err := experiments.Fig14(setup, []int{2, 5, 10, 20, 30, 50})
+	points, err := experiments.Fig14(setup, []int{2, 5, 10, 20, 30, 50}, experiments.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func main() {
 		fmt.Printf("  %-12s %v...\n", fig2.CameraNames[ci], series)
 	}
 
-	reports, err := experiments.RunModes(setup, 10)
+	reports, err := experiments.RunModes(setup, 10, experiments.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,18 @@
+package cluster
+
+import "log"
+
+// SetLogger installs a logger for connection events (nil restores the
+// silent default).
+//
+// Deprecated: pass WithLogger to NewScheduler instead. Observability
+// hooks belong at construction — SetLogger mutates a field that running
+// connection handlers read concurrently once Serve has started, so it is
+// only safe before Serve, which is exactly when functional options
+// apply. Retained for one release; CI rejects new callers.
+func (s *Scheduler) SetLogger(l *log.Logger) {
+	if l == nil {
+		l = log.New(logDiscard{}, "", 0)
+	}
+	s.logger = l
+}

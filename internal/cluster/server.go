@@ -6,10 +6,13 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"mvs/internal/assoc"
 	"mvs/internal/core"
 	"mvs/internal/geom"
+	"mvs/internal/gpu"
+	"mvs/internal/metrics"
 	"mvs/internal/profile"
 )
 
@@ -29,12 +32,18 @@ type Scheduler struct {
 	cams     []core.CameraSpec
 	minIoU   float64
 	logger   *log.Logger
+	sink     metrics.Sink
 	shutdown chan struct{}
 
-	mu      sync.Mutex
-	conns   map[int]*schedConn
-	rounds  map[int]*round
-	started bool
+	closeOnce sync.Once
+	handlers  sync.WaitGroup
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[int]*schedConn
+	rounds map[int]*round
+	seq    int
+	closed bool
 }
 
 type schedConn struct {
@@ -53,8 +62,37 @@ type round struct {
 	reports map[int]*Detections
 }
 
+// Option configures a Scheduler at construction. Observability hooks
+// are injected here, not mutated after: the scheduler starts serving
+// concurrently the moment Serve is called, so post-construction setters
+// would race with running handlers.
+type Option func(*Scheduler)
+
+// WithLogger installs a logger for connection and scheduling events
+// (nil keeps the silent default).
+func WithLogger(l *log.Logger) Option {
+	return func(s *Scheduler) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
+// WithSink attaches a metrics sink: one Snapshot per completed
+// scheduling round (SourceScheduler), carrying the measured round
+// latency, the scheduled per-camera latencies and batch occupancy, and
+// per-camera assignment counts. nil keeps the NopSink default. No
+// snapshot is emitted after Close returns.
+func WithSink(sink metrics.Sink) Option {
+	return func(s *Scheduler) {
+		if sink != nil {
+			s.sink = sink
+		}
+	}
+}
+
 // NewScheduler builds the service for a fixed camera roster.
-func NewScheduler(model *assoc.Model, profiles []*profile.Profile, minIoU float64) (*Scheduler, error) {
+func NewScheduler(model *assoc.Model, profiles []*profile.Profile, minIoU float64, opts ...Option) (*Scheduler, error) {
 	if model == nil {
 		return nil, errors.New("cluster: nil association model")
 	}
@@ -72,55 +110,97 @@ func NewScheduler(model *assoc.Model, profiles []*profile.Profile, minIoU float6
 	if minIoU <= 0 {
 		minIoU = 0.1
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		model:    model,
 		cams:     cams,
 		minIoU:   minIoU,
 		logger:   log.New(logDiscard{}, "", 0),
+		sink:     metrics.NopSink{},
 		shutdown: make(chan struct{}),
 		conns:    make(map[int]*schedConn),
 		rounds:   make(map[int]*round),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
 }
 
 type logDiscard struct{}
 
 func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 
-// SetLogger installs a logger for connection events (nil restores the
-// silent default).
-func (s *Scheduler) SetLogger(l *log.Logger) {
-	if l == nil {
-		l = log.New(logDiscard{}, "", 0)
-	}
-	s.logger = l
-}
-
-// Serve accepts camera connections until the listener is closed. It
-// blocks; run it in a goroutine and close the listener to stop.
+// Serve accepts camera connections until the listener is closed or
+// Close is called. It blocks, and returns only after every connection
+// handler it spawned has exited — so when Serve returns, no goroutine
+// of this scheduler is still touching the sink or the logger.
 func (s *Scheduler) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	var err error
 	for {
-		conn, err := ln.Accept()
-		if err != nil {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
 			select {
 			case <-s.shutdown:
-				return nil
 			default:
+				err = fmt.Errorf("cluster: accept: %w", aerr)
 			}
-			return fmt.Errorf("cluster: accept: %w", err)
+			break
 		}
-		go s.handle(conn)
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handle(conn)
+		}()
 	}
+	s.handlers.Wait()
+	return err
 }
 
-// Close stops the service and drops all connections.
+// Close stops the service: it closes the listener Serve is blocked on,
+// drops all connections, and waits for every in-flight connection
+// handler to exit. After Close returns, Serve has unblocked (or will
+// return immediately if called later) and no further snapshot reaches
+// the sink.
 func (s *Scheduler) Close() {
-	close(s.shutdown)
+	s.closeOnce.Do(func() {
+		close(s.shutdown)
+		s.mu.Lock()
+		s.closed = true
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		for _, c := range s.conns {
+			c.conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.handlers.Wait()
+}
+
+// emit delivers a round snapshot unless the scheduler has been closed.
+// Holding mu across RecordFrame makes "no snapshot after Close" exact:
+// Close flips closed under the same lock, so any emission either
+// completes before Close returns or is suppressed. Sinks are required to
+// be cheap and non-blocking (metrics.Sink contract), so the critical
+// section stays short.
+func (s *Scheduler) emit(snap metrics.Snapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, c := range s.conns {
-		c.conn.Close()
+	if s.closed {
+		return
 	}
+	snap.Seq = s.seq
+	s.seq++
+	s.sink.RecordFrame(snap)
 }
 
 func (s *Scheduler) handle(conn net.Conn) {
@@ -141,6 +221,13 @@ func (s *Scheduler) handle(conn net.Conn) {
 	}
 	sc := &schedConn{camera: cam, conn: conn}
 	s.mu.Lock()
+	if s.closed {
+		// Raced with Close: this connection was accepted before the
+		// listener went down but must not register, or it would linger
+		// unclosed (Close already swept s.conns).
+		s.mu.Unlock()
+		return
+	}
 	if _, dup := s.conns[cam]; dup {
 		s.mu.Unlock()
 		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: fmt.Sprintf("camera %d already connected", cam)})
@@ -251,14 +338,18 @@ func (s *Scheduler) submit(det *Detections) {
 	s.completeRound(r, det.Frame)
 }
 
-// completeRound schedules a finished round and distributes the replies.
+// completeRound schedules a finished round, distributes the replies,
+// and emits the round's observability snapshot.
 func (s *Scheduler) completeRound(r *round, frame int) {
-	replies, err := s.schedule(r, frame)
+	start := time.Now()
+	replies, snap, err := s.schedule(r, frame)
 	if err != nil {
 		s.logger.Printf("cluster: scheduling frame %d: %v", frame, err)
 		s.broadcastError(fmt.Sprintf("scheduling failed: %v", err))
 		return
 	}
+	snap.RoundLatency = time.Since(start)
+	s.emit(snap)
 	s.mu.Lock()
 	conns := make([]*schedConn, 0, len(s.conns))
 	for _, c := range s.conns {
@@ -288,8 +379,11 @@ func (s *Scheduler) broadcastError(msg string) {
 	}
 }
 
-// schedule mirrors the pipeline's central stage over wire reports.
-func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, error) {
+// schedule mirrors the pipeline's central stage over wire reports. It
+// also assembles the round's snapshot (sans Seq and RoundLatency, which
+// the caller stamps): the scheduled per-camera latencies, the batch
+// occupancy each camera's assignment implies, and assignment counts.
+func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.Snapshot, error) {
 	m := len(s.cams)
 	boxes := make([][]geom.Rect, m)
 	trackIDs := make([][]int, m)
@@ -310,7 +404,7 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, error) {
 
 	groups, err := s.model.Associate(boxes, s.minIoU)
 	if err != nil {
-		return nil, fmt.Errorf("association: %w", err)
+		return nil, metrics.Snapshot{}, fmt.Errorf("association: %w", err)
 	}
 	objects := make([]core.ObjectSpec, 0, len(groups))
 	for gi, g := range groups {
@@ -327,8 +421,9 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, error) {
 	}
 	sol, err := core.Central(s.cams, objects, core.CentralOptions{})
 	if err != nil {
-		return nil, fmt.Errorf("central BALB: %w", err)
+		return nil, metrics.Snapshot{}, fmt.Errorf("central BALB: %w", err)
 	}
+	snap := s.roundSnapshot(frame, objects, sol)
 
 	replies := make(map[int]*Assignment, m)
 	for cam := 0; cam < m; cam++ {
@@ -350,5 +445,60 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, error) {
 			}
 		}
 	}
-	return replies, nil
+	return replies, snap, nil
+}
+
+// roundSnapshot derives the observability record of a scheduled round:
+// per camera, the solution's scheduled latency, the number of objects
+// assigned, and the batch occupancy its assignment implies (images over
+// the capacity of the batches BALB's packing launches, per Definition 1
+// greedy same-size packing).
+func (s *Scheduler) roundSnapshot(frame int, objects []core.ObjectSpec, sol *core.Solution) metrics.Snapshot {
+	snap := metrics.Snapshot{
+		Source:       metrics.SourceScheduler,
+		Frame:        frame,
+		Objects:      len(objects),
+		FrameLatency: sol.System(),
+		Cameras:      make([]metrics.CameraSnapshot, len(s.cams)),
+	}
+	counts := make([]map[int]int, len(s.cams))
+	assigned := make([]int, len(s.cams))
+	for i := range objects {
+		o := &objects[i]
+		cam, ok := sol.Assign[o.ID]
+		if !ok || cam < 0 || cam >= len(s.cams) {
+			continue
+		}
+		if counts[cam] == nil {
+			counts[cam] = make(map[int]int)
+		}
+		counts[cam][o.Size[cam]]++
+		assigned[cam]++
+	}
+	for i := range s.cams {
+		cs := metrics.CameraSnapshot{Camera: i, Assignments: assigned[i]}
+		if i < len(sol.Latencies) {
+			cs.Latency = sol.Latencies[i]
+		}
+		if counts[i] != nil {
+			if nb, err := gpu.NumBatchesBySize(counts[i], s.cams[i].Profile); err == nil {
+				images, capacity := 0, 0
+				for size, b := range nb {
+					limit, lerr := s.cams[i].Profile.BatchLimitFor(size)
+					if lerr != nil {
+						continue
+					}
+					cs.Batches += b
+					capacity += b * limit
+					images += counts[i][size]
+				}
+				cs.Images = images
+				if capacity > 0 {
+					cs.BatchOccupancy = float64(images) / float64(capacity)
+				}
+			}
+		}
+		snap.Cameras[i] = cs
+	}
+	return snap
 }

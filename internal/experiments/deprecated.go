@@ -1,0 +1,37 @@
+// Deprecated entry points retained for one release while callers move
+// to the Options-based API. This file is the only place the old names
+// may appear; CI greps for new callers elsewhere and fails the build.
+package experiments
+
+import "mvs/internal/pipeline"
+
+// RunModesWorkers runs the five scheduling modes with an explicit
+// workers bound.
+//
+// Deprecated: call RunModes with Options{Workers: workers}. The
+// Workers/plain pairs doubled every experiment's surface; the Options
+// struct carries the same knob plus the metrics sink without further
+// signature growth. Retained for one release; CI rejects new callers.
+func RunModesWorkers(s *Setup, horizon, workers int) (map[pipeline.Mode]*pipeline.Report, error) {
+	return RunModes(s, horizon, Options{Workers: workers})
+}
+
+// Fig14Workers sweeps the scheduling horizon with an explicit workers
+// bound.
+//
+// Deprecated: call Fig14 with Options{Workers: workers}. See
+// RunModesWorkers for the rationale. Retained for one release; CI
+// rejects new callers.
+func Fig14Workers(s *Setup, horizons []int, workers int) ([]HorizonPoint, error) {
+	return Fig14(s, horizons, Options{Workers: workers})
+}
+
+// ArrivalSweepWorkers runs the arrival-rate sweep with an explicit
+// workers bound.
+//
+// Deprecated: call ArrivalSweep with Options{Workers: workers}. See
+// RunModesWorkers for the rationale. Retained for one release; CI
+// rejects new callers.
+func ArrivalSweepWorkers(name string, seed int64, frames int, scales []float64, workers int) ([]ArrivalPoint, error) {
+	return ArrivalSweep(name, seed, frames, scales, Options{Workers: workers})
+}

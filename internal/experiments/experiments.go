@@ -9,13 +9,14 @@
 // A prepared Setup is read-only, so independent experiment points —
 // the five scheduling modes of RunModes, the horizon points of Fig14,
 // the rate-scale points of ArrivalSweep — run concurrently on the
-// shared internal/pool worker pool. Every experiment takes a workers
-// knob (0 = GOMAXPROCS, 1 = fully sequential) that bounds both the
-// outer point-level fan-out and, via pipeline.Options.Workers, the
-// per-camera fan-out inside each pipeline run. Results are assembled
-// positionally, and the pipeline's determinism contract
-// (docs/CONCURRENCY.md) guarantees the numbers are identical for every
-// workers value.
+// shared internal/pool worker pool. Every experiment takes an Options
+// struct whose Workers knob (0 = GOMAXPROCS, 1 = fully sequential)
+// bounds both the outer point-level fan-out and, via
+// pipeline.Options.Workers, the per-camera fan-out inside each pipeline
+// run. Results are assembled positionally, and the pipeline's
+// determinism contract (docs/CONCURRENCY.md) guarantees the numbers are
+// identical for every Workers value — and for every Sink, which
+// observes runs without influencing them (docs/OBSERVABILITY.md).
 //
 // # Experiment index
 //
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"mvs/internal/assoc"
+	"mvs/internal/metrics"
 	"mvs/internal/ml"
 	"mvs/internal/pipeline"
 	"mvs/internal/pool"
@@ -83,6 +85,23 @@ func Prepare(name string, seed int64, frames int) (*Setup, error) {
 		return nil, fmt.Errorf("experiments: %s association training: %w", name, err)
 	}
 	return &Setup{Scenario: s, Train: train, Test: test, Model: model, Seed: seed}, nil
+}
+
+// Options bounds an experiment's execution and attaches observability
+// without changing its results (the pipeline's determinism contract
+// covers both knobs).
+type Options struct {
+	// Workers bounds the point-level fan-out and, through it, each
+	// pipeline run's per-camera fan-out: 0 means GOMAXPROCS, 1 fully
+	// sequential.
+	Workers int
+	// Sink, when non-nil, receives every pipeline run's per-frame
+	// snapshots. Runs are labelled per experiment point (for example
+	// "modes/BALB" or "fig14/T=20") so one sink can serve concurrent
+	// runs; the bundled sinks are all safe for concurrent RecordFrame.
+	// Experiments never Flush the sink — its lifecycle belongs to the
+	// caller.
+	Sink metrics.Sink
 }
 
 // Fig2Result is the per-camera object-count time series.
@@ -278,22 +297,18 @@ func Modes() []pipeline.Mode {
 
 // RunModes executes the pipeline once per scheduling algorithm and
 // returns the reports keyed by mode. Figs. 12 and 13 and Table II all
-// read from these. The modes run concurrently with default (GOMAXPROCS)
-// parallelism; use RunModesWorkers to control the fan-out.
-func RunModes(s *Setup, horizon int) (map[pipeline.Mode]*pipeline.Report, error) {
-	return RunModesWorkers(s, horizon, 0)
-}
-
-// RunModesWorkers is RunModes with an explicit workers bound: the five
-// modes run on at most workers goroutines, and each pipeline run reuses
-// the same bound for its per-camera fan-out. workers=1 reproduces the
-// fully sequential harness.
-func RunModesWorkers(s *Setup, horizon, workers int) (map[pipeline.Mode]*pipeline.Report, error) {
+// read from these. The five modes run on at most opts.Workers
+// goroutines, and each pipeline run reuses the same bound for its
+// per-camera fan-out; Options{} reproduces the default (GOMAXPROCS)
+// harness, Options{Workers: 1} the fully sequential one. Snapshots are
+// labelled "modes/<mode>".
+func RunModes(s *Setup, horizon int, opts Options) (map[pipeline.Mode]*pipeline.Report, error) {
 	modes := Modes()
 	reports := make([]*pipeline.Report, len(modes))
-	err := pool.Do(workers, len(modes), func(i int) error {
+	err := pool.Do(opts.Workers, len(modes), func(i int) error {
 		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: modes[i], Horizon: horizon, Seed: s.Seed, Workers: workers,
+			Mode: modes[i], Horizon: horizon, Seed: s.Seed, Workers: opts.Workers,
+			Sink: opts.Sink, Label: "modes/" + modes[i].String(),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: mode %v: %w", modes[i], err)
@@ -327,29 +342,27 @@ type HorizonPoint struct {
 
 // Fig14 sweeps the scheduling-horizon length for the full BALB algorithm
 // (and the central-only ablation). horizons nil defaults to the
-// paper-style sweep {2, 5, 10, 20, 30, 50}. Points run concurrently
-// with default parallelism; use Fig14Workers to control the fan-out.
-func Fig14(s *Setup, horizons []int) ([]HorizonPoint, error) {
-	return Fig14Workers(s, horizons, 0)
-}
-
-// Fig14Workers is Fig14 with an explicit workers bound over the sweep
-// points (and, through it, the per-camera fan-out of each run).
-func Fig14Workers(s *Setup, horizons []int, workers int) ([]HorizonPoint, error) {
+// paper-style sweep {2, 5, 10, 20, 30, 50}. opts.Workers bounds the
+// point-level fan-out (and, through it, the per-camera fan-out of each
+// run). Snapshots are labelled "fig14/T=<h>" (BALB) and
+// "fig14/T=<h>/cen" (the ablation).
+func Fig14(s *Setup, horizons []int, opts Options) ([]HorizonPoint, error) {
 	if len(horizons) == 0 {
 		horizons = []int{2, 5, 10, 20, 30, 50}
 	}
 	out := make([]HorizonPoint, len(horizons))
-	err := pool.Do(workers, len(horizons), func(i int) error {
+	err := pool.Do(opts.Workers, len(horizons), func(i int) error {
 		h := horizons[i]
 		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: pipeline.BALB, Horizon: h, Seed: s.Seed, Workers: workers,
+			Mode: pipeline.BALB, Horizon: h, Seed: s.Seed, Workers: opts.Workers,
+			Sink: opts.Sink, Label: fmt.Sprintf("fig14/T=%d", h),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: horizon %d: %w", h, err)
 		}
 		cen, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: pipeline.CentralOnly, Horizon: h, Seed: s.Seed, Workers: workers,
+			Mode: pipeline.CentralOnly, Horizon: h, Seed: s.Seed, Workers: opts.Workers,
+			Sink: opts.Sink, Label: fmt.Sprintf("fig14/T=%d/cen", h),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: horizon %d (central-only): %w", h, err)
@@ -414,15 +427,9 @@ type ArrivalPoint struct {
 // rebuilds the world per point, so it is the most expensive experiment
 // — and the one that profits most from the concurrent points (each one
 // regenerates a trace and trains an association model from scratch).
-// Points run with default parallelism; use ArrivalSweepWorkers to
-// control the fan-out.
-func ArrivalSweep(name string, seed int64, frames int, scales []float64) ([]ArrivalPoint, error) {
-	return ArrivalSweepWorkers(name, seed, frames, scales, 0)
-}
-
-// ArrivalSweepWorkers is ArrivalSweep with an explicit workers bound
-// over the sweep points.
-func ArrivalSweepWorkers(name string, seed int64, frames int, scales []float64, workers int) ([]ArrivalPoint, error) {
+// opts.Workers bounds the point-level fan-out. Snapshots are labelled
+// "sweep/x<scale>" (BALB) and "sweep/x<scale>/cen" (the ablation).
+func ArrivalSweep(name string, seed int64, frames int, scales []float64, opts Options) ([]ArrivalPoint, error) {
 	if len(scales) == 0 {
 		scales = []float64{0.5, 1, 2}
 	}
@@ -430,7 +437,7 @@ func ArrivalSweepWorkers(name string, seed int64, frames int, scales []float64, 
 		frames = 800
 	}
 	out := make([]ArrivalPoint, len(scales))
-	err := pool.Do(workers, len(scales), func(i int) error {
+	err := pool.Do(opts.Workers, len(scales), func(i int) error {
 		scale := scales[i]
 		s, err := workload.ByName(name, seed)
 		if err != nil {
@@ -456,13 +463,15 @@ func ArrivalSweepWorkers(name string, seed int64, frames int, scales []float64, 
 			return fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
 		}
 		balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-			Mode: pipeline.BALB, Seed: seed, Workers: workers,
+			Mode: pipeline.BALB, Seed: seed, Workers: opts.Workers,
+			Sink: opts.Sink, Label: fmt.Sprintf("sweep/x%g", scale),
 		})
 		if err != nil {
 			return err
 		}
 		cen, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-			Mode: pipeline.CentralOnly, Seed: seed, Workers: workers,
+			Mode: pipeline.CentralOnly, Seed: seed, Workers: opts.Workers,
+			Sink: opts.Sink, Label: fmt.Sprintf("sweep/x%g/cen", scale),
 		})
 		if err != nil {
 			return err

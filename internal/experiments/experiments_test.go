@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"mvs/internal/metrics"
 	"mvs/internal/pipeline"
 )
 
@@ -122,7 +123,7 @@ func TestFig11HomographyWorst(t *testing.T) {
 
 func TestRunModesCoversAll(t *testing.T) {
 	s := setupS2(t)
-	reports, err := RunModes(s, 10)
+	reports, err := RunModes(s, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,17 +137,17 @@ func TestRunModesCoversAll(t *testing.T) {
 	}
 }
 
-// TestRunModesWorkersDeterministic asserts the harness-level determinism
+// TestRunModesDeterministic asserts the harness-level determinism
 // contract: the concurrent mode fan-out produces modelled reports
 // bit-identical to the fully sequential harness. Run under -race this
 // also exercises concurrent pipeline runs over one shared Setup.
-func TestRunModesWorkersDeterministic(t *testing.T) {
+func TestRunModesDeterministic(t *testing.T) {
 	s := setupS2(t)
-	seq, err := RunModesWorkers(s, 10, 1)
+	seq, err := RunModes(s, 10, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunModesWorkers(s, 10, 4)
+	par, err := RunModes(s, 10, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,15 +165,15 @@ func TestRunModesWorkersDeterministic(t *testing.T) {
 	}
 }
 
-// TestFig14WorkersDeterministic checks the sweep-point fan-out keeps
+// TestFig14Deterministic checks the sweep-point fan-out keeps
 // point order and values.
-func TestFig14WorkersDeterministic(t *testing.T) {
+func TestFig14Deterministic(t *testing.T) {
 	s := setupS2(t)
-	seq, err := Fig14Workers(s, []int{2, 10, 20}, 1)
+	seq, err := Fig14(s, []int{2, 10, 20}, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig14Workers(s, []int{2, 10, 20}, 3)
+	par, err := Fig14(s, []int{2, 10, 20}, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFig14WorkersDeterministic(t *testing.T) {
 
 func TestFig14Monotonicity(t *testing.T) {
 	s := setupS2(t)
-	points, err := Fig14(s, []int{2, 20})
+	points, err := Fig14(s, []int{2, 20}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,5 +215,38 @@ func TestTableIIOverheadSmall(t *testing.T) {
 	// budget.
 	if row.Total.Milliseconds() > 50 {
 		t.Fatalf("overhead = %v", row.Total)
+	}
+}
+
+// TestRunModesSinkLabels checks the observability wiring of the
+// experiments fan-out: one shared sink receives every run's per-frame
+// snapshots, tagged with a per-mode label so concurrent streams stay
+// distinguishable.
+func TestRunModesSinkLabels(t *testing.T) {
+	s := setupS2(t)
+	frames := len(s.Test.Frames)
+	sink := metrics.NewChannelSink(1, 5*frames+1)
+	if _, err := RunModes(s, 10, Options{Workers: 4, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	if sink.Dropped() != 0 {
+		t.Fatalf("dropped %d snapshots with a full-size buffer", sink.Dropped())
+	}
+	perLabel := make(map[string]int)
+	for snap := range sink.Snapshots() {
+		if snap.Source != metrics.SourcePipeline {
+			t.Fatalf("source = %q", snap.Source)
+		}
+		perLabel[snap.Label]++
+	}
+	if len(perLabel) != len(Modes()) {
+		t.Fatalf("labels = %v, want one per mode", perLabel)
+	}
+	for _, mode := range Modes() {
+		label := "modes/" + mode.String()
+		if perLabel[label] != frames {
+			t.Fatalf("label %q got %d snapshots, want %d", label, perLabel[label], frames)
+		}
 	}
 }

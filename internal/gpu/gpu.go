@@ -76,6 +76,26 @@ func FormBatches(tasks []Task, prof *profile.Profile) ([]Batch, error) {
 	return batches, nil
 }
 
+// BatchOccupancy returns the mean fill fraction of formed batches: each
+// batch contributes len(tasks)/limit(size), averaged over batches. 1.0
+// means every launch ran at the device's batch limit; 0 means no batches
+// ran. This is the live "batch occupancy" figure the observability layer
+// exports per camera.
+func BatchOccupancy(batches []Batch, prof *profile.Profile) float64 {
+	if len(batches) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range batches {
+		limit, err := prof.BatchLimitFor(b.Size)
+		if err != nil || limit <= 0 {
+			continue // unprofiled size: FormBatches would have rejected it
+		}
+		sum += float64(len(b.Tasks)) / float64(limit)
+	}
+	return sum / float64(len(batches))
+}
+
 // NumBatchesBySize returns, for a task multiset described as size ->
 // count, the number of batches each size needs on the profiled device.
 // This is the counting the BALB scheduler does without materializing

@@ -1,0 +1,294 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSnapshot builds a fully populated snapshot so round-trip tests
+// cover every field.
+func testSnapshot(seq int) Snapshot {
+	return Snapshot{
+		Source:       SourcePipeline,
+		Label:        "modes/BALB",
+		Seq:          seq,
+		Frame:        seq,
+		TP:           10,
+		FN:           2,
+		Recall:       10.0 / 12.0,
+		FrameLatency: 42 * time.Millisecond,
+		Cameras: []CameraSnapshot{
+			{Camera: 0, Latency: 42 * time.Millisecond, Batches: 3, Images: 7, BatchOccupancy: 0.6, Tracks: 5, Shadows: 1},
+			{Camera: 1, Latency: 17 * time.Millisecond, Batches: 1, Images: 2, BatchOccupancy: 0.25, Tracks: 2},
+		},
+	}
+}
+
+func TestChannelSinkForwardsAll(t *testing.T) {
+	s := NewChannelSink(1, 8)
+	for i := 0; i < 5; i++ {
+		s.RecordFrame(testSnapshot(i))
+	}
+	s.Close()
+	var got []int
+	for snap := range s.Snapshots() {
+		got = append(got, snap.Seq)
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("seqs = %v", got)
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+}
+
+func TestChannelSinkPeriod(t *testing.T) {
+	s := NewChannelSink(10, 8)
+	for i := 0; i < 25; i++ {
+		s.RecordFrame(testSnapshot(i))
+	}
+	s.Close()
+	var got []int
+	for snap := range s.Snapshots() {
+		got = append(got, snap.Seq)
+	}
+	if !reflect.DeepEqual(got, []int{0, 10, 20}) {
+		t.Fatalf("seqs = %v", got)
+	}
+}
+
+func TestChannelSinkDropsWhenFull(t *testing.T) {
+	s := NewChannelSink(1, 2)
+	for i := 0; i < 5; i++ {
+		s.RecordFrame(testSnapshot(i)) // no consumer: only 2 fit
+	}
+	if s.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", s.Dropped())
+	}
+	s.Close()
+	n := 0
+	for range s.Snapshots() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("delivered = %d, want 2", n)
+	}
+	s.Close() // idempotent
+}
+
+func TestChannelSinkConcurrentRecord(t *testing.T) {
+	s := NewChannelSink(1, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.RecordFrame(testSnapshot(g*100 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	n := int64(0)
+	for range s.Snapshots() {
+		n++
+	}
+	if n+s.Dropped() != 800 {
+		t.Fatalf("delivered %d + dropped %d != 800", n, s.Dropped())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	want := []Snapshot{testSnapshot(0), testSnapshot(1)}
+	for _, snap := range want {
+		s.RecordFrame(snap)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, line := range lines {
+		var got Snapshot
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("line %d round-trip:\ngot  %+v\nwant %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestJSONLSchemaGolden pins the wire schema: field names and duration
+// encoding (integer nanoseconds) are a contract with external consumers
+// — changing them silently would break dashboards reading the log.
+func TestJSONLSchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.RecordFrame(Snapshot{
+		Source:       SourceScheduler,
+		Label:        "S2",
+		Seq:          3,
+		Frame:        40,
+		FrameLatency: 5 * time.Millisecond,
+		RoundLatency: 250 * time.Microsecond,
+		Objects:      9,
+		Cameras: []CameraSnapshot{
+			{Camera: 0, Latency: 5 * time.Millisecond, Batches: 2, Images: 5, BatchOccupancy: 0.625, Assignments: 5},
+		},
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"source":"scheduler","label":"S2","seq":3,"frame":40,"frame_latency_ns":5000000,"round_latency_ns":250000,"objects":9,"cameras":[{"camera":0,"latency_ns":5000000,"batches":2,"images":5,"batch_occupancy":0.625,"assignments":5}]}`
+	if got := strings.TrimSpace(buf.String()); got != want {
+		t.Fatalf("schema drifted:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+func TestJSONLOpenAppendClose(t *testing.T) {
+	path := t.TempDir() + "/snaps.jsonl"
+	for round := 0; round < 2; round++ {
+		s, err := OpenJSONL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RecordFrame(testSnapshot(round))
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("appended lines = %d, want 2", len(lines))
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if _, ok := Multi().(NopSink); !ok {
+		t.Fatal("Multi() should collapse to NopSink")
+	}
+	if _, ok := Multi(nil, nil).(NopSink); !ok {
+		t.Fatal("Multi(nil, nil) should collapse to NopSink")
+	}
+	one := NewChannelSink(1, 4)
+	if Multi(nil, one) != Sink(one) {
+		t.Fatal("Multi with one sink should return it unwrapped")
+	}
+	two := NewChannelSink(1, 4)
+	m := Multi(one, two)
+	m.RecordFrame(testSnapshot(0))
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	one.Close()
+	two.Close()
+	if n := len(one.Snapshots()); n != 1 {
+		t.Fatalf("first sink got %d snapshots", n)
+	}
+	if n := len(two.Snapshots()); n != 1 {
+		t.Fatalf("second sink got %d snapshots", n)
+	}
+}
+
+func TestLatestSinkHTTP(t *testing.T) {
+	latest := &LatestSink{}
+	rec := httptest.NewRecorder()
+	latest.ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if rec.Code != 404 {
+		t.Fatalf("empty sink status = %d, want 404", rec.Code)
+	}
+
+	want := testSnapshot(7)
+	latest.RecordFrame(testSnapshot(3))
+	latest.RecordFrame(want) // only the latest is retained
+	if err := latest.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	latest.ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("served snapshot:\ngot  %+v\nwant %+v", got, want)
+	}
+	if snap, ok := latest.Latest(); !ok || snap.Seq != 7 {
+		t.Fatalf("Latest() = %+v, %v", snap, ok)
+	}
+}
+
+func TestOpenExport(t *testing.T) {
+	// Zero config: a NopSink and a no-op Close.
+	e, err := OpenExport("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Sink.(NopSink); !ok {
+		t.Fatalf("zero-config sink = %T, want NopSink", e.Sink)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/export.jsonl"
+	e, err = OpenExport("127.0.0.1:0", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Addr == "" {
+		t.Fatal("no bound address reported")
+	}
+	e.Sink.RecordFrame(testSnapshot(0))
+	if snap, ok := e.Latest.Latest(); !ok || snap.Seq != 0 {
+		t.Fatalf("latest = %+v, %v", snap, ok)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"source":"pipeline"`) {
+		t.Fatalf("jsonl file missing snapshot: %q", raw)
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	var s NopSink
+	s.RecordFrame(testSnapshot(0))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"mvs/internal/flow"
 	"mvs/internal/geom"
 	"mvs/internal/gpu"
+	"mvs/internal/metrics"
 	"mvs/internal/profile"
 	"mvs/internal/scene"
 	"mvs/internal/vision"
@@ -44,6 +45,8 @@ type Runtime struct {
 	coverage [][]int
 	policy   *core.DistributedPolicy
 	shadows  []*shadow
+	sink     metrics.Sink
+	label    string
 
 	// Stats.
 	frames     int
@@ -70,6 +73,12 @@ type Config struct {
 	Seed int64
 	// Detector tunes the simulated DNN.
 	Detector vision.Config
+	// Sink, when non-nil, receives one metrics.Snapshot per processed
+	// frame (SourceNode): this camera's modelled latency, batch
+	// occupancy, and track/shadow/detected counts. The node cannot score
+	// recall — it never sees the cross-camera truth denominator — so the
+	// recall fields stay zero.
+	Sink metrics.Sink
 }
 
 // New builds a camera runtime.
@@ -109,8 +118,36 @@ func New(cfg Config) (*Runtime, error) {
 		grid:     grid,
 		coverage: cfg.Coverage,
 		policy:   policy,
+		sink:     cfg.Sink,
+		label:    fmt.Sprintf("camera%d", cfg.Camera),
 		detected: make(map[int]bool),
 	}, nil
+}
+
+// emit records this frame's snapshot, if a sink is attached. frames has
+// already been incremented, so the zero-based frame index is frames-1.
+func (r *Runtime) emit(latency time.Duration, batches, images int, occupancy float64) {
+	if r.sink == nil {
+		return
+	}
+	fi := r.frames - 1
+	r.sink.RecordFrame(metrics.Snapshot{
+		Source:       metrics.SourceNode,
+		Label:        r.label,
+		Seq:          fi,
+		Frame:        fi,
+		Detected:     len(r.detected),
+		FrameLatency: latency,
+		Cameras: []metrics.CameraSnapshot{{
+			Camera:         r.camera,
+			Latency:        latency,
+			Batches:        batches,
+			Images:         images,
+			BatchOccupancy: occupancy,
+			Tracks:         r.tracker.Len(),
+			Shadows:        len(r.shadows),
+		}},
+	})
 }
 
 func max(a, b int) int {
@@ -136,6 +173,7 @@ func (r *Runtime) KeyFrame(obs []scene.Observation) ([]cluster.TrackReport, erro
 	}
 	r.tracker.RefreshSizes()
 	r.shadows = r.shadows[:0]
+	r.emit(lat, 0, 0, 0) // full-frame inspection launches no partial batches
 	return cluster.ReportTracks(r.tracker.Tracks()), nil
 }
 
@@ -234,6 +272,7 @@ func (r *Runtime) RegularFrame(obs []scene.Observation) (time.Duration, error) {
 		}
 	}
 	r.takeoverCheck()
+	r.emit(res.Latency, len(res.Batches), res.Images, gpu.BatchOccupancy(res.Batches, r.exec.Profile()))
 	return res.Latency, nil
 }
 

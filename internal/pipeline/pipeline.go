@@ -121,6 +121,17 @@ type Options struct {
 	// The modelled report fields are identical for every value (see
 	// Report.Modeled and docs/CONCURRENCY.md).
 	Workers int
+	// Sink, when non-nil, receives one metrics.Snapshot per frame —
+	// assembled in fixed camera order after the per-camera merge, from
+	// modelled fields only, so attaching a sink never perturbs the
+	// determinism contract (docs/OBSERVABILITY.md). The sink must accept
+	// concurrent RecordFrame calls if the same instance is shared by
+	// several runs. Run does not Flush the sink; the owner does.
+	Sink metrics.Sink
+	// Label tags this run's snapshots (Snapshot.Label); empty defaults
+	// to the mode name. Experiment harnesses use it to demultiplex
+	// snapshot streams from concurrent runs.
+	Label string
 }
 
 func (o Options) withDefaults() Options {
@@ -257,6 +268,10 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 	if err != nil {
 		return nil, err
 	}
+	label := opts.Label
+	if label == "" {
+		label = opts.Mode.String()
+	}
 	coreCams := make([]core.CameraSpec, len(cams))
 	for i := range cams {
 		coreCams[i] = core.CameraSpec{Index: i, Profile: profiles[i]}
@@ -327,10 +342,11 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 		}
 		isKey := fi%opts.Horizon == 0
 		detectedIDs := make(map[int]bool)
+		results := make([]camFrame, len(cams))
 
 		if isKey {
 			flushHorizon()
-			if err := runKeyFrame(cams, obs, detectedIDs, breakdown, horizonCam, opts); err != nil {
+			if err := runKeyFrame(cams, obs, detectedIDs, breakdown, horizonCam, results, opts); err != nil {
 				return nil, err
 			}
 			if needsModel {
@@ -345,7 +361,7 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 				}
 			}
 		} else {
-			if err := runRegularFrame(cams, obs, detectedIDs, breakdown, horizonCam, policy, opts); err != nil {
+			if err := runRegularFrame(cams, obs, detectedIDs, breakdown, horizonCam, results, policy, opts); err != nil {
 				return nil, err
 			}
 		}
@@ -364,6 +380,14 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 			prevBusy[i] = busy
 		}
 		frameSeries.Add(frameMax)
+
+		// Live export: one snapshot per frame, fixed camera order,
+		// modelled fields only — the sink sees exactly what Modeled()
+		// would report for the frames so far, so attaching one cannot
+		// perturb the determinism contract.
+		if opts.Sink != nil {
+			emitFrameSnapshot(opts.Sink, label, fi, &recall, frameMax, cams, results)
+		}
 	}
 	flushHorizon()
 
@@ -462,11 +486,15 @@ func computeStaticOwners(cams []*cameraState, profiles []*profile.Profile) error
 // one worker goroutine and merged into the shared accumulators (detected
 // set, horizon latencies, overhead breakdown) in fixed camera order —
 // the mechanism that keeps parallel runs bit-identical to sequential
-// ones.
+// ones. The batch counters feed the per-frame observability snapshot;
+// like latency they are modelled quantities, deterministic per camera.
 type camFrame struct {
-	latency  time.Duration
-	truthIDs []int
-	sample   metrics.CameraSample
+	latency   time.Duration
+	truthIDs  []int
+	sample    metrics.CameraSample
+	batches   int
+	images    int
+	occupancy float64
 }
 
 // mergeCamFrames folds per-camera frame shards into the run accumulators
@@ -483,11 +511,45 @@ func mergeCamFrames(results []camFrame, detected map[int]bool,
 	}
 }
 
+// emitFrameSnapshot assembles and records one frame's observability
+// snapshot: cumulative recall, this frame's modelled system latency, and
+// the per-camera latency/batch figures, in ascending camera order. Every
+// field is modelled (deterministic); the snapshot is built from the same
+// merged camFrame shards the report accumulators consume.
+func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
+	recall *metrics.RecallAccumulator, frameMax time.Duration,
+	cams []*cameraState, results []camFrame) {
+	tp, fn := recall.Counts()
+	snap := metrics.Snapshot{
+		Source:       metrics.SourcePipeline,
+		Label:        label,
+		Seq:          frame,
+		Frame:        frame,
+		TP:           tp,
+		FN:           fn,
+		Recall:       recall.Recall(),
+		FrameLatency: frameMax,
+		Cameras:      make([]metrics.CameraSnapshot, len(cams)),
+	}
+	for i, cs := range cams {
+		snap.Cameras[i] = metrics.CameraSnapshot{
+			Camera:         i,
+			Latency:        results[i].latency,
+			Batches:        results[i].batches,
+			Images:         results[i].images,
+			BatchOccupancy: results[i].occupancy,
+			Tracks:         cs.tracker.Len(),
+			Shadows:        len(cs.shadows),
+		}
+	}
+	sink.RecordFrame(snap)
+}
+
 // runKeyFrame performs the full-frame inspections, fanned out per
-// camera.
+// camera. results must hold one zeroed camFrame per camera; it carries
+// the per-camera shards out to the caller for snapshot assembly.
 func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
-	breakdown *metrics.Breakdown, horizonCam []time.Duration, opts Options) error {
-	results := make([]camFrame, len(cams))
+	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame, opts Options) error {
 	err := pool.Do(opts.Workers, len(cams), func(i int) error {
 		return cams[i].keyFrame(obs[i], &results[i])
 	})
@@ -641,8 +703,8 @@ func containsCam(cams []int, cam int) bool {
 // read by the workers; every write stays inside one camera's state and
 // camFrame shard.
 func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
-	breakdown *metrics.Breakdown, horizonCam []time.Duration, policy *core.DistributedPolicy, opts Options) error {
-	results := make([]camFrame, len(cams))
+	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame,
+	policy *core.DistributedPolicy, opts Options) error {
 	var err error
 	if opts.Mode == Full {
 		err = pool.Do(opts.Workers, len(cams), func(i int) error {
@@ -734,6 +796,9 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy *core.Distri
 	}
 	out.sample.Observe("batching", time.Since(batchStart))
 	out.latency = res.Latency
+	out.batches = len(res.Batches)
+	out.images = res.Images
+	out.occupancy = gpu.BatchOccupancy(res.Batches, cs.exec.Profile())
 
 	dets, err := cs.det.DetectRegions(regions, obs)
 	if err != nil {
