@@ -10,6 +10,13 @@
 //	mvscheduler -scenario S2 -seed 42 &
 //	mvnode -addr localhost:7001 -camera 0 -scenario S2 -seed 42
 //	mvnode -addr localhost:7001 -camera 1 -scenario S2 -seed 42
+//
+// The node is fault tolerant (docs/FAULTS.md): the scheduler connection
+// reconnects with capped exponential backoff, a round whose assignment
+// never arrives puts the node in degraded mode — it keeps inspecting all
+// of its own tracks under the last-known priority order and masks — and
+// the next successful round rejoins. -faults injects deterministic
+// connection faults for chaos runs.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"time"
 
 	"mvs/internal/cluster"
+	"mvs/internal/faults"
 	"mvs/internal/metrics"
 	"mvs/internal/node"
 	"mvs/internal/workload"
@@ -34,6 +42,10 @@ func main() {
 		frames      = flag.Int("frames", 1200, "trace length (first half is the model's training split)")
 		horizon     = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
 		rate        = flag.Duration("rate", 0, "real-time pacing per frame (0 = as fast as possible)")
+		deadline    = flag.Duration("deadline", 30*time.Second, "how long a key frame waits for its assignment before degrading")
+		retries     = flag.Int("retries", 4, "connection attempts per operation before degrading")
+		hbEvery     = flag.Int("heartbeat-every", 0, "send a liveness ping every N regular frames (0 = off; pair with mvscheduler -lease)")
+		faultsSpec  = flag.String("faults", "", "inject connection faults, e.g. seed=7,drop=0.05,cut=40 (see docs/FAULTS.md)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8081)")
 		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
 	)
@@ -44,7 +56,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvnode:", err)
 		os.Exit(1)
 	}
-	runErr := run(*addr, *camera, *scenario, *seed, *frames, *horizon, *rate, export)
+	runErr := run(runConfig{
+		addr: *addr, camera: *camera, scenario: *scenario, seed: *seed,
+		frames: *frames, horizon: *horizon, rate: *rate,
+		deadline: *deadline, retries: *retries, hbEvery: *hbEvery,
+		faultsSpec: *faultsSpec, export: export,
+	})
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -54,17 +71,32 @@ func main() {
 	}
 }
 
-func run(addr string, camera int, scenario string, seed int64, frames, horizon int, rate time.Duration, export *metrics.Export) error {
-	s, err := workload.ByName(scenario, seed)
+type runConfig struct {
+	addr       string
+	camera     int
+	scenario   string
+	seed       int64
+	frames     int
+	horizon    int
+	rate       time.Duration
+	deadline   time.Duration
+	retries    int
+	hbEvery    int
+	faultsSpec string
+	export     *metrics.Export
+}
+
+func run(cfg runConfig) error {
+	s, err := workload.ByName(cfg.scenario, cfg.seed)
 	if err != nil {
 		return err
 	}
-	if camera < 0 || camera >= len(s.World.Cameras) {
-		return fmt.Errorf("camera %d out of range: %s has %d cameras", camera, scenario, len(s.World.Cameras))
+	if cfg.camera < 0 || cfg.camera >= len(s.World.Cameras) {
+		return fmt.Errorf("camera %d out of range: %s has %d cameras", cfg.camera, cfg.scenario, len(s.World.Cameras))
 	}
 	log.Printf("camera %d (%s, %s): regenerating world...",
-		camera, s.World.Cameras[camera].Name, s.Devices[camera])
-	trace, err := s.World.Run(frames)
+		cfg.camera, s.World.Cameras[cfg.camera].Name, s.Devices[cfg.camera])
+	trace, err := s.World.Run(cfg.frames)
 	if err != nil {
 		return err
 	}
@@ -72,69 +104,116 @@ func run(addr string, camera int, scenario string, seed int64, frames, horizon i
 	// scheduler's association model.
 	_, test := trace.SplitTrain()
 
-	cam := s.World.Cameras[camera]
-	client, err := cluster.Dial(addr, camera, 10*time.Second, cam.ImageW, cam.ImageH)
-	if err != nil {
-		return err
+	var dial cluster.DialFunc
+	if cfg.faultsSpec != "" {
+		fcfg, err := faults.ParseSpec(cfg.faultsSpec)
+		if err != nil {
+			return err
+		}
+		inj := faults.New(fcfg)
+		dial = cluster.DialFunc(inj.Dialer(nil))
+		log.Printf("fault injection armed: %s", cfg.faultsSpec)
 	}
+
+	cam := s.World.Cameras[cfg.camera]
+	client := cluster.NewReconnectClient(cluster.ReconnectConfig{
+		Addr: cfg.addr, Camera: cfg.camera,
+		FrameW: cam.ImageW, FrameH: cam.ImageH,
+		DialTimeout: 10 * time.Second,
+		Backoff:     cluster.Backoff{Seed: cfg.seed + int64(cfg.camera)},
+		MaxAttempts: cfg.retries,
+		Dial:        dial,
+		Logger:      log.Default(),
+	})
 	defer client.Close()
-	ack := client.Ack()
-	if ack == nil {
+
+	rcfg := node.Config{
+		Camera:     cfg.camera,
+		Frame:      cam.Frame(),
+		Profile:    s.Profiles()[cfg.camera],
+		NumCameras: len(s.World.Cameras),
+		Seed:       cfg.seed,
+		Sink:       cfg.export.Sink,
+	}
+	degradedFromStart := false
+	if err := client.Connect(); err != nil {
+		// The scheduler is unreachable right now: run the whole trace
+		// degraded (maskless — masks only arrive with registration) and
+		// let later key frames rejoin if it comes back.
+		log.Printf("scheduler unreachable (%v); starting degraded", err)
+		degradedFromStart = true
+	} else if ack := client.Ack(); ack != nil {
+		rcfg.GridCols = ack.GridCols
+		rcfg.GridRows = ack.GridRows
+		rcfg.Coverage = ack.Coverage
+		log.Printf("registered: %dx%d mask grid, %d cells",
+			ack.GridCols, ack.GridRows, len(ack.Coverage))
+	} else {
 		return fmt.Errorf("scheduler sent no registration ack payload")
 	}
-	log.Printf("registered: %dx%d mask grid, %d cells",
-		ack.GridCols, ack.GridRows, len(ack.Coverage))
 
-	if export.Addr != "" {
-		log.Printf("serving live metrics at http://%s/metricsz", export.Addr)
+	if cfg.export.Addr != "" {
+		log.Printf("serving live metrics at http://%s/metricsz", cfg.export.Addr)
 	}
-	rt, err := node.New(node.Config{
-		Camera:     camera,
-		Frame:      cam.Frame(),
-		Profile:    s.Profiles()[camera],
-		GridCols:   ack.GridCols,
-		GridRows:   ack.GridRows,
-		Coverage:   ack.Coverage,
-		NumCameras: len(s.World.Cameras),
-		Seed:       seed,
-		Sink:       export.Sink,
-	})
+	rt, err := node.New(rcfg)
 	if err != nil {
 		return err
+	}
+	if degradedFromStart {
+		rt.EnterDegraded()
 	}
 
 	start := time.Now()
 	for fi := range test.Frames {
-		obs := test.Frames[fi].PerCamera[camera]
-		if fi%horizon == 0 {
+		obs := test.Frames[fi].PerCamera[cfg.camera]
+		if fi%cfg.horizon == 0 {
 			reports, err := rt.KeyFrame(obs)
 			if err != nil {
 				return err
 			}
-			assignment, err := client.KeyFrame(fi, reports, 30*time.Second)
+			assignment, err := client.KeyFrame(fi, reports, cfg.deadline)
 			if err != nil {
-				return err
-			}
-			if err := rt.ApplyAssignment(assignment); err != nil {
-				return err
+				if !rt.Degraded() {
+					log.Printf("round %d got no assignment (%v); entering degraded mode", fi, err)
+				}
+				rt.EnterDegraded()
+			} else {
+				if rt.Degraded() {
+					log.Printf("round %d: assignment received, rejoining cluster", fi)
+				}
+				rt.NoteReconnects(client.Reconnects())
+				if err := rt.ApplyAssignment(assignment); err != nil {
+					return err
+				}
 			}
 		} else {
 			if _, err := rt.RegularFrame(obs); err != nil {
 				return err
 			}
+			if cfg.hbEvery > 0 && fi%cfg.hbEvery == 0 {
+				// Keep the liveness lease fresh between key frames; a
+				// failed ping already triggered reconnect attempts, so the
+				// error itself is not actionable here.
+				_ = client.Ping(0)
+			}
 		}
-		if rate > 0 {
-			time.Sleep(rate)
+		if cfg.rate > 0 {
+			time.Sleep(cfg.rate)
 		}
 	}
+	rt.NoteReconnects(client.Reconnects())
 
 	st := rt.Stats()
 	log.Printf("done in %v wall time", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("camera %d summary:\n", camera)
+	fmt.Printf("camera %d summary:\n", cfg.camera)
 	fmt.Printf("  frames:            %d\n", st.Frames)
 	fmt.Printf("  mean inference:    %v/frame\n", st.MeanLatency.Round(100_000))
 	fmt.Printf("  distinct objects:  %d detected\n", st.DetectedObjects)
 	fmt.Printf("  final tracks:      %d active, %d shadows\n", st.ActiveTracks, st.Shadows)
+	if st.DegradedFrames > 0 || st.Reconnects > 0 {
+		fmt.Printf("  resilience:        %d degraded frames, %d reconnects\n",
+			st.DegradedFrames, st.Reconnects)
+	}
 	// Uplink usage vs the testbed's 20 Mbps budget: key-frame uploads are
 	// tiny compared to streaming video, which is the point of onboard
 	// processing.

@@ -15,6 +15,12 @@
 // snapshot as JSON at /metricsz; -metrics-jsonl appends one snapshot
 // per round to a file (see docs/OBSERVABILITY.md). SIGINT/SIGTERM shut
 // the scheduler down cleanly, flushing the metrics log.
+//
+// Resilience (docs/FAULTS.md): -round-timeout bounds how long a round
+// waits for stragglers before scheduling with the reports received so
+// far; -lease stops silent cameras from blocking the barrier (pair with
+// mvnode -heartbeat-every); -faults wraps the listener in a
+// deterministic fault injector for chaos runs.
 package main
 
 import (
@@ -25,31 +31,36 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mvs/internal/assoc"
 	"mvs/internal/cluster"
+	"mvs/internal/faults"
 	"mvs/internal/metrics"
 	"mvs/internal/workload"
 )
 
 func main() {
 	var (
-		listen      = flag.String("listen", ":7001", "listen address")
-		scenario    = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
-		seed        = flag.Int64("seed", 42, "shared simulation seed")
-		frames      = flag.Int("frames", 1200, "trace length used for model training")
-		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
-		metricsLog  = flag.String("metrics-jsonl", "", "append per-round metrics snapshots to this JSONL file")
+		listen       = flag.String("listen", ":7001", "listen address")
+		scenario     = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
+		seed         = flag.Int64("seed", 42, "shared simulation seed")
+		frames       = flag.Int("frames", 1200, "trace length used for model training")
+		roundTimeout = flag.Duration("round-timeout", 30*time.Second, "schedule an incomplete round after this long (0 = wait forever)")
+		lease        = flag.Duration("lease", 0, "treat a camera silent for this long as dead for round barriers (0 = off)")
+		faultsSpec   = flag.String("faults", "", "inject connection faults on accepted connections, e.g. seed=7,reset=0.02 (see docs/FAULTS.md)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
+		metricsLog   = flag.String("metrics-jsonl", "", "append per-round metrics snapshots to this JSONL file")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *scenario, *seed, *frames, *metricsAddr, *metricsLog); err != nil {
+	if err := run(*listen, *scenario, *seed, *frames, *roundTimeout, *lease, *faultsSpec, *metricsAddr, *metricsLog); err != nil {
 		fmt.Fprintln(os.Stderr, "mvscheduler:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, scenario string, seed int64, frames int, metricsAddr, metricsLog string) error {
+func run(listen, scenario string, seed int64, frames int, roundTimeout, lease time.Duration, faultsSpec, metricsAddr, metricsLog string) error {
 	s, err := workload.ByName(scenario, seed)
 	if err != nil {
 		return err
@@ -70,7 +81,8 @@ func run(listen, scenario string, seed int64, frames int, metricsAddr, metricsLo
 		return err
 	}
 	sched, err := cluster.NewScheduler(model, s.Profiles(), 0,
-		cluster.WithLogger(log.Default()), cluster.WithSink(export.Sink))
+		cluster.WithLogger(log.Default()), cluster.WithSink(export.Sink),
+		cluster.WithRoundTimeout(roundTimeout), cluster.WithLease(lease))
 	if err != nil {
 		_ = export.Close()
 		return err
@@ -83,6 +95,16 @@ func run(listen, scenario string, seed int64, frames int, metricsAddr, metricsLo
 	if err != nil {
 		_ = export.Close()
 		return err
+	}
+	if faultsSpec != "" {
+		fcfg, err := faults.ParseSpec(faultsSpec)
+		if err != nil {
+			_ = export.Close()
+			ln.Close()
+			return err
+		}
+		ln = faults.New(fcfg).Listener(ln)
+		log.Printf("fault injection armed: %s", faultsSpec)
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,72 @@
+// Package clock abstracts wall time for retry and backoff logic. The
+// cluster's reconnecting client sleeps between attempts; injecting a
+// Clock lets tests drive the full backoff schedule without real sleeps
+// (the Fake clock advances instantly and records every requested
+// delay).
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface retry logic needs.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d (or, for fakes, advances time by d).
+	Sleep(d time.Duration)
+}
+
+// System is the real wall clock.
+type System struct{}
+
+// Now returns time.Now().
+func (System) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (System) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Fake is a manual clock for tests. Sleep returns immediately: it
+// advances the fake time by the requested duration and records it, so a
+// test can assert an entire backoff schedule synchronously.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+// NewFake returns a fake clock whose current time is start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep advances the fake time by d and records the requested duration.
+// Negative durations are recorded but do not move time backwards.
+func (f *Fake) Sleep(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sleeps = append(f.sleeps, d)
+	if d > 0 {
+		f.now = f.now.Add(d)
+	}
+}
+
+// Advance moves the fake time forward by d without recording a sleep.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// Sleeps returns a copy of every duration passed to Sleep, in order.
+func (f *Fake) Sleeps() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.sleeps...)
+}

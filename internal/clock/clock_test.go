@@ -1,0 +1,43 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemClock(t *testing.T) {
+	var c Clock = System{}
+	before := time.Now()
+	if c.Now().Before(before) {
+		t.Fatal("System.Now went backwards")
+	}
+	c.Sleep(time.Millisecond) // smoke: returns
+}
+
+func TestFakeClockSleepAdvancesAndRecords(t *testing.T) {
+	start := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	f.Sleep(100 * time.Millisecond)
+	f.Sleep(200 * time.Millisecond)
+	f.Sleep(-time.Second) // recorded, but time never moves backwards
+	if got := f.Now(); !got.Equal(start.Add(300 * time.Millisecond)) {
+		t.Fatalf("now = %v", got)
+	}
+	sleeps := f.Sleeps()
+	if len(sleeps) != 3 || sleeps[0] != 100*time.Millisecond ||
+		sleeps[1] != 200*time.Millisecond || sleeps[2] != -time.Second {
+		t.Fatalf("sleeps = %v", sleeps)
+	}
+}
+
+func TestFakeClockAdvance(t *testing.T) {
+	start := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	f.Advance(5 * time.Second)
+	if got := f.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("now = %v", got)
+	}
+	if len(f.Sleeps()) != 0 {
+		t.Fatal("Advance recorded a sleep")
+	}
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"mvs/internal/clock"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Jitter: -1} // defaults, jitter disabled
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	if got := b.Delay(-3); got != want[0] {
+		t.Fatalf("Delay(-3) = %v, want %v", got, want[0])
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Seed: 42} // default 20% jitter
+	for attempt := 0; attempt < 8; attempt++ {
+		d1 := b.Delay(attempt)
+		d2 := b.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		nominal := Backoff{Seed: 42, Jitter: -1}.Delay(attempt)
+		lo := time.Duration(float64(nominal) * 0.8)
+		hi := time.Duration(float64(nominal) * 1.2)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("Delay(%d) = %v outside jitter band [%v, %v]", attempt, d1, lo, hi)
+		}
+	}
+	// Different seeds spread differently somewhere in the schedule.
+	other := Backoff{Seed: 43}
+	same := true
+	for attempt := 0; attempt < 8; attempt++ {
+		if b.Delay(attempt) != other.Delay(attempt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produce identical schedules")
+	}
+}
+
+func TestReconnectClientRetriesOnFakeClock(t *testing.T) {
+	// Every dial fails: the client must walk the full backoff schedule on
+	// the fake clock — recording, not serving, the sleeps — and give up
+	// after MaxAttempts with the dial error.
+	fake := clock.NewFake(time.Unix(0, 0))
+	dialErr := errors.New("synthetic dial failure")
+	dials := 0
+	rc := NewReconnectClient(ReconnectConfig{
+		Addr: "test:0", Camera: 0,
+		Backoff:     Backoff{Seed: 7},
+		MaxAttempts: 4,
+		Clock:       fake,
+		Dial: func(string, time.Duration) (net.Conn, error) {
+			dials++
+			return nil, dialErr
+		},
+	})
+	defer rc.Close()
+
+	err := rc.Connect()
+	if !errors.Is(err, dialErr) {
+		t.Fatalf("Connect error = %v, want wrapped %v", err, dialErr)
+	}
+	if dials != 4 {
+		t.Fatalf("dials = %d, want 4", dials)
+	}
+	sleeps := fake.Sleeps()
+	if len(sleeps) != 3 {
+		t.Fatalf("sleeps = %v, want 3 entries", sleeps)
+	}
+	b := Backoff{Seed: 7}
+	for i, d := range sleeps {
+		if want := b.Delay(i); d != want {
+			t.Fatalf("sleep %d = %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestReconnectClientRecoversMidSchedule(t *testing.T) {
+	// The first two dials fail, the third reaches a real scheduler: the
+	// operation succeeds, two backoff delays were slept (on the fake
+	// clock), and the registration ack is available.
+	_, addr := startScheduler(t)
+	fake := clock.NewFake(time.Unix(0, 0))
+	dials := 0
+	rc := NewReconnectClient(ReconnectConfig{
+		Addr: addr, Camera: 0,
+		Backoff:     Backoff{Seed: 1},
+		MaxAttempts: 4,
+		Clock:       fake,
+		Dial: func(a string, timeout time.Duration) (net.Conn, error) {
+			dials++
+			if dials <= 2 {
+				return nil, fmt.Errorf("flaky dial %d", dials)
+			}
+			return net.DialTimeout("tcp", a, timeout)
+		},
+	})
+	defer rc.Close()
+
+	if err := rc.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if dials != 3 {
+		t.Fatalf("dials = %d, want 3", dials)
+	}
+	if got := len(fake.Sleeps()); got != 2 {
+		t.Fatalf("sleeps = %d, want 2", got)
+	}
+	if rc.Ack() == nil {
+		t.Fatal("no registration ack after Connect")
+	}
+	// First successful connection is not a reconnect.
+	if n := rc.Reconnects(); n != 0 {
+		t.Fatalf("reconnects = %d, want 0", n)
+	}
+	if err := rc.Ping(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconnectClientClosedFailsFast(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	rc := NewReconnectClient(ReconnectConfig{
+		Addr: "test:0", Camera: 0, Clock: fake,
+		Dial: func(string, time.Duration) (net.Conn, error) {
+			t.Fatal("dial after Close")
+			return nil, nil
+		},
+	})
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Connect(); !errors.Is(err, errClosed) {
+		t.Fatalf("Connect after Close = %v, want errClosed", err)
+	}
+	if len(fake.Sleeps()) != 0 {
+		t.Fatal("closed client slept")
+	}
+}

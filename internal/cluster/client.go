@@ -29,11 +29,16 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Client is a camera node's connection to the central scheduler.
+// Client is a camera node's connection to the central scheduler. It is
+// single-owner: one goroutine drives KeyFrame/Ping at a time. For a
+// client that survives connection loss, wrap the dial in a
+// ReconnectClient.
 type Client struct {
 	camera int
 	conn   *countingConn
 	ack    *HelloAck
+	io     time.Duration
+	pings  int
 }
 
 // Dial connects to the scheduler and performs the hello handshake. When
@@ -47,25 +52,36 @@ func Dial(addr string, camera int, timeout time.Duration, frameW, frameH float64
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
+	return NewClientConn(raw, camera, timeout, frameW, frameH)
+}
+
+// NewClientConn performs the hello handshake over an established
+// connection (e.g. one wrapped by a fault injector or custom dialer) and
+// returns the registered client. On error the connection is closed. The
+// handshake — write and ack read — is bounded by timeout.
+func NewClientConn(raw net.Conn, camera int, timeout time.Duration, frameW, frameH float64) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	conn := &countingConn{Conn: raw}
 	c := &Client{camera: camera, conn: conn}
 	hello := &Hello{Camera: camera, FrameW: frameW, FrameH: frameH}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: set deadline: %w", err)
+	}
 	if err := WriteMessage(conn, &Envelope{Type: TypeHello, Hello: hello}); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	// Wait for the registration ack so a successful Dial means the
+	// Wait for the registration ack so a successful handshake means the
 	// scheduler has accepted this camera index.
-	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("cluster: set deadline: %w", err)
-	}
 	ack, err := ReadMessage(conn)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: handshake: %w", err)
 	}
-	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+	if err := conn.SetDeadline(time.Time{}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: clear deadline: %w", err)
 	}
@@ -97,8 +113,24 @@ func (c *Client) BytesReceived() int64 { return c.conn.received.Load() }
 // frame size.
 func (c *Client) Ack() *HelloAck { return c.ack }
 
+// SetIOTimeout bounds each subsequent message write with a deadline
+// (zero disables, the default). A peer that stops draining its socket
+// then fails the writer within d instead of blocking it forever.
+func (c *Client) SetIOTimeout(d time.Duration) { c.io = d }
+
 // Close drops the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// write sends one envelope under the per-message write deadline.
+func (c *Client) write(env *Envelope) error {
+	if c.io > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.io)); err != nil {
+			return fmt.Errorf("cluster: set write deadline: %w", err)
+		}
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	return WriteMessage(c.conn, env)
+}
 
 // ReportTracks converts live tracks to wire form.
 func ReportTracks(tracks []*flow.Track) []TrackReport {
@@ -116,6 +148,11 @@ func ReportTracks(tracks []*flow.Track) []TrackReport {
 // KeyFrame uploads the camera's track list for a key frame and blocks
 // until the scheduler replies with this round's assignment (or an
 // error). deadline bounds the wait; zero means 10 seconds.
+//
+// While waiting, messages other than this round's assignment — stale
+// assignments from earlier rounds, pongs, pings, and any type this
+// client version does not know — are skipped, so protocol additions and
+// reconnect races never fail a round.
 func (c *Client) KeyFrame(frame int, tracks []TrackReport, deadline time.Duration) (*Assignment, error) {
 	if deadline <= 0 {
 		deadline = 10 * time.Second
@@ -124,7 +161,7 @@ func (c *Client) KeyFrame(frame int, tracks []TrackReport, deadline time.Duratio
 		Type:       TypeDetections,
 		Detections: &Detections{Camera: c.camera, Frame: frame, Tracks: tracks},
 	}
-	if err := WriteMessage(c.conn, env); err != nil {
+	if err := c.write(env); err != nil {
 		return nil, err
 	}
 	if err := c.conn.SetReadDeadline(time.Now().Add(deadline)); err != nil {
@@ -149,7 +186,47 @@ func (c *Client) KeyFrame(frame int, tracks []TrackReport, deadline time.Duratio
 		case TypeError:
 			return nil, fmt.Errorf("cluster: scheduler error: %s", reply.Error)
 		default:
-			return nil, fmt.Errorf("cluster: unexpected message type %q", reply.Type)
+			// Heartbeats and unknown (newer-protocol) types are not this
+			// round's business; skip them.
+			continue
+		}
+	}
+}
+
+// Ping sends a heartbeat and waits for the scheduler's pong, skipping
+// unrelated messages (a stale assignment in flight is discardable — the
+// round it answered has already been given up on). timeout bounds the
+// whole exchange; zero means 2 seconds. A nil error means the scheduler
+// is alive and this camera's liveness lease has been refreshed.
+func (c *Client) Ping(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	c.pings++
+	seq := c.pings
+	env := &Envelope{Type: TypePing, Heartbeat: &Heartbeat{Camera: c.camera, Seq: seq}}
+	if err := c.write(env); err != nil {
+		return err
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return fmt.Errorf("cluster: set deadline: %w", err)
+	}
+	defer c.conn.SetReadDeadline(time.Time{})
+	for {
+		reply, err := ReadMessage(c.conn)
+		if err != nil {
+			return fmt.Errorf("cluster: camera %d await pong: %w", c.camera, err)
+		}
+		switch reply.Type {
+		case TypePong:
+			if reply.Heartbeat == nil || reply.Heartbeat.Seq == seq {
+				return nil
+			}
+			continue // a pong for an older ping
+		case TypeError:
+			return fmt.Errorf("cluster: scheduler error: %s", reply.Error)
+		default:
+			continue
 		}
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"math"
 	"net"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -241,7 +240,11 @@ func TestMultipleRounds(t *testing.T) {
 	}
 }
 
-func TestDuplicateCameraRejected(t *testing.T) {
+func TestDuplicateCameraTakesOver(t *testing.T) {
+	// A second registration for a live camera index is a reconnect: the
+	// new connection takes over and the old one is closed, so a node
+	// whose old socket is half-dead can rejoin without waiting for the
+	// scheduler to notice the corpse.
 	_, addr := startScheduler(t)
 	c0, err := Dial(addr, 0, 0, 0, 0)
 	if err != nil {
@@ -249,20 +252,24 @@ func TestDuplicateCameraRejected(t *testing.T) {
 	}
 	defer c0.Close()
 
-	conn, err := net.Dial("tcp", addr)
+	c0again, err := Dial(addr, 0, 0, 0, 0)
 	if err != nil {
+		t.Fatalf("takeover registration rejected: %v", err)
+	}
+	defer c0again.Close()
+
+	// The displaced connection is closed by the scheduler: its next read
+	// fails rather than hanging.
+	if err := c0.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
-	if err := WriteMessage(conn, &Envelope{Type: TypeHello, Hello: &Hello{Camera: 0}}); err != nil {
-		t.Fatal(err)
+	if _, err := ReadMessage(c0.conn); err == nil {
+		t.Fatal("displaced connection still readable, want closed")
 	}
-	reply, err := ReadMessage(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if reply.Type != TypeError || !strings.Contains(reply.Error, "already connected") {
-		t.Fatalf("reply = %+v", reply)
+
+	// The new connection is live: a ping round-trips.
+	if err := c0again.Ping(0); err != nil {
+		t.Fatalf("ping on takeover connection: %v", err)
 	}
 }
 

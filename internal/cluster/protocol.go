@@ -22,13 +22,29 @@ import (
 // length prefixes.
 const MaxMessageSize = 4 << 20
 
-// Message types.
+// Message types. Receivers must skip types they do not understand (see
+// Client.KeyFrame and the scheduler's handle loop), so new types can be
+// added without breaking older peers.
 const (
 	TypeHello      = "hello"
 	TypeDetections = "detections"
 	TypeAssignment = "assignment"
 	TypeError      = "error"
+	// TypePing and TypePong are lightweight liveness heartbeats: a node
+	// pings between key frames, the scheduler echoes a pong and refreshes
+	// the camera's liveness lease (docs/FAULTS.md).
+	TypePing = "ping"
+	TypePong = "pong"
 )
+
+// Heartbeat is the ping/pong payload. Seq lets a sender match pongs to
+// pings; the scheduler echoes it untouched.
+type Heartbeat struct {
+	// Camera is the pinging node's index.
+	Camera int `json:"camera"`
+	// Seq is a sender-local heartbeat counter.
+	Seq int `json:"seq,omitempty"`
+}
 
 // Hello registers a camera with the scheduler.
 type Hello struct {
@@ -104,11 +120,15 @@ type Envelope struct {
 	Ack        *HelloAck   `json:"ack,omitempty"`
 	Detections *Detections `json:"detections,omitempty"`
 	Assignment *Assignment `json:"assignment,omitempty"`
+	Heartbeat  *Heartbeat  `json:"heartbeat,omitempty"`
 	Error      string      `json:"error,omitempty"`
 }
 
 // WriteMessage frames and writes one envelope: 4-byte big-endian length,
-// then the JSON body.
+// then the JSON body, issued as a single Write. One write per envelope
+// means concurrent writers sharing a conn (each envelope guarded by its
+// own lock) cannot interleave a torn header/body pair, and each message
+// costs one syscall instead of two.
 func WriteMessage(w io.Writer, env *Envelope) error {
 	body, err := json.Marshal(env)
 	if err != nil {
@@ -117,13 +137,11 @@ func WriteMessage(w io.Writer, env *Envelope) error {
 	if len(body) > MaxMessageSize {
 		return fmt.Errorf("cluster: message %d bytes exceeds limit", len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("cluster: write header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("cluster: write body: %w", err)
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("cluster: write message: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"mvs/internal/metrics"
+)
+
+// countingWriter counts Write calls, so framing tests can assert a
+// message leaves in one piece.
+type countingWriter struct {
+	buf    bytes.Buffer
+	writes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+func TestWriteMessageSingleWrite(t *testing.T) {
+	// One message must be one Write: header and body split across two
+	// writes interleave when two goroutines share a conn without the
+	// sender mutex, and double the syscall count on the hot path.
+	var w countingWriter
+	env := &Envelope{Type: TypePing, Heartbeat: &Heartbeat{Camera: 3, Seq: 9}}
+	if err := WriteMessage(&w, env); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("writes = %d, want 1", w.writes)
+	}
+	raw := w.buf.Bytes()
+	if len(raw) < 5 {
+		t.Fatalf("frame too short: %d bytes", len(raw))
+	}
+	if got := binary.BigEndian.Uint32(raw[:4]); int(got) != len(raw)-4 {
+		t.Fatalf("length prefix %d, body %d", got, len(raw)-4)
+	}
+	out, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != TypePing || out.Heartbeat == nil || out.Heartbeat.Seq != 9 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+// pipeClient builds a Client directly over one end of a net.Pipe,
+// bypassing the handshake, so protocol-level behaviour can be tested
+// against a hand-scripted peer.
+func pipeClient(camera int) (*Client, net.Conn) {
+	a, b := net.Pipe()
+	return &Client{camera: camera, conn: &countingConn{Conn: a}}, b
+}
+
+func TestKeyFrameSkipsUnknownAndStaleMessages(t *testing.T) {
+	c, peer := pipeClient(0)
+	defer c.Close()
+	defer peer.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		// Consume the detections upload.
+		if _, err := ReadMessage(peer); err != nil {
+			done <- err
+			return
+		}
+		// Reply with noise first: an unknown (future-protocol) type, an
+		// unsolicited pong, and a stale assignment from an earlier round.
+		// A tolerant client skips all three.
+		noise := []*Envelope{
+			{Type: "gossip"},
+			{Type: TypePong, Heartbeat: &Heartbeat{Seq: 1}},
+			{Type: TypeAssignment, Assignment: &Assignment{Frame: 10, Priority: []int{0}}},
+			{Type: TypeAssignment, Assignment: &Assignment{Frame: 20, Priority: []int{0}, Keep: []int{5}}},
+		}
+		for _, env := range noise {
+			if err := WriteMessage(peer, env); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	a, err := c.KeyFrame(20, []TrackReport{{TrackID: 5, Size: 64}}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Frame != 20 || len(a.Keep) != 1 || a.Keep[0] != 5 {
+		t.Fatalf("assignment = %+v", a)
+	}
+	if err := <-done; err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+}
+
+func TestPingMatchesSequence(t *testing.T) {
+	c, peer := pipeClient(2)
+	defer c.Close()
+	defer peer.Close()
+
+	go func() {
+		env, err := ReadMessage(peer)
+		if err != nil {
+			return
+		}
+		// An old pong first (wrong seq), then the right one.
+		_ = WriteMessage(peer, &Envelope{Type: TypePong, Heartbeat: &Heartbeat{Seq: env.Heartbeat.Seq + 100}})
+		_ = WriteMessage(peer, &Envelope{Type: TypePong, Heartbeat: env.Heartbeat})
+	}()
+	if err := c.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTimeoutSchedulesPartialRound(t *testing.T) {
+	// Two cameras register, one reports: with a round timeout the round
+	// must complete anyway, marked Partial in its snapshot, instead of
+	// waiting on the silent camera forever.
+	model, profiles := testModel(t)
+	sink := metrics.NewChannelSink(1, 16)
+	s, err := NewScheduler(model, profiles, 0,
+		WithRoundTimeout(200*time.Millisecond), WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+	defer func() {
+		s.Close()
+		ln.Close()
+	}()
+	addr := ln.Addr().String()
+
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close() // registered but never reports
+
+	a, err := c0.KeyFrame(0, []TrackReport{{TrackID: 1, Box: [4]float64{100, 100, 150, 150}, Size: 64}}, 10*time.Second)
+	if err != nil {
+		t.Fatalf("partial round never scheduled: %v", err)
+	}
+	if a.Frame != 0 {
+		t.Fatalf("assignment frame = %d", a.Frame)
+	}
+	select {
+	case snap := <-sink.Snapshots():
+		if !snap.Partial {
+			t.Fatalf("snapshot not marked partial: %+v", snap)
+		}
+		if snap.Source != metrics.SourceScheduler {
+			t.Fatalf("snapshot source = %q", snap.Source)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no round snapshot")
+	}
+}
+
+func TestLeaseExpiryUnblocksBarrier(t *testing.T) {
+	// With a liveness lease, a camera that has gone silent longer than
+	// the lease does not block the barrier: the round completes without
+	// it and no round timeout is needed.
+	model, profiles := testModel(t)
+	s, err := NewScheduler(model, profiles, 0, WithLease(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+	defer func() {
+		s.Close()
+		ln.Close()
+	}()
+	addr := ln.Addr().String()
+
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// Let camera 1's lease lapse, then report from camera 0 only.
+	time.Sleep(250 * time.Millisecond)
+	if _, err := c0.KeyFrame(0, []TrackReport{{TrackID: 1, Box: [4]float64{100, 100, 150, 150}, Size: 64}}, 5*time.Second); err != nil {
+		t.Fatalf("round blocked on leased-out camera: %v", err)
+	}
+}
+
+func TestHeartbeatRefreshesLease(t *testing.T) {
+	// White-box: a ping must advance the camera's lastSeen, which is what
+	// keeps its lease fresh between key frames.
+	s, addr := startScheduler(t)
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+
+	s.mu.Lock()
+	before := s.conns[0].lastSeen
+	s.mu.Unlock()
+	time.Sleep(10 * time.Millisecond)
+	if err := c0.Ping(0); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	after := s.conns[0].lastSeen
+	s.mu.Unlock()
+	if !after.After(before) {
+		t.Fatalf("lastSeen not refreshed: %v -> %v", before, after)
+	}
+}

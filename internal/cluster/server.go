@@ -27,16 +27,29 @@ const (
 // per camera, barriers each key-frame round until every camera has
 // uploaded its detections, then runs association + central BALB and
 // replies to all cameras.
+//
+// Resilience (all opt-in, see docs/FAULTS.md): WithRoundTimeout bounds
+// how long a round may wait for stragglers before being scheduled with
+// the reports received so far; WithLease stops silent (dead but still
+// connected) cameras from blocking the barrier, with heartbeat pings
+// refreshing the lease between key frames; a camera reconnecting while
+// its old connection lingers takes the registration over.
 type Scheduler struct {
-	model    *assoc.Model
-	cams     []core.CameraSpec
-	minIoU   float64
-	logger   *log.Logger
-	sink     metrics.Sink
-	shutdown chan struct{}
+	model        *assoc.Model
+	cams         []core.CameraSpec
+	minIoU       float64
+	logger       *log.Logger
+	sink         metrics.Sink
+	roundTimeout time.Duration
+	lease        time.Duration
+	shutdown     chan struct{}
 
 	closeOnce sync.Once
 	handlers  sync.WaitGroup
+	// timers tracks in-flight round-timeout completions. Additions
+	// happen under mu while !closed, so Close's Wait cannot race a
+	// late Add.
+	timers sync.WaitGroup
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -50,6 +63,10 @@ type schedConn struct {
 	camera int
 	conn   net.Conn
 	wmu    sync.Mutex
+	// lastSeen is the arrival time of the camera's latest message
+	// (hello, detections, or ping), guarded by the scheduler's mu; the
+	// liveness lease compares against it.
+	lastSeen time.Time
 }
 
 func (sc *schedConn) send(env *Envelope) error {
@@ -60,6 +77,15 @@ func (sc *schedConn) send(env *Envelope) error {
 
 type round struct {
 	reports map[int]*Detections
+	// timer fires the round timeout; nil when WithRoundTimeout is off.
+	// Stopped whenever the round is removed for completion or GC.
+	timer *time.Timer
+}
+
+func (r *round) stopTimer() {
+	if r.timer != nil {
+		r.timer.Stop()
+	}
 }
 
 // Option configures a Scheduler at construction. Observability hooks
@@ -87,6 +113,36 @@ func WithSink(sink metrics.Sink) Option {
 	return func(s *Scheduler) {
 		if sink != nil {
 			s.sink = sink
+		}
+	}
+}
+
+// WithRoundTimeout bounds a scheduling round's barrier: a round that is
+// still incomplete d after its first report is scheduled with the
+// reports received so far (marked Partial in its snapshot), so one
+// stalled or partitioned camera cannot stall every other camera forever.
+// It also enables stale-round GC: completing round F drops pending
+// rounds for earlier frames, whose reporters have long timed out and
+// moved on. Zero or negative disables (the default): rounds wait
+// indefinitely, the pre-fault-tolerance behaviour.
+func WithRoundTimeout(d time.Duration) Option {
+	return func(s *Scheduler) {
+		if d > 0 {
+			s.roundTimeout = d
+		}
+	}
+}
+
+// WithLease sets the camera liveness lease: a connected camera whose
+// last message (report or heartbeat ping) is older than d no longer
+// blocks round barriers — its TCP connection may be half-dead without
+// the OS noticing. Heartbeats between key frames keep a healthy
+// camera's lease fresh. Zero or negative disables (the default): every
+// connected camera blocks the barrier.
+func WithLease(d time.Duration) Option {
+	return func(s *Scheduler) {
+		if d > 0 {
+			s.lease = d
 		}
 	}
 }
@@ -181,9 +237,15 @@ func (s *Scheduler) Close() {
 		for _, c := range s.conns {
 			c.conn.Close()
 		}
+		for _, r := range s.rounds {
+			r.stopTimer()
+		}
 		s.mu.Unlock()
 	})
 	s.handlers.Wait()
+	// A round timeout that had already fired may still be completing;
+	// wait it out so nothing touches the sink or logger after Close.
+	s.timers.Wait()
 }
 
 // emit delivers a round snapshot unless the scheduler has been closed.
@@ -219,7 +281,7 @@ func (s *Scheduler) handle(conn net.Conn) {
 		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: fmt.Sprintf("camera %d out of range", cam)})
 		return
 	}
-	sc := &schedConn{camera: cam, conn: conn}
+	sc := &schedConn{camera: cam, conn: conn, lastSeen: time.Now()}
 	s.mu.Lock()
 	if s.closed {
 		// Raced with Close: this connection was accepted before the
@@ -228,10 +290,16 @@ func (s *Scheduler) handle(conn net.Conn) {
 		s.mu.Unlock()
 		return
 	}
-	if _, dup := s.conns[cam]; dup {
-		s.mu.Unlock()
-		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: fmt.Sprintf("camera %d already connected", cam)})
-		return
+	if old, dup := s.conns[cam]; dup {
+		// A reconnecting camera takes over its registration: the old
+		// connection may be half-dead (the node crashed, or a NAT ate the
+		// flow) without this end noticing, and rejecting the new one
+		// would lock the camera out until the OS gives up. Closing the
+		// old conn makes its handler exit; its cleanup sees it has been
+		// replaced and leaves the new registration alone.
+		old.conn.Close()
+		s.logger.Printf("cluster: camera %d reconnected, replacing previous connection from %v",
+			cam, old.conn.RemoteAddr())
 	}
 	s.conns[cam] = sc
 	s.mu.Unlock()
@@ -260,7 +328,11 @@ func (s *Scheduler) handle(conn net.Conn) {
 
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, cam)
+		// Only unregister if this conn still owns the slot — a
+		// reconnect may have taken it over.
+		if s.conns[cam] == sc {
+			delete(s.conns, cam)
+		}
 		ready := s.readyRoundsLocked()
 		s.mu.Unlock()
 		// A camera dropping out must not stall in-flight rounds: any
@@ -276,29 +348,56 @@ func (s *Scheduler) handle(conn net.Conn) {
 			s.logger.Printf("cluster: camera %d read: %v", cam, err)
 			return
 		}
-		if env.Type != TypeDetections || env.Detections == nil {
+		switch {
+		case env.Type == TypePing:
+			s.touch(sc)
+			_ = sc.send(&Envelope{Type: TypePong, Heartbeat: env.Heartbeat})
+		case env.Type == TypeDetections && env.Detections != nil:
+			if env.Detections.Camera != cam {
+				_ = sc.send(&Envelope{Type: TypeError, Error: "camera id mismatch"})
+				continue
+			}
+			s.touch(sc)
+			s.submit(env.Detections)
+		case env.Type == TypeDetections || env.Type == TypeHello:
+			// A malformed known message is a protocol error worth
+			// reporting back.
 			_ = sc.send(&Envelope{Type: TypeError, Error: "expected detections"})
-			continue
+		default:
+			// Unknown (newer-protocol) types are skipped, mirroring the
+			// client's tolerance, so mixed-version fleets keep running.
+			s.logger.Printf("cluster: camera %d sent unknown message type %q, ignoring", cam, env.Type)
 		}
-		if env.Detections.Camera != cam {
-			_ = sc.send(&Envelope{Type: TypeError, Error: "camera id mismatch"})
-			continue
-		}
-		s.submit(env.Detections)
 	}
 }
 
-// roundCompleteLocked reports whether every currently connected camera
-// has reported for the round. Reports from since-disconnected cameras
-// still count toward scheduling; rounds with no reports never complete.
+// touch refreshes a camera's liveness lease.
+func (s *Scheduler) touch(sc *schedConn) {
+	s.mu.Lock()
+	sc.lastSeen = time.Now()
+	s.mu.Unlock()
+}
+
+// roundCompleteLocked reports whether every currently connected, live
+// camera has reported for the round. Reports from since-disconnected
+// cameras still count toward scheduling; rounds with no reports never
+// complete. With a lease configured, a connected camera whose last
+// message is older than the lease is treated as dead and does not block.
 func (s *Scheduler) roundCompleteLocked(r *round) bool {
 	if len(r.reports) == 0 {
 		return false
 	}
-	for cam := range s.conns {
-		if _, ok := r.reports[cam]; !ok {
-			return false
+	now := time.Now()
+	for cam, sc := range s.conns {
+		if _, ok := r.reports[cam]; ok {
+			continue
 		}
+		if s.lease > 0 && now.Sub(sc.lastSeen) > s.lease {
+			s.logger.Printf("cluster: camera %d lease expired (%v since last message), not blocking rounds",
+				cam, now.Sub(sc.lastSeen).Round(time.Millisecond))
+			continue
+		}
+		return false
 	}
 	return true
 }
@@ -309,6 +408,7 @@ func (s *Scheduler) readyRoundsLocked() map[int]*round {
 	ready := make(map[int]*round)
 	for frame, r := range s.rounds {
 		if s.roundCompleteLocked(r) {
+			r.stopTimer()
 			ready[frame] = r
 			delete(s.rounds, frame)
 		}
@@ -317,18 +417,25 @@ func (s *Scheduler) readyRoundsLocked() map[int]*round {
 }
 
 // submit records a camera's key-frame report and, once the round is
-// complete (every connected camera has reported), runs the central stage
-// and replies to every camera.
+// complete (every connected live camera has reported), runs the central
+// stage and replies to every camera. With a round timeout configured, a
+// round's clock starts at its first report; on expiry the round is
+// scheduled with whatever has arrived.
 func (s *Scheduler) submit(det *Detections) {
 	s.mu.Lock()
 	r, ok := s.rounds[det.Frame]
 	if !ok {
 		r = &round{reports: make(map[int]*Detections)}
 		s.rounds[det.Frame] = r
+		if s.roundTimeout > 0 {
+			frame := det.Frame
+			r.timer = time.AfterFunc(s.roundTimeout, func() { s.expireRound(frame) })
+		}
 	}
 	r.reports[det.Camera] = det
 	complete := s.roundCompleteLocked(r)
 	if complete {
+		r.stopTimer()
 		delete(s.rounds, det.Frame)
 	}
 	s.mu.Unlock()
@@ -336,6 +443,51 @@ func (s *Scheduler) submit(det *Detections) {
 		return
 	}
 	s.completeRound(r, det.Frame)
+}
+
+// expireRound fires when a round's timeout elapses: if the round is
+// still pending it is scheduled with the reports received so far, so a
+// stalled camera delays its peers by at most the timeout.
+func (s *Scheduler) expireRound(frame int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	r, ok := s.rounds[frame]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.rounds, frame)
+	// Adding under mu while !closed keeps Close's timers.Wait safe.
+	s.timers.Add(1)
+	s.mu.Unlock()
+	defer s.timers.Done()
+	s.logger.Printf("cluster: round %d timed out with %d/%d reports, scheduling partial round",
+		frame, len(r.reports), len(s.cams))
+	s.completeRound(r, frame)
+}
+
+// gcStaleRounds drops pending rounds older than a just-completed frame:
+// their reporters have timed out client-side and moved on, so they can
+// only waste memory and, on expiry, schedule assignments nobody waits
+// for. Only active when round timeouts are (legacy behaviour untouched
+// otherwise).
+func (s *Scheduler) gcStaleRounds(completed int) {
+	if s.roundTimeout <= 0 {
+		return
+	}
+	s.mu.Lock()
+	for frame, r := range s.rounds {
+		if frame < completed {
+			r.stopTimer()
+			delete(s.rounds, frame)
+			s.logger.Printf("cluster: dropping stale round %d (superseded by completed round %d)",
+				frame, completed)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // completeRound schedules a finished round, distributes the replies,
@@ -350,6 +502,7 @@ func (s *Scheduler) completeRound(r *round, frame int) {
 	}
 	snap.RoundLatency = time.Since(start)
 	s.emit(snap)
+	s.gcStaleRounds(frame)
 	s.mu.Lock()
 	conns := make([]*schedConn, 0, len(s.conns))
 	for _, c := range s.conns {
@@ -424,6 +577,9 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.
 		return nil, metrics.Snapshot{}, fmt.Errorf("central BALB: %w", err)
 	}
 	snap := s.roundSnapshot(frame, objects, sol)
+	// A round missing at least one roster camera's view (timeout, lease
+	// expiry, disconnect, or a camera that never joined) is partial.
+	snap.Partial = len(r.reports) < m
 
 	replies := make(map[int]*Assignment, m)
 	for cam := 0; cam < m; cam++ {

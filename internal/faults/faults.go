@@ -1,0 +1,367 @@
+// Package faults injects deterministic, seeded connection faults into
+// the cluster's TCP layer for chaos testing: wrapped net.Conn values can
+// drop (connection killed on write), reset (killed on read), delay
+// traffic, or black-hole everything during configured partition windows.
+//
+// Determinism: every decision is drawn from a per-connection PRNG seeded
+// from (Config.Seed, connection index), where connections are numbered
+// in the order they are wrapped. For a fixed seed and a fixed sequence
+// of operations per connection, the same operations fault on every run —
+// which is what lets chaos tests assert exact recovery behaviour instead
+// of "usually survives". The deterministic WriteCut schedule goes
+// further: it needs no probabilities at all, so a test can guarantee
+// that every connection dies, regardless of timing.
+//
+// The same Injector serves tests (wrap a listener or dialer directly)
+// and manual chaos runs (the -faults flag on mvnode and mvscheduler
+// parses a Spec). See docs/FAULTS.md.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected fault, so
+// callers (and tests) can distinguish chaos from real network errors
+// with errors.Is.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Window is a half-open time interval [Start, End) relative to the
+// injector's creation during which all wrapped traffic fails (a network
+// partition).
+type Window struct {
+	Start, End time.Duration
+}
+
+// Config declares a fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic decision. Connections are numbered
+	// in wrap order; connection i draws from a PRNG seeded with
+	// (Seed, i), so runs replay given a stable connection order.
+	Seed int64
+	// DropRate is the per-write probability that the connection is
+	// killed (underlying conn closed, write fails).
+	DropRate float64
+	// ResetRate is the per-read probability that the connection is
+	// killed (underlying conn closed, read fails).
+	ResetRate float64
+	// Delay is added to every write; Jitter adds a uniform [0, Jitter)
+	// on top. Sleeps use the injector's sleep hook (real time.Sleep by
+	// default).
+	Delay  time.Duration
+	Jitter time.Duration
+	// Grace exempts each connection's first Grace operations (reads +
+	// writes) from injection, so handshakes can be allowed to succeed.
+	Grace int
+	// WriteCut, when positive, deterministically kills each connection
+	// on its WriteCut-th write (counted after Grace). Unlike the rates
+	// this guarantees the fault fires, which chaos tests rely on.
+	WriteCut int
+	// MaxFaults caps the total number of injected connection kills
+	// across the whole injector (0 = unlimited).
+	MaxFaults int
+	// Partitions lists windows (relative to injector creation) during
+	// which every wrapped read, write, and dial fails without killing
+	// connections; traffic resumes when the window closes.
+	Partitions []Window
+}
+
+// ParseSpec parses the -faults flag syntax: comma-separated key=value
+// pairs. Keys: seed, drop, reset, delay, jitter, grace, cut, max, part.
+// Durations use Go syntax; partitions are start-end pairs joined by '+':
+//
+//	seed=7,drop=0.05,reset=0.02,delay=2ms,jitter=3ms,grace=4,cut=40,part=5s-8s+20s-22s
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faults: bad field %q (want key=value)", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			cfg.DropRate, err = parseRate(val)
+		case "reset":
+			cfg.ResetRate, err = parseRate(val)
+		case "delay":
+			cfg.Delay, err = time.ParseDuration(val)
+		case "jitter":
+			cfg.Jitter, err = time.ParseDuration(val)
+		case "grace":
+			cfg.Grace, err = strconv.Atoi(val)
+		case "cut":
+			cfg.WriteCut, err = strconv.Atoi(val)
+		case "max":
+			cfg.MaxFaults, err = strconv.Atoi(val)
+		case "part":
+			cfg.Partitions, err = parseWindows(val)
+		default:
+			return cfg, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faults: field %q: %w", field, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseRate(val string) (float64, error) {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v out of [0,1]", r)
+	}
+	return r, nil
+}
+
+func parseWindows(val string) ([]Window, error) {
+	var out []Window
+	for _, w := range strings.Split(val, "+") {
+		lo, hi, ok := strings.Cut(w, "-")
+		if !ok {
+			return nil, fmt.Errorf("window %q (want start-end)", w)
+		}
+		start, err := time.ParseDuration(lo)
+		if err != nil {
+			return nil, err
+		}
+		end, err := time.ParseDuration(hi)
+		if err != nil {
+			return nil, err
+		}
+		if end <= start {
+			return nil, fmt.Errorf("window %q is empty", w)
+		}
+		out = append(out, Window{Start: start, End: end})
+	}
+	return out, nil
+}
+
+// DialFunc matches the cluster layer's injectable dialer shape.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// Injector hands out fault-wrapped connections under one shared
+// schedule. Safe for concurrent use.
+type Injector struct {
+	cfg   Config
+	start time.Time
+
+	// Hooks, overridable in tests before any connection is wrapped.
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	mu     sync.Mutex
+	conns  int
+	faults int
+}
+
+// New builds an injector for the given schedule. The partition timeline
+// starts now.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:   cfg,
+		start: time.Now(),
+		now:   time.Now,
+		sleep: time.Sleep,
+	}
+}
+
+// Conn wraps a connection under the injector's schedule.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	in.mu.Lock()
+	id := in.conns
+	in.conns++
+	in.mu.Unlock()
+	// Per-connection PRNG: decisions on one connection are independent
+	// of traffic on the others, so per-connection replay only needs the
+	// wrap order to be stable.
+	return &conn{
+		Conn: c,
+		in:   in,
+		rng:  rand.New(rand.NewSource(in.cfg.Seed<<16 + int64(id))),
+	}
+}
+
+// Listener wraps a listener so every accepted connection is wrapped.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+// Dialer wraps a dial function so every dialed connection is wrapped
+// and dials fail during partition windows. A nil base uses
+// net.DialTimeout over TCP.
+func (in *Injector) Dialer(base DialFunc) DialFunc {
+	if base == nil {
+		base = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if in.partitioned() {
+			return nil, fmt.Errorf("faults: dial %s: partitioned: %w", addr, ErrInjected)
+		}
+		c, err := base(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Conn(c), nil
+	}
+}
+
+// Faults returns how many connection kills have been injected so far.
+func (in *Injector) Faults() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+// Conns returns how many connections have been wrapped so far.
+func (in *Injector) Conns() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.conns
+}
+
+// partitioned reports whether the current moment falls inside a
+// configured partition window.
+func (in *Injector) partitioned() bool {
+	if len(in.cfg.Partitions) == 0 {
+		return false
+	}
+	elapsed := in.now().Sub(in.start)
+	for _, w := range in.cfg.Partitions {
+		if elapsed >= w.Start && elapsed < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// allowFault consumes one slot of the global fault budget.
+func (in *Injector) allowFault() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.MaxFaults > 0 && in.faults >= in.cfg.MaxFaults {
+		return false
+	}
+	in.faults++
+	return true
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}
+
+// conn injects faults around an underlying connection. A killed conn
+// closes the underlying transport, so both ends observe the failure —
+// like a RST, not a silent drop.
+type conn struct {
+	net.Conn
+	in  *Injector
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	ops    int // reads + writes, for Grace
+	writes int // post-grace writes, for WriteCut
+	dead   bool
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if err := c.inject(true); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if err := c.inject(false); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// inject applies the schedule to one operation: partition check, grace
+// accounting, write delay, then the kill decision (deterministic
+// WriteCut first, probabilistic rates second).
+func (c *conn) inject(write bool) error {
+	if c.in.partitioned() {
+		return fmt.Errorf("faults: partitioned: %w", ErrInjected)
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return fmt.Errorf("faults: connection killed: %w", ErrInjected)
+	}
+	c.ops++
+	inGrace := c.ops <= c.in.cfg.Grace
+	var delay time.Duration
+	kill := false
+	if !inGrace {
+		if write && c.in.cfg.Delay+c.in.cfg.Jitter > 0 {
+			delay = c.in.cfg.Delay
+			if c.in.cfg.Jitter > 0 {
+				delay += time.Duration(c.rng.Int63n(int64(c.in.cfg.Jitter)))
+			}
+		}
+		if write {
+			c.writes++
+			if c.in.cfg.WriteCut > 0 && c.writes%c.in.cfg.WriteCut == 0 {
+				kill = true
+			}
+		}
+		if !kill {
+			rate := c.in.cfg.ResetRate
+			if write {
+				rate = c.in.cfg.DropRate
+			}
+			if rate > 0 && c.rng.Float64() < rate {
+				kill = true
+			}
+		}
+		if kill && !c.in.allowFault() {
+			kill = false
+		}
+		if kill {
+			c.dead = true
+		}
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		c.in.sleep(delay)
+	}
+	if kill {
+		c.Conn.Close()
+		op := "read"
+		if write {
+			op = "write"
+		}
+		return fmt.Errorf("faults: connection killed on %s: %w", op, ErrInjected)
+	}
+	return nil
+}

@@ -95,6 +95,14 @@ type Snapshot struct {
 	// Detected is the cumulative count of distinct ground-truth objects
 	// this emitter has detected (node source).
 	Detected int `json:"detected,omitempty"`
+	// DegradedFrames is the cumulative count of frames this node has
+	// processed in degraded mode — no scheduler assignment, inspecting
+	// all of its own tracks under its last-known priority order and
+	// masks (node source; see docs/FAULTS.md).
+	DegradedFrames int `json:"degraded_frames,omitempty"`
+	// Reconnects is the cumulative count of successful scheduler
+	// reconnections by this node's client (node source).
+	Reconnects int `json:"reconnects,omitempty"`
 	// FrameLatency is the frame's modelled system latency: the slowest
 	// camera this frame (pipeline/node), or the assignment's scheduled
 	// system latency L = max_i L_i (scheduler).
@@ -106,6 +114,10 @@ type Snapshot struct {
 	// Objects is the number of associated object groups the round
 	// scheduled (scheduler source only).
 	Objects int `json:"objects,omitempty"`
+	// Partial marks a scheduling round completed without reports from
+	// every roster camera — round timeout, lease expiry, disconnect, or
+	// a camera that never joined (scheduler source only).
+	Partial bool `json:"partial,omitempty"`
 	// Cameras holds the per-camera breakdown, ascending camera index.
 	Cameras []CameraSnapshot `json:"cameras"`
 }

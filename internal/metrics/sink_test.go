@@ -158,6 +158,36 @@ func TestJSONLSchemaGolden(t *testing.T) {
 	}
 }
 
+// TestJSONLSchemaGoldenResilience pins the fault-tolerance fields added
+// alongside degraded mode: they are omitempty, so the legacy golden line
+// above stays bit-identical when faults never fire, and they serialize
+// under these exact names when they do.
+func TestJSONLSchemaGoldenResilience(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.RecordFrame(Snapshot{
+		Source:         SourceNode,
+		Label:          "camera1",
+		Seq:            2,
+		Frame:          11,
+		Detected:       4,
+		DegradedFrames: 6,
+		Reconnects:     2,
+		FrameLatency:   3 * time.Millisecond,
+		Partial:        true,
+		Cameras: []CameraSnapshot{
+			{Camera: 1, Latency: 3 * time.Millisecond, Tracks: 4},
+		},
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"source":"node","label":"camera1","seq":2,"frame":11,"detected":4,"degraded_frames":6,"reconnects":2,"frame_latency_ns":3000000,"partial":true,"cameras":[{"camera":1,"latency_ns":3000000,"tracks":4}]}`
+	if got := strings.TrimSpace(buf.String()); got != want {
+		t.Fatalf("schema drifted:\ngot  %s\nwant %s", got, want)
+	}
+}
+
 func TestJSONLOpenAppendClose(t *testing.T) {
 	path := t.TempDir() + "/snaps.jsonl"
 	for round := 0; round < 2; round++ {

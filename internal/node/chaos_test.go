@@ -1,0 +1,249 @@
+package node
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mvs/internal/assoc"
+	"mvs/internal/cluster"
+	"mvs/internal/faults"
+	"mvs/internal/metrics"
+	"mvs/internal/profile"
+)
+
+func TestDegradedModeCountsAndClears(t *testing.T) {
+	// Degraded mode is scheduler-autonomous operation: the node keeps
+	// inspecting all its own tracks under the last-known policy. Frames
+	// in that mode are counted; the next applied assignment clears it.
+	world := twoCamWorld(3)
+	trace, err := world.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := metrics.NewChannelSink(1, len(trace.Frames)+1)
+	cfg := baseConfig(0)
+	cfg.Sink = sink
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Degraded() {
+		t.Fatal("fresh runtime already degraded")
+	}
+
+	for fi := range trace.Frames {
+		obs := trace.Frames[fi].PerCamera[0]
+		if fi%10 == 0 {
+			reports, err := rt.KeyFrame(obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi < 20 {
+				// Scheduler unreachable for the first two horizons.
+				rt.EnterDegraded()
+				continue
+			}
+			keep := make([]int, len(reports))
+			for i, r := range reports {
+				keep[i] = r.TrackID
+			}
+			if err := rt.ApplyAssignment(&cluster.Assignment{Frame: fi, Keep: keep, Priority: []int{0, 1}}); err != nil {
+				t.Fatal(err)
+			}
+			if rt.Degraded() {
+				t.Fatal("ApplyAssignment did not clear degraded mode")
+			}
+		} else if _, err := rt.RegularFrame(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.NoteReconnects(2)
+	rt.NoteReconnects(1) // monotone: lower value ignored
+
+	st := rt.Stats()
+	if st.Frames != 40 {
+		t.Fatalf("frames = %d", st.Frames)
+	}
+	// Frames 1..20 ran degraded: key frame 0 finished before the first
+	// EnterDegraded, and frame 20's key frame still ran degraded before
+	// its assignment cleared the mode.
+	if st.DegradedFrames != 20 {
+		t.Fatalf("degraded frames = %d, want 20", st.DegradedFrames)
+	}
+	if st.Reconnects != 2 {
+		t.Fatalf("reconnects = %d, want 2", st.Reconnects)
+	}
+
+	sink.Close()
+	var last metrics.Snapshot
+	for snap := range sink.Snapshots() {
+		last = snap
+	}
+	if last.DegradedFrames != 20 {
+		t.Fatalf("final snapshot degraded_frames = %d, want 20", last.DegradedFrames)
+	}
+}
+
+// TestChaosDegradedRejoinEndToEnd is the full-stack chaos run: two node
+// runtimes drive a real scheduler over loopback TCP through reconnecting
+// clients whose connections are deterministically killed every few
+// writes. Every node must finish its trace — degraded when a round gets
+// no assignment, rejoining when one does — the scheduler must never
+// deadlock (round timeouts bound every barrier), and the fault counters
+// must surface in the nodes' sink snapshots. Run under -race by CI's
+// chaos smoke step.
+func TestChaosDegradedRejoinEndToEnd(t *testing.T) {
+	world := twoCamWorld(5)
+	trace, err := world.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := trace.SplitTrain()
+	model, err := assoc.Train(train, assoc.Factories{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := []*profile.Profile{
+		profile.Default(profile.JetsonXavier),
+		profile.Default(profile.JetsonNano),
+	}
+	sched, err := cluster.NewScheduler(model, profiles, 0,
+		cluster.WithRoundTimeout(250*time.Millisecond),
+		cluster.WithLease(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sched.Serve(ln) }()
+	defer func() {
+		sched.Close()
+		ln.Close()
+	}()
+
+	// Deterministic chaos: handshakes succeed (grace), then every 5th
+	// write kills the client's connection.
+	inj := faults.New(faults.Config{Seed: 23, Grace: 2, WriteCut: 5})
+
+	type camResult struct {
+		err      error
+		detected map[int]bool
+		stats    Stats
+		last     metrics.Snapshot
+	}
+	runCam := func(cam int, res *camResult, wg *sync.WaitGroup) {
+		defer wg.Done()
+		sc := world.Cameras[cam]
+		client := cluster.NewReconnectClient(cluster.ReconnectConfig{
+			Addr: ln.Addr().String(), Camera: cam,
+			FrameW: sc.ImageW, FrameH: sc.ImageH,
+			DialTimeout: 2 * time.Second,
+			IOTimeout:   2 * time.Second,
+			Backoff:     cluster.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Seed: int64(cam)},
+			MaxAttempts: 6,
+			Dial:        cluster.DialFunc(inj.Dialer(nil)),
+		})
+		defer client.Close()
+		if err := client.Connect(); err != nil {
+			res.err = err
+			return
+		}
+		ack := client.Ack()
+		sink := metrics.NewChannelSink(1, len(test.Frames)+1)
+		rt, err := New(Config{
+			Camera: cam, Frame: sc.Frame(), Profile: profiles[cam],
+			GridCols: ack.GridCols, GridRows: ack.GridRows, Coverage: ack.Coverage,
+			NumCameras: 2, Seed: 4, Sink: sink,
+		})
+		if err != nil {
+			res.err = err
+			return
+		}
+		for fi := range test.Frames {
+			obs := test.Frames[fi].PerCamera[cam]
+			if fi%10 == 0 {
+				reports, err := rt.KeyFrame(obs)
+				if err != nil {
+					res.err = err
+					return
+				}
+				a, err := client.KeyFrame(fi, reports, 2*time.Second)
+				if err != nil {
+					// No guidance this round: keep going autonomously.
+					rt.EnterDegraded()
+					continue
+				}
+				rt.NoteReconnects(client.Reconnects())
+				if err := rt.ApplyAssignment(a); err != nil {
+					res.err = err
+					return
+				}
+			} else if _, err := rt.RegularFrame(obs); err != nil {
+				res.err = err
+				return
+			}
+		}
+		res.detected = rt.DetectedIDs()
+		res.stats = rt.Stats()
+		sink.Close()
+		for snap := range sink.Snapshots() {
+			res.last = snap
+		}
+	}
+
+	var wg sync.WaitGroup
+	var r0, r1 camResult
+	wg.Add(2)
+	go runCam(0, &r0, &wg)
+	go runCam(1, &r1, &wg)
+	wg.Wait()
+	if r0.err != nil || r1.err != nil {
+		t.Fatalf("node errors: %v / %v", r0.err, r1.err)
+	}
+
+	// The chaos schedule actually fired, and the clients recovered.
+	if inj.Faults() == 0 {
+		t.Fatal("no faults injected")
+	}
+	if r0.stats.Reconnects+r1.stats.Reconnects == 0 {
+		t.Fatal("no reconnects recorded despite injected kills")
+	}
+	// Every node processed its whole trace, degraded or not.
+	for i, r := range []camResult{r0, r1} {
+		if r.stats.Frames != len(test.Frames) {
+			t.Fatalf("camera %d processed %d/%d frames", i, r.stats.Frames, len(test.Frames))
+		}
+		// Counters flow into the snapshot stream.
+		if r.last.Reconnects != r.stats.Reconnects {
+			t.Fatalf("camera %d: snapshot reconnects %d != stats %d", i, r.last.Reconnects, r.stats.Reconnects)
+		}
+		if r.last.DegradedFrames != r.stats.DegradedFrames {
+			t.Fatalf("camera %d: snapshot degraded %d != stats %d", i, r.last.DegradedFrames, r.stats.DegradedFrames)
+		}
+	}
+
+	// Recall floor: even under faults the two nodes together must see
+	// most ground-truth objects — degraded mode keeps them inspecting.
+	truth := make(map[int]bool)
+	for fi := range test.Frames {
+		for id := range test.Frames[fi].VisibleObjectIDs() {
+			truth[id] = true
+		}
+	}
+	if len(truth) == 0 {
+		t.Skip("no objects in test half")
+	}
+	missed := 0
+	for id := range truth {
+		if !r0.detected[id] && !r1.detected[id] {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(truth)); frac > 0.3 {
+		t.Fatalf("missed %d/%d distinct objects under chaos", missed, len(truth))
+	}
+}

@@ -48,10 +48,16 @@ type Runtime struct {
 	sink     metrics.Sink
 	label    string
 
+	// Degraded mode: true while the node operates without scheduler
+	// guidance (see EnterDegraded).
+	degraded bool
+
 	// Stats.
-	frames     int
-	latencySum time.Duration
-	detected   map[int]bool
+	frames         int
+	latencySum     time.Duration
+	detected       map[int]bool
+	degradedFrames int
+	reconnects     int
 }
 
 // Config assembles a runtime.
@@ -132,12 +138,14 @@ func (r *Runtime) emit(latency time.Duration, batches, images int, occupancy flo
 	}
 	fi := r.frames - 1
 	r.sink.RecordFrame(metrics.Snapshot{
-		Source:       metrics.SourceNode,
-		Label:        r.label,
-		Seq:          fi,
-		Frame:        fi,
-		Detected:     len(r.detected),
-		FrameLatency: latency,
+		Source:         metrics.SourceNode,
+		Label:          r.label,
+		Seq:            fi,
+		Frame:          fi,
+		Detected:       len(r.detected),
+		DegradedFrames: r.degradedFrames,
+		Reconnects:     r.reconnects,
+		FrameLatency:   latency,
 		Cameras: []metrics.CameraSnapshot{{
 			Camera:         r.camera,
 			Latency:        latency,
@@ -164,6 +172,9 @@ func (r *Runtime) KeyFrame(obs []scene.Observation) ([]cluster.TrackReport, erro
 	lat := r.exec.RunFullFrame()
 	r.latencySum += lat
 	r.frames++
+	if r.degraded {
+		r.degradedFrames++
+	}
 	dets := r.det.DetectFull(obs)
 	for _, d := range dets {
 		r.detected[d.TruthID] = true
@@ -177,8 +188,30 @@ func (r *Runtime) KeyFrame(obs []scene.Observation) ([]cluster.TrackReport, erro
 	return cluster.ReportTracks(r.tracker.Tracks()), nil
 }
 
+// EnterDegraded switches the runtime to degraded mode: the scheduler is
+// unreachable (or did not answer this round), so the node keeps
+// inspecting all of its own tracks under the last-known priority order
+// and cell masks. Frames processed while degraded are counted in
+// Stats.DegradedFrames and the per-frame snapshots. The next successful
+// ApplyAssignment rejoins the cluster seamlessly.
+func (r *Runtime) EnterDegraded() { r.degraded = true }
+
+// Degraded reports whether the runtime is currently in degraded mode.
+func (r *Runtime) Degraded() bool { return r.degraded }
+
+// NoteReconnects records the client's cumulative reconnect count so it
+// flows into this node's snapshots and stats. Monotone: lower values
+// are ignored.
+func (r *Runtime) NoteReconnects(n int) {
+	if n > r.reconnects {
+		r.reconnects = n
+	}
+}
+
 // ApplyAssignment installs the scheduler's reply: shadowed tracks are
-// demoted, and the horizon's priority order replaces the old one.
+// demoted, and the horizon's priority order replaces the old one. A
+// successful assignment also clears degraded mode — the scheduler is
+// answering again.
 func (r *Runtime) ApplyAssignment(a *cluster.Assignment) error {
 	if a == nil {
 		return fmt.Errorf("node: nil assignment")
@@ -188,6 +221,7 @@ func (r *Runtime) ApplyAssignment(a *cluster.Assignment) error {
 		return fmt.Errorf("node: %w", err)
 	}
 	r.policy = policy
+	r.degraded = false
 	for _, sh := range a.Shadows {
 		t := r.tracker.Get(sh.TrackID)
 		if t == nil {
@@ -253,6 +287,9 @@ func (r *Runtime) RegularFrame(obs []scene.Observation) (time.Duration, error) {
 	}
 	r.latencySum += res.Latency
 	r.frames++
+	if r.degraded {
+		r.degradedFrames++
+	}
 
 	dets, err := r.det.DetectRegions(regions, obs)
 	if err != nil {
@@ -334,6 +371,12 @@ type Stats struct {
 	// DetectedObjects is the number of distinct ground-truth objects this
 	// node has detected at least once.
 	DetectedObjects int
+	// DegradedFrames is how many frames ran in degraded mode (no
+	// scheduler assignment; see EnterDegraded).
+	DegradedFrames int
+	// Reconnects is the client's cumulative reconnect count, as recorded
+	// by NoteReconnects.
+	Reconnects int
 }
 
 // Stats returns the node's running counters.
@@ -343,6 +386,8 @@ func (r *Runtime) Stats() Stats {
 		ActiveTracks:    r.tracker.Len(),
 		Shadows:         len(r.shadows),
 		DetectedObjects: len(r.detected),
+		DegradedFrames:  r.degradedFrames,
+		Reconnects:      r.reconnects,
 	}
 	if r.frames > 0 {
 		s.MeanLatency = r.latencySum / time.Duration(r.frames)
