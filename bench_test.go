@@ -342,6 +342,53 @@ func BenchmarkCentralStage(b *testing.B) {
 	}
 }
 
+// BenchmarkCentralReassign measures the cost of the central stage's
+// fault response: when a quarter of the cameras drop, the scheduler
+// re-runs core.Central over the healthy subset (objects filtered to
+// surviving coverage). This is the recompute the health tracker
+// triggers at the next key frame after an outage, so its cost bounds
+// how cheaply the system absorbs a camera loss at 4/8/16 cameras.
+func BenchmarkCentralReassign(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("cams=%d", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			cams, objects := randomInstance(rng, m, 25*m)
+			// First quarter of the roster goes dark; rebuild the instance
+			// the central stage actually sees.
+			deadBelow := m / 4
+			alive := cams[deadBelow:]
+			surviving := make([]core.ObjectSpec, 0, len(objects))
+			orphaned := 0
+			for _, o := range objects {
+				cover := make([]int, 0, len(o.Coverage))
+				sz := make(map[int]int, len(o.Coverage))
+				for _, c := range o.Coverage {
+					if c >= deadBelow {
+						cover = append(cover, c-deadBelow)
+						sz[c-deadBelow] = o.Size[c]
+					}
+				}
+				if len(cover) == 0 {
+					orphaned++ // no live camera sees it: nothing to schedule
+					continue
+				}
+				surviving = append(surviving, core.ObjectSpec{ID: o.ID, Coverage: cover, Size: sz})
+			}
+			reindexed := make([]core.CameraSpec, len(alive))
+			for i, c := range alive {
+				reindexed[i] = core.CameraSpec{Index: i, Profile: c.Profile}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Central(reindexed, surviving, core.CentralOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(orphaned), "orphaned-objects")
+		})
+	}
+}
+
 // BenchmarkCrossCameraAssociation measures one association round on the
 // prepared S1 setup (5 cameras), using a mid-trace frame's boxes.
 func BenchmarkCrossCameraAssociation(b *testing.B) {

@@ -7,6 +7,11 @@
 //	      [-scenario S1|S2|S3|all] [-frames N] [-seed N] [-workers N]
 //	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
 //
+// Beyond the paper's figures, -exp sweep, -exp occlusion, and -exp
+// chaos run the extrapolated studies (arrival-rate sensitivity,
+// redundancy-2 hedging, and graceful degradation under camera
+// outages); like sweep and occlusion, chaos is excluded from "all".
+//
 // -workers bounds the concurrency of independent experiment points
 // (modes, sweep points) and the per-camera fan-out inside each pipeline
 // run (0 = GOMAXPROCS, 1 = fully sequential). Results are identical for
@@ -32,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2")
+		exp         = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos")
 		scenario    = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
 		frames      = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
 		seed        = flag.Int64("seed", 42, "simulation seed")
@@ -91,7 +96,7 @@ func run(exp, scenario string, frames int, seed int64, opts experiments.Options)
 	known := map[string]bool{
 		"fig2": true, "table1": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "table2": true,
-		"sweep": true, "occlusion": true,
+		"sweep": true, "occlusion": true, "chaos": true,
 	}
 	if !wantAll && !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
@@ -110,6 +115,19 @@ func run(exp, scenario string, frames int, seed int64, opts experiments.Options)
 	if exp == "occlusion" {
 		for _, name := range names {
 			if err := printOcclusion(name, seed, frames); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if exp == "chaos" {
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "preparing %s (%d frames, seed %d)...\n", name, frames, seed)
+			s, err := experiments.Prepare(name, seed, frames)
+			if err != nil {
+				return err
+			}
+			if err := printChaos(s, opts); err != nil {
 				return err
 			}
 		}
@@ -376,6 +394,36 @@ func printOcclusion(name string, seed int64, frames int) error {
 		res.RedundantRecall, res.RedundantLatency.Round(100*1000))
 	fmt.Println("expected shape: redundancy recovers occlusion-lost recall at a")
 	fmt.Println("bounded latency cost (the paper's §V occlusion-hedging proposal)")
+	return nil
+}
+
+func printChaos(s *experiments.Setup, opts experiments.Options) error {
+	header(fmt.Sprintf("Chaos sweep (%s): BALB under camera outages, failover vs off", s.Scenario.Name))
+	points, err := experiments.ChaosSweep(s, nil, 0, opts)
+	if err != nil {
+		return err
+	}
+	var csvRows [][]string
+	for _, p := range points {
+		fmt.Printf("rate=%.2f outage=%-5d recall fo=%.3f off=%.3f (gap %+.3f)  p99 fo=%8v off=%8v  reassigned=%d orphaned=%d\n",
+			p.Rate, p.OutageFrames, p.FailoverRecall, p.NoFailoverRecall,
+			p.FailoverRecall-p.NoFailoverRecall,
+			p.FailoverP99.Round(100*1000), p.NoFailoverP99.Round(100*1000),
+			p.Reassignments, p.Orphaned)
+		csvRows = append(csvRows, []string{s.Scenario.Name,
+			strconv.FormatFloat(p.Rate, 'f', 3, 64),
+			strconv.Itoa(p.OutageFrames),
+			strconv.FormatFloat(p.FailoverRecall, 'f', 4, 64),
+			strconv.FormatFloat(p.NoFailoverRecall, 'f', 4, 64),
+			strconv.FormatInt(p.FailoverP99.Microseconds(), 10),
+			strconv.FormatInt(p.NoFailoverP99.Microseconds(), 10),
+			strconv.Itoa(p.Reassignments), strconv.Itoa(p.Orphaned)})
+	}
+	writeCSV("chaos_"+s.Scenario.Name, []string{"scenario", "rate", "outage_frames",
+		"failover_recall", "nofailover_recall", "failover_p99_us", "nofailover_p99_us",
+		"reassignments", "orphaned"}, csvRows)
+	fmt.Println("expected shape: failover recall above the off arm at every rate;")
+	fmt.Println("both arms degrade gracefully (recall falls with outage rate, no cliff)")
 	return nil
 }
 

@@ -16,7 +16,10 @@
 // never arrives puts the node in degraded mode — it keeps inspecting all
 // of its own tracks under the last-known priority order and masks — and
 // the next successful round rejoins. -faults injects deterministic
-// connection faults for chaos runs.
+// connection faults for chaos runs; -cam-faults injects data-plane
+// camera outages (the node skips the frame loop while "down", which a
+// lease-armed scheduler observes as silence and reports as a dead
+// camera to the surviving nodes).
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"mvs/internal/camfault"
 	"mvs/internal/cluster"
 	"mvs/internal/faults"
 	"mvs/internal/metrics"
@@ -46,6 +50,7 @@ func main() {
 		retries     = flag.Int("retries", 4, "connection attempts per operation before degrading")
 		hbEvery     = flag.Int("heartbeat-every", 0, "send a liveness ping every N regular frames (0 = off; pair with mvscheduler -lease)")
 		faultsSpec  = flag.String("faults", "", "inject connection faults, e.g. seed=7,drop=0.05,cut=40 (see docs/FAULTS.md)")
+		camFaults   = flag.String("cam-faults", "", "inject camera outages, e.g. seed=7,rate=0.1,mean=20 (see docs/FAULTS.md)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8081)")
 		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
 	)
@@ -60,7 +65,7 @@ func main() {
 		addr: *addr, camera: *camera, scenario: *scenario, seed: *seed,
 		frames: *frames, horizon: *horizon, rate: *rate,
 		deadline: *deadline, retries: *retries, hbEvery: *hbEvery,
-		faultsSpec: *faultsSpec, export: export,
+		faultsSpec: *faultsSpec, camFaults: *camFaults, export: export,
 	})
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
@@ -83,6 +88,7 @@ type runConfig struct {
 	retries    int
 	hbEvery    int
 	faultsSpec string
+	camFaults  string
 	export     *metrics.Export
 }
 
@@ -103,6 +109,26 @@ func run(cfg runConfig) error {
 	// Evaluate on the second half; the first half trained the
 	// scheduler's association model.
 	_, test := trace.SplitTrain()
+
+	var camModel *camfault.Model
+	if cfg.camFaults != "" {
+		ccfg, err := camfault.ParseSpec(cfg.camFaults)
+		if err != nil {
+			return err
+		}
+		camModel, err = camfault.Generate(ccfg, len(s.World.Cameras), len(test.Frames))
+		if err != nil {
+			return err
+		}
+		down := 0
+		for fi := range test.Frames {
+			if camModel.Down(cfg.camera, fi) {
+				down++
+			}
+		}
+		log.Printf("camera-fault injection armed: %d/%d frames down for camera %d",
+			down, len(test.Frames), cfg.camera)
+	}
 
 	var dial cluster.DialFunc
 	if cfg.faultsSpec != "" {
@@ -165,6 +191,16 @@ func run(cfg runConfig) error {
 
 	start := time.Now()
 	for fi := range test.Frames {
+		if camModel != nil && camModel.Down(cfg.camera, fi) {
+			// Camera outage: no capture, no inference, no upload, no
+			// heartbeat. A lease-armed scheduler sees the silence, declares
+			// this camera dead, and the survivors take over its objects.
+			rt.OutageFrame()
+			if cfg.rate > 0 {
+				time.Sleep(cfg.rate)
+			}
+			continue
+		}
 		obs := test.Frames[fi].PerCamera[cfg.camera]
 		if fi%cfg.horizon == 0 {
 			reports, err := rt.KeyFrame(obs)
@@ -210,9 +246,9 @@ func run(cfg runConfig) error {
 	fmt.Printf("  mean inference:    %v/frame\n", st.MeanLatency.Round(100_000))
 	fmt.Printf("  distinct objects:  %d detected\n", st.DetectedObjects)
 	fmt.Printf("  final tracks:      %d active, %d shadows\n", st.ActiveTracks, st.Shadows)
-	if st.DegradedFrames > 0 || st.Reconnects > 0 {
-		fmt.Printf("  resilience:        %d degraded frames, %d reconnects\n",
-			st.DegradedFrames, st.Reconnects)
+	if st.DegradedFrames > 0 || st.Reconnects > 0 || st.OutageFrames > 0 {
+		fmt.Printf("  resilience:        %d degraded frames, %d reconnects, %d outage frames, %d takeovers\n",
+			st.DegradedFrames, st.Reconnects, st.OutageFrames, st.Reassignments)
 	}
 	// Uplink usage vs the testbed's 20 Mbps budget: key-frame uploads are
 	// tiny compared to streaming video, which is the point of onboard

@@ -6,13 +6,17 @@
 //	mvsim [-scenario S1|S2|S3] [-mode full|ind|cen|balb|sp]
 //	      [-frames N] [-horizon T] [-seed N] [-workers N]
 //	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
+//	      [-cam-faults seed=7,rate=0.1] [-health-k K]
 //
 // -workers bounds the per-camera parallelism inside the pipeline
 // (0 = GOMAXPROCS, 1 = sequential); results are identical for every
 // value (see docs/CONCURRENCY.md). -metrics-addr serves the latest
 // per-frame snapshot at /metricsz while the run is in flight;
 // -metrics-jsonl appends every snapshot to a file
-// (see docs/OBSERVABILITY.md).
+// (see docs/OBSERVABILITY.md). -cam-faults injects a deterministic
+// camera-outage schedule (syntax in docs/FAULTS.md) and -health-k
+// tunes the silence threshold for declaring a camera dead (0 disables
+// failover — the ablation).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"mvs/internal/camfault"
 	"mvs/internal/experiments"
 	"mvs/internal/metrics"
 	"mvs/internal/pipeline"
@@ -54,6 +59,8 @@ func main() {
 		saveTrace   = flag.String("save-trace", "", "write the generated trace as JSON and exit")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
 		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
+		camFaults   = flag.String("cam-faults", "", "camera-fault schedule, e.g. seed=7,rate=0.1,mean=20,boot=2,down=1:100-200 (see docs/FAULTS.md)")
+		healthK     = flag.Int("health-k", 3, "frames of silence before a camera is declared dead (0 disables failover)")
 	)
 	flag.Parse()
 
@@ -73,7 +80,7 @@ func main() {
 	if *metricsAddr != "" || *metricsLog != "" {
 		sink = export.Sink
 	}
-	runErr := run(*scenario, *modeName, *frames, *horizon, *seed, *workers, sink)
+	runErr := run(*scenario, *modeName, *frames, *horizon, *seed, *workers, sink, *camFaults, *healthK)
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -107,7 +114,7 @@ func dumpTrace(scenario string, frames int, seed int64, path string) error {
 	return f.Close()
 }
 
-func run(scenario, modeName string, frames, horizon int, seed int64, workers int, sink metrics.Sink) error {
+func run(scenario, modeName string, frames, horizon int, seed int64, workers int, sink metrics.Sink, camFaults string, healthK int) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
@@ -117,9 +124,24 @@ func run(scenario, modeName string, frames, horizon int, seed int64, workers int
 	if err != nil {
 		return err
 	}
-	rep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, pipeline.Options{
+	popts := pipeline.Options{
 		Mode: mode, Horizon: horizon, Seed: seed, Workers: workers, Sink: sink,
-	})
+	}
+	if camFaults != "" {
+		cfg, err := camfault.ParseSpec(camFaults)
+		if err != nil {
+			return err
+		}
+		model, err := camfault.Generate(cfg, len(setup.Test.Cameras), len(setup.Test.Frames))
+		if err != nil {
+			return err
+		}
+		popts.CamFaults = model
+		popts.HealthK = healthK
+		fmt.Fprintf(os.Stderr, "injecting camera faults: %d/%d camera-frames down, health-k=%d\n",
+			model.DownFrames(), len(setup.Test.Cameras)*len(setup.Test.Frames), healthK)
+	}
+	rep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, popts)
 	if err != nil {
 		return err
 	}
@@ -137,6 +159,10 @@ func run(scenario, modeName string, frames, horizon int, seed int64, workers int
 	fmt.Printf("framework overhead/frame: central=%v tracking=%v distributed=%v batching=%v\n",
 		rep.CentralPerFrame.Round(10_000), rep.TrackingPerFrame.Round(10_000),
 		rep.DistributedPerFrame.Round(1_000), rep.BatchingPerFrame.Round(1_000))
+	if camFaults != "" {
+		fmt.Printf("camera faults:     outage=%d frames, reassigned=%d, orphaned=%d (p99 latency %v)\n",
+			rep.OutageFrames, rep.Reassignments, rep.OrphanedObjects, rep.P99Slowest.Round(100_000))
+	}
 
 	if mode != pipeline.Full {
 		fullRep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, pipeline.Options{

@@ -1,0 +1,193 @@
+package camfault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,rate=0.1,mean=25,boot=3,drop=0.01,down=1:100-200+3:50-80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 7, Rate: 0.1, MeanOutage: 25, BootDelay: 3, DropRate: 0.01,
+		Outages: map[int][]Window{
+			1: {{Start: 100, End: 200}},
+			3: {{Start: 50, End: 80}},
+		},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec("  "); err != nil || !reflect.DeepEqual(cfg, Config{}) {
+		t.Fatalf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"rate",          // no '='
+		"rate=2",        // out of range
+		"drop=-0.1",     // out of range
+		"bogus=1",       // unknown key
+		"down=1",        // no range
+		"down=1:5",      // no end
+		"down=1:9-9",    // empty window
+		"down=x:1-2",    // bad camera
+		"seed=notanint", // bad int
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestGenerateExplicitWindows(t *testing.T) {
+	m, err := Generate(Config{Outages: map[int][]Window{
+		0: {{Start: 2, End: 5}},
+		2: {{Start: 8, End: 100}}, // clamped to the trace
+	}}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 10; f++ {
+		if got, want := m.Down(0, f), f >= 2 && f < 5; got != want {
+			t.Errorf("Down(0,%d) = %v, want %v", f, got, want)
+		}
+		if m.Down(1, f) {
+			t.Errorf("Down(1,%d) = true for camera with no faults", f)
+		}
+		if got, want := m.Down(2, f), f >= 8; got != want {
+			t.Errorf("Down(2,%d) = %v, want %v", f, got, want)
+		}
+	}
+	if m.DownFrames() != 3+2 {
+		t.Fatalf("DownFrames = %d, want 5", m.DownFrames())
+	}
+	// Out-of-range queries are not faults.
+	if m.Down(-1, 0) || m.Down(3, 0) || m.Down(0, -1) || m.Down(0, 10) {
+		t.Fatal("out-of-range query reported down")
+	}
+	if (*Model)(nil).Down(0, 0) {
+		t.Fatal("nil model reported down")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 11, Rate: 0.15, MeanOutage: 8, BootDelay: 2, DropRate: 0.02}
+	a, err := Generate(cfg, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config generated different schedules")
+	}
+	c, err := Generate(Config{Seed: 12, Rate: 0.15, MeanOutage: 8, BootDelay: 2, DropRate: 0.02}, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.down, c.down) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+	// Per-camera seeding: camera k's schedule does not depend on how many
+	// other cameras exist.
+	d, err := Generate(cfg, 2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.down[0], d.down[0]) || !reflect.DeepEqual(a.down[1], d.down[1]) {
+		t.Fatal("camera schedule depends on roster size")
+	}
+}
+
+func TestGenerateRateTargets(t *testing.T) {
+	// Long horizon: the realized downtime should be in the right
+	// neighbourhood of the configured rate (it is a random schedule, so
+	// allow a wide band; determinism makes the check stable).
+	m, err := Generate(Config{Seed: 3, Rate: 0.10, MeanOutage: 20, BootDelay: 2}, 8, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(m.DownFrames()) / float64(8*20_000)
+	if frac < 0.05 || frac > 0.20 {
+		t.Fatalf("realized downtime %.3f far from target 0.10", frac)
+	}
+	// Rate 0 with no windows: nothing is down.
+	z, err := Generate(Config{Seed: 3}, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.DownFrames() != 0 {
+		t.Fatalf("zero config lost %d frames", z.DownFrames())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{}, 0, 10); err == nil {
+		t.Error("accepted zero cameras")
+	}
+	if _, err := Generate(Config{}, 2, 0); err == nil {
+		t.Error("accepted zero frames")
+	}
+	if _, err := Generate(Config{Rate: 1.0}, 2, 10); err == nil {
+		t.Error("accepted rate 1.0 (always down)")
+	}
+	if _, err := Generate(Config{DropRate: 1.5}, 2, 10); err == nil {
+		t.Error("accepted drop rate > 1")
+	}
+	if _, err := Generate(Config{Outages: map[int][]Window{5: {{0, 1}}}}, 2, 10); err == nil {
+		t.Error("accepted explicit window for out-of-range camera")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(2, 3)
+	if !tr.Healthy(0) || !tr.Healthy(1) {
+		t.Fatal("fresh tracker not healthy")
+	}
+	tr.Observe(0, false)
+	tr.Observe(0, false)
+	if !tr.Healthy(0) {
+		t.Fatal("unhealthy before K silent frames")
+	}
+	tr.Observe(0, false)
+	if tr.Healthy(0) {
+		t.Fatal("healthy after K silent frames")
+	}
+	mask, any := tr.DeadMask(nil)
+	if !any || !reflect.DeepEqual(mask, []bool{true, false}) {
+		t.Fatalf("DeadMask = %v, %v", mask, any)
+	}
+	// Recovery: one produced frame resets.
+	tr.Observe(0, true)
+	if !tr.Healthy(0) {
+		t.Fatal("not healthy after recovery")
+	}
+	mask, any = tr.DeadMask(mask)
+	if any || mask[0] {
+		t.Fatalf("DeadMask after recovery = %v, %v", mask, any)
+	}
+	// Out-of-range observations are ignored, unknown cameras healthy.
+	tr.Observe(9, false)
+	if !tr.Healthy(9) {
+		t.Fatal("unknown camera unhealthy")
+	}
+}
+
+func TestTrackerDisabled(t *testing.T) {
+	tr := NewTracker(2, 0)
+	for i := 0; i < 10; i++ {
+		tr.Observe(0, false)
+	}
+	if !tr.Healthy(0) {
+		t.Fatal("disabled tracker marked a camera unhealthy")
+	}
+	if _, any := tr.DeadMask(nil); any {
+		t.Fatal("disabled tracker produced a dead camera")
+	}
+}

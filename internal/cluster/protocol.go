@@ -111,6 +111,13 @@ type Assignment struct {
 	// Priority is the horizon's camera priority order (highest first),
 	// which drives the distributed stage.
 	Priority []int `json:"priority"`
+	// Dead lists roster cameras the scheduler's liveness leases declare
+	// dead this round (ascending). Every node installs the identical
+	// set into its DistributedPolicy, so failover ownership stays
+	// communication-free. Omitted when every camera is live — and
+	// always when leases are off — so the legacy wire format is
+	// unchanged in fault-free deployments.
+	Dead []int `json:"dead,omitempty"`
 }
 
 // Envelope is the wire message union.

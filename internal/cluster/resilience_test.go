@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
 	"testing"
@@ -208,6 +209,96 @@ func TestLeaseExpiryUnblocksBarrier(t *testing.T) {
 	time.Sleep(250 * time.Millisecond)
 	if _, err := c0.KeyFrame(0, []TrackReport{{TrackID: 1, Box: [4]float64{100, 100, 150, 150}, Size: 64}}, 5*time.Second); err != nil {
 		t.Fatalf("round blocked on leased-out camera: %v", err)
+	}
+}
+
+func TestChaosDeadCameraBroadcast(t *testing.T) {
+	// The lease-fed data-plane health model: a camera that reported in
+	// round 0 (and got assignments) goes silent; the next round must
+	// complete without it, declare it dead in every reply, and charge
+	// its orphaned assignments to the reassignment counter.
+	model, profiles := testModel(t)
+	sink := metrics.NewChannelSink(1, 16)
+	s, err := NewScheduler(model, profiles, 0,
+		WithLease(100*time.Millisecond), WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+	defer func() {
+		s.Close()
+		ln.Close()
+	}()
+	addr := ln.Addr().String()
+
+	c0, err := Dial(addr, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// Round 0: both cameras report disjoint tracks (no cross-camera
+	// association), so each keeps its own object.
+	c1done := make(chan error, 1)
+	go func() {
+		a, err := c1.KeyFrame(0, []TrackReport{
+			{TrackID: 7, Box: [4]float64{900, 300, 980, 380}, Size: 64},
+		}, 10*time.Second)
+		if err == nil && len(a.Dead) > 0 {
+			err = fmt.Errorf("round 0 declared %v dead", a.Dead)
+		}
+		c1done <- err
+	}()
+	a0, err := c0.KeyFrame(0, []TrackReport{
+		{TrackID: 1, Box: [4]float64{100, 100, 150, 150}, Size: 64},
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a0.Dead) > 0 {
+		t.Fatalf("round 0 declared %v dead with both cameras live", a0.Dead)
+	}
+	if err := <-c1done; err != nil {
+		t.Fatal(err)
+	}
+	round0 := <-sink.Snapshots()
+	if round0.OutageFrames != 0 || round0.Reassignments != 0 {
+		t.Fatalf("fault counters on a healthy round: %+v", round0)
+	}
+	if round0.Cameras[1].Assignments == 0 {
+		t.Fatalf("camera 1 got no assignment in round 0: %+v", round0)
+	}
+
+	// Camera 1 goes silent past its lease; camera 0 reports round 10.
+	time.Sleep(250 * time.Millisecond)
+	a10, err := c0.KeyFrame(10, []TrackReport{
+		{TrackID: 1, Box: [4]float64{110, 100, 160, 150}, Size: 64},
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatalf("round blocked on dead camera: %v", err)
+	}
+	if len(a10.Dead) != 1 || a10.Dead[0] != 1 {
+		t.Fatalf("round 10 Dead = %v, want [1]", a10.Dead)
+	}
+	round10 := <-sink.Snapshots()
+	if !round10.Partial {
+		t.Fatalf("round with a dead camera not partial: %+v", round10)
+	}
+	if round10.OutageFrames != 1 {
+		t.Fatalf("OutageFrames = %d, want 1", round10.OutageFrames)
+	}
+	if round10.Reassignments != round0.Cameras[1].Assignments {
+		t.Fatalf("Reassignments = %d, want camera 1's prior %d assignments",
+			round10.Reassignments, round0.Cameras[1].Assignments)
 	}
 }
 

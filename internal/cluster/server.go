@@ -57,6 +57,14 @@ type Scheduler struct {
 	rounds map[int]*round
 	seq    int
 	closed bool
+	// Data-plane fault accounting, only active with WithLease (guarded
+	// by mu): lastAssigned holds each camera's assignment count from
+	// the previous round, so a camera declared dead can be charged for
+	// the objects it orphaned; outageRounds and reassignments are the
+	// cumulative Snapshot counters.
+	lastAssigned  []int
+	outageRounds  int
+	reassignments int
 }
 
 type schedConn struct {
@@ -167,14 +175,15 @@ func NewScheduler(model *assoc.Model, profiles []*profile.Profile, minIoU float6
 		minIoU = 0.1
 	}
 	s := &Scheduler{
-		model:    model,
-		cams:     cams,
-		minIoU:   minIoU,
-		logger:   log.New(logDiscard{}, "", 0),
-		sink:     metrics.NopSink{},
-		shutdown: make(chan struct{}),
-		conns:    make(map[int]*schedConn),
-		rounds:   make(map[int]*round),
+		model:        model,
+		cams:         cams,
+		minIoU:       minIoU,
+		logger:       log.New(logDiscard{}, "", 0),
+		sink:         metrics.NopSink{},
+		shutdown:     make(chan struct{}),
+		conns:        make(map[int]*schedConn),
+		rounds:       make(map[int]*round),
+		lastAssigned: make([]int, len(cams)),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -490,6 +499,56 @@ func (s *Scheduler) gcStaleRounds(completed int) {
 	s.mu.Unlock()
 }
 
+// deadCameras returns, ascending, the roster cameras without a report
+// in the round that are disconnected or lease-expired — dead per the
+// liveness model, not merely slow. nil when leases are off (WithLease
+// unset), keeping the legacy wire format and snapshots bit-identical.
+func (s *Scheduler) deadCameras(r *round) []int {
+	if s.lease <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	var dead []int
+	for cam := range s.cams {
+		if _, ok := r.reports[cam]; ok {
+			continue
+		}
+		sc, connected := s.conns[cam]
+		if !connected || now.Sub(sc.lastSeen) > s.lease {
+			dead = append(dead, cam)
+		}
+	}
+	return dead
+}
+
+// noteFaults folds a round's dead set into the cumulative fault
+// counters and stamps them onto the snapshot: one outage per dead
+// camera-round, plus the assignments each newly dead camera held in
+// the previous round (the objects the central stage just reassigned
+// away from it). lastAssigned then advances to this round's counts.
+func (s *Scheduler) noteFaults(snap *metrics.Snapshot, dead []int) {
+	if s.lease <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outageRounds += len(dead)
+	for _, cam := range dead {
+		if cam >= 0 && cam < len(s.lastAssigned) {
+			s.reassignments += s.lastAssigned[cam]
+		}
+	}
+	for i, cs := range snap.Cameras {
+		if i < len(s.lastAssigned) {
+			s.lastAssigned[i] = cs.Assignments
+		}
+	}
+	snap.OutageFrames = s.outageRounds
+	snap.Reassignments = s.reassignments
+}
+
 // completeRound schedules a finished round, distributes the replies,
 // and emits the round's observability snapshot.
 func (s *Scheduler) completeRound(r *round, frame int) {
@@ -500,6 +559,16 @@ func (s *Scheduler) completeRound(r *round, frame int) {
 		s.broadcastError(fmt.Sprintf("scheduling failed: %v", err))
 		return
 	}
+	dead := s.deadCameras(r)
+	if len(dead) > 0 {
+		s.logger.Printf("cluster: round %d declares cameras %v dead (lease expired or disconnected)", frame, dead)
+		for _, reply := range replies {
+			if reply != nil {
+				reply.Dead = dead
+			}
+		}
+	}
+	s.noteFaults(&snap, dead)
 	snap.RoundLatency = time.Since(start)
 	s.emit(snap)
 	s.gcStaleRounds(frame)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -148,23 +149,35 @@ func Central(cams []CameraSpec, objects []ObjectSpec, opts CentralOptions) (*Sol
 	}, nil
 }
 
+// ErrEmptyPriority is returned by NewDistributedPolicy for an empty
+// priority order: a policy over zero cameras cannot answer any
+// ownership question.
+var ErrEmptyPriority = errors.New("core: empty priority order")
+
 // DistributedPolicy is the per-horizon state each camera needs to make
 // the distributed-stage decisions with zero communication: the fixed
-// camera priority (from the central stage) and the per-cell coverage
-// sets.
+// camera priority (from the central stage), the per-cell coverage
+// sets, and — under camera faults — the shared liveness mask every
+// camera consults identically so failover needs no communication
+// either.
 type DistributedPolicy struct {
 	// Priority lists cameras highest-priority first (ascending central-
 	// stage latency).
 	Priority []int
 	// rank[c] is camera c's position in Priority (0 = highest).
 	rank []int
+	// dead[c] marks camera c dead: Owner and ShouldTrack skip it, so
+	// the next-priority covering camera takes over its objects
+	// (docs/FAULTS.md, "Data-plane failure model"). nil = all alive.
+	dead []bool
 }
 
 // NewDistributedPolicy builds the policy from a camera priority order
-// (e.g. Solution.Priority). The order must be a permutation of 0..M-1.
+// (e.g. Solution.Priority). The order must be a permutation of 0..M-1;
+// an empty order returns ErrEmptyPriority.
 func NewDistributedPolicy(priority []int) (*DistributedPolicy, error) {
 	if len(priority) == 0 {
-		return nil, fmt.Errorf("core: empty priority order")
+		return nil, ErrEmptyPriority
 	}
 	rank := make([]int, len(priority))
 	for i := range rank {
@@ -182,20 +195,59 @@ func NewDistributedPolicy(priority []int) (*DistributedPolicy, error) {
 	return &DistributedPolicy{Priority: append([]int(nil), priority...), rank: rank}, nil
 }
 
+// SetDead installs the shared liveness mask: dead[c] == true removes
+// camera c from every subsequent Owner/ShouldTrack decision, so the
+// next-priority covering camera takes over its objects. A nil or empty
+// mask clears all dead marks. The mask is copied; extra entries beyond
+// the roster are ignored. Not safe to call concurrently with
+// Owner/ShouldTrack — callers update it in the sequential section
+// between frames.
+func (p *DistributedPolicy) SetDead(dead []bool) {
+	any := false
+	for _, d := range dead {
+		any = any || d
+	}
+	if !any {
+		p.dead = nil
+		return
+	}
+	if len(p.dead) != len(p.rank) {
+		p.dead = make([]bool, len(p.rank))
+	}
+	copy(p.dead, dead)
+	for i := len(dead); i < len(p.dead); i++ {
+		p.dead[i] = false
+	}
+}
+
+// Dead reports whether cam is marked dead by SetDead. Out-of-range
+// cameras are not dead (they are simply unknown).
+func (p *DistributedPolicy) Dead(cam int) bool {
+	return p.dead != nil && cam >= 0 && cam < len(p.dead) && p.dead[cam]
+}
+
 // Owner returns the camera responsible for a new object whose coverage
-// set is cover: the highest-priority camera that can see it. The boolean
-// is false for an empty coverage set.
+// set is cover: the highest-priority *live* camera that can see it. The
+// boolean is false — with camera 0 as a dummy value — when the coverage
+// set is empty, contains only out-of-range cameras, or every covering
+// camera is dead: the object is orphaned and no camera should track it.
 func (p *DistributedPolicy) Owner(cover []int) (int, bool) {
 	best := -1
 	for _, c := range cover {
 		if c < 0 || c >= len(p.rank) {
 			continue
 		}
+		if p.Dead(c) {
+			continue
+		}
 		if best == -1 || p.rank[c] < p.rank[best] {
 			best = c
 		}
 	}
-	return best, best >= 0
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
 }
 
 // ShouldTrack reports whether camera cam must start tracking an object

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewDistributedPolicyEmptyTyped(t *testing.T) {
+	if _, err := NewDistributedPolicy(nil); !errors.Is(err, ErrEmptyPriority) {
+		t.Fatalf("err = %v, want ErrEmptyPriority", err)
+	}
+	if _, err := NewDistributedPolicy([]int{}); !errors.Is(err, ErrEmptyPriority) {
+		t.Fatalf("err = %v, want ErrEmptyPriority", err)
+	}
+}
+
+func TestOwnerDeadCameras(t *testing.T) {
+	mk := func(dead []bool) *DistributedPolicy {
+		p, err := NewDistributedPolicy([]int{2, 0, 1}) // cam 2 highest priority
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetDead(dead)
+		return p
+	}
+	tests := []struct {
+		name      string
+		dead      []bool
+		cover     []int
+		wantOwner int
+		wantOK    bool
+	}{
+		{"all alive", nil, []int{0, 1, 2}, 2, true},
+		{"owner dead, next takes over", []bool{false, false, true}, []int{0, 1, 2}, 0, true},
+		{"two dead", []bool{true, false, true}, []int{0, 1, 2}, 1, true},
+		{"fully dead coverage", []bool{true, true, true}, []int{0, 1, 2}, 0, false},
+		{"empty coverage", nil, nil, 0, false},
+		{"only out-of-range coverage", nil, []int{-1, 9}, 0, false},
+		{"dead outside coverage is irrelevant", []bool{false, true, false}, []int{0, 2}, 2, true},
+		{"short mask treats missing as alive", []bool{true}, []int{0, 1}, 1, true},
+		{"long mask extra entries ignored", []bool{false, false, true, true, true}, []int{0, 1, 2}, 0, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mk(tc.dead)
+			owner, ok := p.Owner(tc.cover)
+			if owner != tc.wantOwner || ok != tc.wantOK {
+				t.Fatalf("Owner(%v) = (%d, %v), want (%d, %v)",
+					tc.cover, owner, ok, tc.wantOwner, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestSetDeadClearAndShouldTrack(t *testing.T) {
+	p, err := NewDistributedPolicy([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetDead([]bool{false, false, true})
+	if !p.Dead(2) || p.Dead(0) {
+		t.Fatal("dead mask not applied")
+	}
+	if p.Dead(-1) || p.Dead(9) {
+		t.Fatal("out-of-range camera reported dead")
+	}
+	// Failover: with cam 2 dead, the next-priority covering camera tracks.
+	if p.ShouldTrack(2, []int{1, 2}) {
+		t.Fatal("dead camera should not track")
+	}
+	if !p.ShouldTrack(1, []int{1, 2}) {
+		t.Fatal("surviving camera should take over")
+	}
+	// Clearing with nil (and with an all-false mask) restores ownership.
+	p.SetDead(nil)
+	if p.Dead(2) || !p.ShouldTrack(2, []int{1, 2}) {
+		t.Fatal("nil mask did not clear dead marks")
+	}
+	p.SetDead([]bool{true, false, false})
+	p.SetDead([]bool{false, false, false})
+	if p.Dead(0) {
+		t.Fatal("all-false mask did not clear dead marks")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"mvs/internal/profile"
+)
+
+// fuzzObjects decodes an arbitrary byte stream into a slice of
+// ObjectSpecs — deliberately without sanitizing, so malformed coverage
+// sets (empty, duplicate cameras, out-of-range indices, negative or
+// missing sizes) all occur. The decoding is deterministic, so any
+// crasher reproduces from its corpus entry.
+func fuzzObjects(data []byte, numCams int) []ObjectSpec {
+	var objects []ObjectSpec
+	id := 0
+	for len(data) > 0 {
+		n := int(data[0] % 5) // coverage entries for this object (0..4)
+		data = data[1:]
+		o := ObjectSpec{ID: id, Size: map[int]int{}}
+		for j := 0; j < n && len(data) >= 2; j++ {
+			// Spread camera indices around [-2, numCams+2) so both valid
+			// and out-of-range values appear; do not deduplicate.
+			cam := int(data[0])%(numCams+4) - 2
+			size := int(int8(data[1])) * 8 // negatives and zero included
+			data = data[2:]
+			o.Coverage = append(o.Coverage, cam)
+			if size != 0 {
+				o.Size[cam] = size
+			}
+		}
+		objects = append(objects, o)
+		id++
+	}
+	return objects
+}
+
+func FuzzObjectSpecValidate(f *testing.F) {
+	f.Add(uint8(2), []byte{1, 0, 8})             // one valid object
+	f.Add(uint8(2), []byte{2, 0, 8, 0, 8})       // duplicate camera
+	f.Add(uint8(2), []byte{1, 7, 8})             // out-of-range camera
+	f.Add(uint8(2), []byte{1, 0, 0})             // missing size
+	f.Add(uint8(2), []byte{0})                   // empty coverage
+	f.Add(uint8(0), []byte{1, 0, 8})             // zero-camera roster
+	f.Add(uint8(6), []byte{3, 1, 8, 2, 16, 255}) // truncated entry
+	f.Fuzz(func(t *testing.T, camsRaw uint8, data []byte) {
+		numCams := int(camsRaw % 9)
+		for _, o := range fuzzObjects(data, numCams) {
+			err := o.Validate(numCams)
+			if err != nil {
+				continue
+			}
+			// Validate accepted: the invariants it promises must hold.
+			if len(o.Coverage) == 0 {
+				t.Fatalf("accepted empty coverage: %+v", o)
+			}
+			seen := map[int]bool{}
+			for _, c := range o.Coverage {
+				if c < 0 || c >= numCams {
+					t.Fatalf("accepted out-of-range camera %d (roster %d): %+v", c, numCams, o)
+				}
+				if seen[c] {
+					t.Fatalf("accepted duplicate camera %d: %+v", c, o)
+				}
+				seen[c] = true
+				if o.Size[c] <= 0 {
+					t.Fatalf("accepted non-positive size on camera %d: %+v", c, o)
+				}
+			}
+		}
+	})
+}
+
+func FuzzCheckFeasible(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 0, 8}, []byte{0, 0})
+	f.Add(uint8(3), []byte{1, 0, 8}, []byte{})           // unassigned
+	f.Add(uint8(3), []byte{1, 0, 8}, []byte{0, 2})       // outside coverage
+	f.Add(uint8(3), []byte{2, 0, 8, 1, 8}, []byte{0, 1}) // covered
+	f.Fuzz(func(t *testing.T, camsRaw uint8, objData, assignData []byte) {
+		numCams := int(camsRaw%8) + 1
+		objects := fuzzObjects(objData, numCams)
+		a := Assignment{}
+		for len(assignData) >= 2 {
+			id := int(assignData[0] % 16)
+			cam := int(assignData[1])%(numCams+2) - 1
+			assignData = assignData[2:]
+			a[id] = cam
+		}
+		err := CheckFeasible(objects, a)
+		if err != nil {
+			return
+		}
+		// Feasible: every object must be assigned within its coverage.
+		for i := range objects {
+			cam, ok := a[objects[i].ID]
+			if !ok {
+				t.Fatalf("feasible but object %d unassigned", objects[i].ID)
+			}
+			covered := false
+			for _, c := range objects[i].Coverage {
+				covered = covered || c == cam
+			}
+			if !covered {
+				t.Fatalf("feasible but object %d on camera %d outside %v",
+					objects[i].ID, cam, objects[i].Coverage)
+			}
+		}
+	})
+}
+
+func FuzzValidateInstance(f *testing.F) {
+	f.Add(uint8(2), false, []byte{1, 0, 8})
+	f.Add(uint8(0), false, []byte{})        // empty roster
+	f.Add(uint8(2), true, []byte{1, 0, 8})  // nil profile
+	f.Add(uint8(4), false, []byte{2, 9, 8}) // bad object
+	f.Fuzz(func(t *testing.T, camsRaw uint8, nilProfile bool, objData []byte) {
+		numCams := int(camsRaw % 7)
+		cams := make([]CameraSpec, numCams)
+		classes := []profile.DeviceClass{profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier}
+		for i := range cams {
+			cams[i] = CameraSpec{Index: i, Profile: profile.Default(classes[i%len(classes)])}
+		}
+		if nilProfile && numCams > 0 {
+			cams[numCams-1].Profile = nil
+		}
+		objects := fuzzObjects(objData, numCams)
+		err := validateInstance(cams, objects)
+		if err != nil {
+			return
+		}
+		// Accepted: the roster is non-empty with usable profiles, and
+		// every object individually validates.
+		if numCams == 0 {
+			t.Fatal("accepted empty roster")
+		}
+		for i, c := range cams {
+			if c.Profile == nil {
+				t.Fatalf("accepted nil profile on camera %d", i)
+			}
+		}
+		for i := range objects {
+			if verr := objects[i].Validate(numCams); verr != nil {
+				t.Fatalf("instance accepted but object %d invalid: %v", i, verr)
+			}
+		}
+	})
+}

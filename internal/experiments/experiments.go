@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"mvs/internal/assoc"
+	"mvs/internal/camfault"
 	"mvs/internal/metrics"
 	"mvs/internal/ml"
 	"mvs/internal/pipeline"
@@ -481,6 +482,90 @@ func ArrivalSweep(name string, seed int64, frames int, scales []float64, opts Op
 			BALBRecall:  balb.Recall,
 			CenRecall:   cen.Recall,
 			BALBLatency: balb.MeanSlowest,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ChaosPoint is one point of the camera-fault chaos sweep: the same
+// deterministic outage schedule run twice — once with health tracking
+// and failover on, once with the feature off — so the gap quantifies
+// graceful degradation.
+type ChaosPoint struct {
+	// Rate is the configured long-run camera-frame outage fraction.
+	Rate float64
+	// OutageFrames is the realized number of camera-frames lost
+	// (identical in both arms, by construction).
+	OutageFrames int
+	// FailoverRecall and NoFailoverRecall compare BALB recall with the
+	// health tracker on (HealthK > 0) and off.
+	FailoverRecall   float64
+	NoFailoverRecall float64
+	// FailoverP99 and NoFailoverP99 are the per-frame system-latency
+	// P99s of the two arms.
+	FailoverP99   time.Duration
+	NoFailoverP99 time.Duration
+	// Reassignments and Orphaned are the failover arm's ownership
+	// transfers and lost objects.
+	Reassignments int
+	Orphaned      int
+}
+
+// ChaosSweep runs BALB under seeded camera-fault schedules of
+// increasing outage rate (rates nil defaults to {0.05, 0.1, 0.2}),
+// with and without health-tracked failover (healthK <= 0 defaults to
+// 3), and reports recall plus tail latency per point. The two arms of
+// a point share the identical fault schedule, so every difference is
+// attributable to the failover machinery. Snapshots are labelled
+// "chaos/r=<rate>/fo" and "chaos/r=<rate>/off".
+func ChaosSweep(s *Setup, rates []float64, healthK int, opts Options) ([]ChaosPoint, error) {
+	if len(rates) == 0 {
+		rates = []float64{0.05, 0.1, 0.2}
+	}
+	if healthK <= 0 {
+		healthK = 3
+	}
+	out := make([]ChaosPoint, len(rates))
+	// Both arms of point i regenerate the identical schedule from the
+	// same derived seed; the arms write disjoint fields of out[i], so
+	// the fan-out is race-free.
+	err := pool.Do(opts.Workers, 2*len(rates), func(k int) error {
+		i, arm := k/2, k%2
+		faults, err := camfault.Generate(camfault.Config{
+			Seed: s.Seed + int64(i)*7919, Rate: rates[i], MeanOutage: 20, BootDelay: 2,
+		}, len(s.Test.Cameras), len(s.Test.Frames))
+		if err != nil {
+			return fmt.Errorf("experiments: chaos rate %g: %w", rates[i], err)
+		}
+		popts := pipeline.Options{
+			Mode: pipeline.BALB, Seed: s.Seed, Workers: opts.Workers,
+			Sink: opts.Sink, CamFaults: faults,
+		}
+		if arm == 0 {
+			popts.HealthK = healthK
+			popts.Label = fmt.Sprintf("chaos/r=%g/fo", rates[i])
+		} else {
+			popts.Label = fmt.Sprintf("chaos/r=%g/off", rates[i])
+		}
+		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, popts)
+		if err != nil {
+			return fmt.Errorf("experiments: chaos rate %g: %w", rates[i], err)
+		}
+		p := &out[i]
+		if arm == 0 {
+			p.Rate = rates[i]
+			p.OutageFrames = rep.OutageFrames
+			p.FailoverRecall = rep.Recall
+			p.FailoverP99 = rep.P99Slowest
+			p.Reassignments = rep.Reassignments
+			p.Orphaned = rep.OrphanedObjects
+		} else {
+			p.NoFailoverRecall = rep.Recall
+			p.NoFailoverP99 = rep.P99Slowest
 		}
 		return nil
 	})

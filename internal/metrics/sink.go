@@ -103,6 +103,20 @@ type Snapshot struct {
 	// Reconnects is the cumulative count of successful scheduler
 	// reconnections by this node's client (node source).
 	Reconnects int `json:"reconnects,omitempty"`
+	// OutageFrames is the cumulative count of camera-frames lost to
+	// data-plane faults: frames where a camera was down and produced no
+	// observation (pipeline/node), or dead camera-rounds (scheduler).
+	// Zero — and absent on the wire — in fault-free runs
+	// (docs/FAULTS.md, "Data-plane failure model").
+	OutageFrames int `json:"outage_frames,omitempty"`
+	// OrphanedObjects is the cumulative count of objects dropped because
+	// their owner died and no live camera covers them (pipeline/node).
+	OrphanedObjects int `json:"orphaned_objects,omitempty"`
+	// Reassignments is the cumulative count of failover ownership
+	// transfers: shadow promotions because the owning camera is dead
+	// (pipeline/node), or objects re-scheduled away from lease-expired
+	// cameras (scheduler).
+	Reassignments int `json:"reassignments,omitempty"`
 	// FrameLatency is the frame's modelled system latency: the slowest
 	// camera this frame (pipeline/node), or the assignment's scheduled
 	// system latency L = max_i L_i (scheduler).

@@ -188,6 +188,61 @@ func TestJSONLSchemaGoldenResilience(t *testing.T) {
 	}
 }
 
+// TestJSONLSchemaGoldenCamFaults pins the data-plane fault counters
+// (PR "camera outages"): omitempty, so the fault-free golden lines in
+// the two tests above stay bit-identical — asserted explicitly here —
+// and these exact names appear when faults fire.
+func TestJSONLSchemaGoldenCamFaults(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.RecordFrame(Snapshot{
+		Source:          SourcePipeline,
+		Label:           "chaos/r=0.1/fo",
+		Seq:             7,
+		Frame:           30,
+		TP:              12,
+		FN:              3,
+		Recall:          0.8,
+		OutageFrames:    5,
+		OrphanedObjects: 1,
+		Reassignments:   2,
+		FrameLatency:    4 * time.Millisecond,
+		Cameras: []CameraSnapshot{
+			{Camera: 0, Latency: 4 * time.Millisecond, Tracks: 3},
+		},
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"source":"pipeline","label":"chaos/r=0.1/fo","seq":7,"frame":30,"tp":12,"fn":3,"recall":0.8,"outage_frames":5,"orphaned_objects":1,"reassignments":2,"frame_latency_ns":4000000,"cameras":[{"camera":0,"latency_ns":4000000,"tracks":3}]}`
+	if got := strings.TrimSpace(buf.String()); got != want {
+		t.Fatalf("schema drifted:\ngot  %s\nwant %s", got, want)
+	}
+
+	// Fault-free runs must emit none of the fault keys: re-encode the
+	// golden snapshots from the two tests above and scan for them.
+	buf.Reset()
+	s2 := NewJSONLSink(&buf)
+	s2.RecordFrame(Snapshot{
+		Source: SourceScheduler, Label: "S2", Seq: 3, Frame: 40,
+		FrameLatency: 5 * time.Millisecond, RoundLatency: 250 * time.Microsecond, Objects: 9,
+		Cameras: []CameraSnapshot{{Camera: 0, Latency: 5 * time.Millisecond}},
+	})
+	s2.RecordFrame(Snapshot{
+		Source: SourceNode, Label: "camera1", Seq: 2, Frame: 11, Detected: 4,
+		FrameLatency: 3 * time.Millisecond,
+		Cameras:      []CameraSnapshot{{Camera: 1, Latency: 3 * time.Millisecond}},
+	})
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"outage_frames", "orphaned_objects", "reassignments"} {
+		if strings.Contains(buf.String(), key) {
+			t.Fatalf("fault-free snapshot leaked %q:\n%s", key, buf.String())
+		}
+	}
+}
+
 func TestJSONLOpenAppendClose(t *testing.T) {
 	path := t.TempDir() + "/snaps.jsonl"
 	for round := 0; round < 2; round++ {

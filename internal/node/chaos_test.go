@@ -9,8 +9,10 @@ import (
 	"mvs/internal/assoc"
 	"mvs/internal/cluster"
 	"mvs/internal/faults"
+	"mvs/internal/geom"
 	"mvs/internal/metrics"
 	"mvs/internal/profile"
+	"mvs/internal/scene"
 )
 
 func TestDegradedModeCountsAndClears(t *testing.T) {
@@ -245,5 +247,115 @@ func TestChaosDegradedRejoinEndToEnd(t *testing.T) {
 	}
 	if frac := float64(missed) / float64(len(truth)); frac > 0.3 {
 		t.Fatalf("missed %d/%d distinct objects under chaos", missed, len(truth))
+	}
+}
+
+// TestChaosDeadOwnerFailover exercises the data-plane failover rule on
+// a node: the scheduler declares the owning camera dead, so the
+// highest-priority live camera promotes its shadow back to an active
+// track and counts the reassignment.
+func TestChaosDeadOwnerFailover(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.Coverage = make([][]int, 16*9)
+	for i := range cfg.Coverage {
+		cfg.Coverage[i] = []int{0, 1} // every cell seen by both cameras
+	}
+	sink := metrics.NewChannelSink(1, 16)
+	cfg.Sink = sink
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []scene.Observation{
+		{ObjectID: 1, Box: geom.Rect{MinX: 100, MinY: 100, MaxX: 160, MaxY: 150}},
+	}
+	reports, err := rt.KeyFrame(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	// The scheduler assigned the object to camera 1 — and in the same
+	// reply declares camera 1 dead (its lease expired mid-round).
+	err = rt.ApplyAssignment(&cluster.Assignment{
+		Frame:    0,
+		Shadows:  []cluster.ShadowOrder{{TrackID: reports[0].TrackID, AssignedCamera: 1}},
+		Priority: []int{1, 0},
+		Dead:     []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.ActiveTracks != 0 || st.Shadows != 1 {
+		t.Fatalf("after demotion: %+v", st)
+	}
+	if _, err := rt.RegularFrame(obs); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.ActiveTracks != 1 || st.Shadows != 0 {
+		t.Fatalf("shadow not promoted from dead owner: %+v", st)
+	}
+	if st.Reassignments != 1 {
+		t.Fatalf("Reassignments = %d, want 1", st.Reassignments)
+	}
+	// Outage accounting and snapshot plumbing.
+	rt.OutageFrame()
+	if got := rt.Stats().OutageFrames; got != 1 {
+		t.Fatalf("OutageFrames = %d, want 1", got)
+	}
+	if _, err := rt.RegularFrame(obs); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	var last metrics.Snapshot
+	for snap := range sink.Snapshots() {
+		last = snap
+	}
+	if last.OutageFrames != 1 || last.Reassignments != 1 {
+		t.Fatalf("snapshot counters = (%d,%d), want (1,1)",
+			last.OutageFrames, last.Reassignments)
+	}
+}
+
+// TestChaosDeadSetIgnoredWhenAlive pins that an assignment without a
+// Dead list clears any previous dead marks (a recovered camera regains
+// ownership) and that out-of-range entries are ignored.
+func TestChaosDeadSetIgnoredWhenAlive(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.Coverage = make([][]int, 16*9)
+	for i := range cfg.Coverage {
+		cfg.Coverage[i] = []int{0, 1}
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []scene.Observation{
+		{ObjectID: 1, Box: geom.Rect{MinX: 100, MinY: 100, MaxX: 160, MaxY: 150}},
+	}
+	reports, err := rt.KeyFrame(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range dead entries must not panic or mark anything.
+	err = rt.ApplyAssignment(&cluster.Assignment{
+		Frame:    0,
+		Shadows:  []cluster.ShadowOrder{{TrackID: reports[0].TrackID, AssignedCamera: 1}},
+		Priority: []int{1, 0},
+		Dead:     []int{-3, 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RegularFrame(obs); err != nil {
+		t.Fatal(err)
+	}
+	// Owner 1 is alive (garbage dead entries ignored): the shadow stays
+	// a shadow and nothing is reassigned.
+	st := rt.Stats()
+	if st.Shadows != 1 || st.Reassignments != 0 {
+		t.Fatalf("garbage dead entries changed behaviour: %+v", st)
 	}
 }

@@ -58,6 +58,8 @@ type Runtime struct {
 	detected       map[int]bool
 	degradedFrames int
 	reconnects     int
+	outageFrames   int
+	reassignments  int
 }
 
 // Config assembles a runtime.
@@ -145,6 +147,8 @@ func (r *Runtime) emit(latency time.Duration, batches, images int, occupancy flo
 		Detected:       len(r.detected),
 		DegradedFrames: r.degradedFrames,
 		Reconnects:     r.reconnects,
+		OutageFrames:   r.outageFrames,
+		Reassignments:  r.reassignments,
 		FrameLatency:   latency,
 		Cameras: []metrics.CameraSnapshot{{
 			Camera:         r.camera,
@@ -188,6 +192,13 @@ func (r *Runtime) KeyFrame(obs []scene.Observation) ([]cluster.TrackReport, erro
 	return cluster.ReportTracks(r.tracker.Tracks()), nil
 }
 
+// OutageFrame records one frame lost to a camera fault: the node's
+// sensor was down, so nothing was inspected, nothing was reported, and
+// no snapshot is emitted — the camera is silent, which is exactly what
+// the scheduler's liveness lease observes. State freezes until the
+// camera recovers.
+func (r *Runtime) OutageFrame() { r.outageFrames++ }
+
 // EnterDegraded switches the runtime to degraded mode: the scheduler is
 // unreachable (or did not answer this round), so the node keeps
 // inspecting all of its own tracks under the last-known priority order
@@ -219,6 +230,18 @@ func (r *Runtime) ApplyAssignment(a *cluster.Assignment) error {
 	policy, err := core.NewDistributedPolicy(a.Priority)
 	if err != nil {
 		return fmt.Errorf("node: %w", err)
+	}
+	if len(a.Dead) > 0 {
+		// The scheduler's liveness leases feed the distributed stage:
+		// every node installs the identical dead set, so failover
+		// ownership decisions stay communication-free.
+		mask := make([]bool, len(a.Priority))
+		for _, c := range a.Dead {
+			if c >= 0 && c < len(mask) {
+				mask[c] = true
+			}
+		}
+		policy.SetDead(mask)
 	}
 	r.policy = policy
 	r.degraded = false
@@ -342,11 +365,17 @@ func (r *Runtime) takeoverCheck() {
 				break
 			}
 		}
-		if assignedSees {
+		// Same failover rule as the pipeline: an owner that is covered
+		// but dead is treated as having lost the object.
+		deadOwner := assignedSees && r.policy.Dead(sh.assigned)
+		if assignedSees && !deadOwner {
 			alive = append(alive, sh)
 			continue
 		}
 		if r.policy.ShouldTrack(r.camera, cover) {
+			if deadOwner {
+				r.reassignments++
+			}
 			r.tracker.Spawn(vision.Detection{Box: sh.box, Score: 0.5, TruthID: sh.truthID})
 			continue
 		}
@@ -377,6 +406,12 @@ type Stats struct {
 	// Reconnects is the client's cumulative reconnect count, as recorded
 	// by NoteReconnects.
 	Reconnects int
+	// OutageFrames is how many frames were lost to camera faults (see
+	// OutageFrame).
+	OutageFrames int
+	// Reassignments counts shadow promotions because the scheduler
+	// declared the owning camera dead.
+	Reassignments int
 }
 
 // Stats returns the node's running counters.
@@ -388,6 +423,8 @@ func (r *Runtime) Stats() Stats {
 		DetectedObjects: len(r.detected),
 		DegradedFrames:  r.degradedFrames,
 		Reconnects:      r.reconnects,
+		OutageFrames:    r.outageFrames,
+		Reassignments:   r.reassignments,
 	}
 	if r.frames > 0 {
 		s.MeanLatency = r.latencySum / time.Duration(r.frames)

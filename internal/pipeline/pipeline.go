@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"mvs/internal/assoc"
+	"mvs/internal/camfault"
 	"mvs/internal/core"
 	"mvs/internal/flow"
 	"mvs/internal/geom"
@@ -132,6 +133,20 @@ type Options struct {
 	// to the mode name. Experiment harnesses use it to demultiplex
 	// snapshot streams from concurrent runs.
 	Label string
+	// CamFaults, when non-nil, injects the data-plane fault schedule: a
+	// camera that is down for a frame produces no observations and runs
+	// no inspection (its tracker, executor, and shadows freeze). The
+	// model must cover every roster camera and at least the trace
+	// length. nil runs fault-free — bit-identical to a build without
+	// this feature (docs/FAULTS.md, "Data-plane failure model").
+	CamFaults *camfault.Model
+	// HealthK is the health-tracker silence threshold: a camera silent
+	// for K consecutive frames is marked dead, the central stage
+	// reschedules over the healthy subset, and the distributed stage's
+	// ownership masks skip it (failover). 0 disables health tracking —
+	// faults still drop frames, but scheduling stays oblivious (the
+	// no-failover ablation). Only meaningful with CamFaults set.
+	HealthK int
 }
 
 func (o Options) withDefaults() Options {
@@ -186,12 +201,21 @@ type Report struct {
 	// BatchingPerFrame is the measured batch-formation overhead
 	// (Table II).
 	BatchingPerFrame time.Duration
-	// P95Slowest and MaxSlowest summarize the tail of the per-frame
-	// system latency (max across cameras per frame): the paper's
-	// motivation is responsiveness, so the tail matters as much as the
-	// mean.
+	// P95Slowest, P99Slowest and MaxSlowest summarize the tail of the
+	// per-frame system latency (max across cameras per frame): the
+	// paper's motivation is responsiveness, so the tail matters as much
+	// as the mean.
 	P95Slowest time.Duration
+	P99Slowest time.Duration
 	MaxSlowest time.Duration
+	// OutageFrames counts camera-frames lost to the fault schedule;
+	// OrphanedObjects counts shadows dropped because no live camera
+	// covered them; Reassignments counts failover ownership transfers
+	// (shadow promotions after the owner died). All zero in fault-free
+	// runs; all modelled (deterministic), so Modeled() keeps them.
+	OutageFrames    int
+	OrphanedObjects int
+	Reassignments   int
 }
 
 // OverheadTotal returns the summed per-frame framework overhead.
@@ -324,13 +348,47 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 		return nil, fmt.Errorf("pipeline: CameraLag has %d entries for %d cameras",
 			len(opts.CameraLag), len(cams))
 	}
+	if opts.CamFaults != nil {
+		if opts.CamFaults.NumCameras() != len(cams) {
+			return nil, fmt.Errorf("pipeline: fault schedule for %d cameras, trace has %d",
+				opts.CamFaults.NumCameras(), len(cams))
+		}
+		if opts.CamFaults.NumFrames() < len(trace.Frames) {
+			return nil, fmt.Errorf("pipeline: fault schedule covers %d frames, trace has %d",
+				opts.CamFaults.NumFrames(), len(trace.Frames))
+		}
+	}
+	// Health tracking: mark cameras dead after HealthK silent frames and
+	// feed the mask into the ownership policy so the distributed stage
+	// fails over and the central stage reschedules over the survivors.
+	var (
+		health       *camfault.Tracker
+		deadMask     []bool
+		outageFrames int
+		orphaned     int
+		reassigned   int
+	)
+	if opts.CamFaults != nil && opts.HealthK > 0 && policy != nil {
+		health = camfault.NewTracker(len(cams), opts.HealthK)
+	}
 
 	for fi := range trace.Frames {
 		frame := &trace.Frames[fi]
 		// Each camera sees the scene as of its own (possibly lagged)
-		// frame — the paper's imperfect-synchronization model.
+		// frame — the paper's imperfect-synchronization model. A camera
+		// down per the fault schedule sees nothing and does no work this
+		// frame; its state freezes until it recovers.
 		obs := make([][]scene.Observation, len(cams))
+		var down []bool
 		for i := range cams {
+			if opts.CamFaults.Down(i, fi) {
+				if down == nil {
+					down = make([]bool, len(cams))
+				}
+				down[i] = true
+				outageFrames++
+				continue
+			}
 			src := fi
 			if opts.CameraLag != nil && opts.CameraLag[i] > 0 {
 				src = fi - opts.CameraLag[i]
@@ -340,28 +398,36 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 			}
 			obs[i] = trace.Frames[src].PerCamera[i]
 		}
+		if health != nil {
+			for i := range cams {
+				health.Observe(i, down == nil || !down[i])
+			}
+			deadMask, _ = health.DeadMask(deadMask)
+			policy.SetDead(deadMask) // all-false mask clears
+		}
 		isKey := fi%opts.Horizon == 0
 		detectedIDs := make(map[int]bool)
 		results := make([]camFrame, len(cams))
 
 		if isKey {
 			flushHorizon()
-			if err := runKeyFrame(cams, obs, detectedIDs, breakdown, horizonCam, results, opts); err != nil {
+			if err := runKeyFrame(cams, obs, down, detectedIDs, breakdown, horizonCam, results, opts); err != nil {
 				return nil, err
 			}
 			if needsModel {
 				start := time.Now()
-				newPolicy, err := centralStage(cams, coreCams, model, opts)
+				newPolicy, err := centralStage(cams, coreCams, model, deadMask, opts)
 				if err != nil {
 					return nil, err
 				}
 				centralTotal += time.Since(start)
 				if newPolicy != nil {
 					policy = newPolicy
+					policy.SetDead(deadMask)
 				}
 			}
 		} else {
-			if err := runRegularFrame(cams, obs, detectedIDs, breakdown, horizonCam, results, policy, opts); err != nil {
+			if err := runRegularFrame(cams, obs, down, detectedIDs, breakdown, horizonCam, results, policy, opts); err != nil {
 				return nil, err
 			}
 		}
@@ -369,6 +435,10 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 		breakdown.EndFrame()
 		horizonLen++
 		recall.Observe(frame.VisibleObjectIDs(), detectedIDs)
+		for i := range results {
+			reassigned += results[i].reassigned
+			orphaned += results[i].orphaned
+		}
 
 		// Per-frame system latency (max across cameras) for tail stats.
 		var frameMax time.Duration
@@ -386,7 +456,8 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 		// would report for the frames so far, so attaching one cannot
 		// perturb the determinism contract.
 		if opts.Sink != nil {
-			emitFrameSnapshot(opts.Sink, label, fi, &recall, frameMax, cams, results)
+			emitFrameSnapshot(opts.Sink, label, fi, &recall, frameMax, cams, results,
+				outageFrames, orphaned, reassigned)
 		}
 	}
 	flushHorizon()
@@ -416,6 +487,14 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	rep.P95Slowest = p95
+	p99, err := frameSeries.Percentile(99)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	rep.P99Slowest = p99
+	rep.OutageFrames = outageFrames
+	rep.OrphanedObjects = orphaned
+	rep.Reassignments = reassigned
 	return rep, nil
 }
 
@@ -495,6 +574,11 @@ type camFrame struct {
 	batches   int
 	images    int
 	occupancy float64
+	// reassigned counts shadow promotions because the owning camera is
+	// dead; orphaned counts shadows dropped with no live covering
+	// camera. Both stay zero in fault-free runs.
+	reassigned int
+	orphaned   int
 }
 
 // mergeCamFrames folds per-camera frame shards into the run accumulators
@@ -518,18 +602,22 @@ func mergeCamFrames(results []camFrame, detected map[int]bool,
 // merged camFrame shards the report accumulators consume.
 func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 	recall *metrics.RecallAccumulator, frameMax time.Duration,
-	cams []*cameraState, results []camFrame) {
+	cams []*cameraState, results []camFrame,
+	outageFrames, orphaned, reassigned int) {
 	tp, fn := recall.Counts()
 	snap := metrics.Snapshot{
-		Source:       metrics.SourcePipeline,
-		Label:        label,
-		Seq:          frame,
-		Frame:        frame,
-		TP:           tp,
-		FN:           fn,
-		Recall:       recall.Recall(),
-		FrameLatency: frameMax,
-		Cameras:      make([]metrics.CameraSnapshot, len(cams)),
+		Source:          metrics.SourcePipeline,
+		Label:           label,
+		Seq:             frame,
+		Frame:           frame,
+		TP:              tp,
+		FN:              fn,
+		Recall:          recall.Recall(),
+		OutageFrames:    outageFrames,
+		OrphanedObjects: orphaned,
+		Reassignments:   reassigned,
+		FrameLatency:    frameMax,
+		Cameras:         make([]metrics.CameraSnapshot, len(cams)),
 	}
 	for i, cs := range cams {
 		snap.Cameras[i] = metrics.CameraSnapshot{
@@ -547,10 +635,15 @@ func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 
 // runKeyFrame performs the full-frame inspections, fanned out per
 // camera. results must hold one zeroed camFrame per camera; it carries
-// the per-camera shards out to the caller for snapshot assembly.
-func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
+// the per-camera shards out to the caller for snapshot assembly. A
+// non-nil down mask skips those cameras entirely (their shard stays
+// zero and their state freezes).
+func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, detected map[int]bool,
 	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame, opts Options) error {
 	err := pool.Do(opts.Workers, len(cams), func(i int) error {
+		if down != nil && down[i] {
+			return nil
+		}
 		return cams[i].keyFrame(obs[i], &results[i])
 	})
 	if err != nil {
@@ -562,6 +655,9 @@ func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, detected map[in
 	// keep everything (the central stage reassigns right after).
 	if opts.Mode == StaticPartition {
 		for _, cs := range cams {
+			if down != nil && down[cs.index] {
+				continue
+			}
 			for _, t := range cs.tracker.Tracks() {
 				cell, _ := cs.grid.CellIndex(t.Box.Center())
 				if cs.spOwner[cell] != cs.index {
@@ -597,15 +693,23 @@ func (cs *cameraState) keyFrame(obs []scene.Observation, out *camFrame) error {
 // association is skipped (its partition is static), so the stage only
 // reconciles track ownership by cell owner, which key-frame handling
 // already did — it returns a nil policy to keep the previous one.
-func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model, opts Options) (*core.DistributedPolicy, error) {
+//
+// A non-nil dead mask excludes those cameras' (stale, frozen) tracks
+// from association, so the MVS instance is built over the healthy
+// subset only and every orphaned object is implicitly reassigned to a
+// live covering camera by Central.
+func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model, dead []bool, opts Options) (*core.DistributedPolicy, error) {
 	if opts.Mode == StaticPartition {
 		return nil, nil
 	}
 
-	// Gather per-camera track boxes.
+	// Gather per-camera track boxes (live cameras only).
 	boxes := make([][]geom.Rect, len(cams))
 	trackIDs := make([][]int, len(cams))
 	for i, cs := range cams {
+		if dead != nil && i < len(dead) && dead[i] {
+			continue
+		}
 		for _, t := range cs.tracker.Tracks() {
 			boxes[i] = append(boxes[i], t.Box)
 			trackIDs[i] = append(trackIDs[i], t.ID)
@@ -702,17 +806,23 @@ func containsCam(cams []int, cam int) bool {
 // distributed stage, fanned out per camera. The shared policy is only
 // read by the workers; every write stays inside one camera's state and
 // camFrame shard.
-func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, detected map[int]bool,
+func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, detected map[int]bool,
 	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame,
 	policy *core.DistributedPolicy, opts Options) error {
 	var err error
 	if opts.Mode == Full {
 		err = pool.Do(opts.Workers, len(cams), func(i int) error {
+			if down != nil && down[i] {
+				return nil
+			}
 			cams[i].fullFrame(obs[i], &results[i])
 			return nil
 		})
 	} else {
 		err = pool.Do(opts.Workers, len(cams), func(i int) error {
+			if down != nil && down[i] {
+				return nil
+			}
 			return cams[i].regularFrame(obs[i], policy, opts, &results[i])
 		})
 	}
@@ -828,7 +938,7 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy *core.Distri
 		}
 	}
 	if opts.Mode == BALB {
-		cs.takeoverCheck(policy)
+		cs.takeoverCheck(policy, out)
 	}
 	out.sample.Observe("distributed", time.Since(distStart))
 	return nil
@@ -854,11 +964,12 @@ func (cs *cameraState) keepNewTrack(centre geom.Point, policy *core.DistributedP
 }
 
 // takeoverCheck implements the second distributed-stage rule: when a
-// shadowed object's assigned camera can (per the static cell coverage) no
-// longer see it, the highest-priority camera still covering it takes over
-// — without any communication, because every camera evaluates the same
-// masks.
-func (cs *cameraState) takeoverCheck(policy *core.DistributedPolicy) {
+// shadowed object's assigned camera can no longer see it — it lost
+// coverage per the static cell masks, or it is marked dead by the
+// health tracker — the highest-priority live camera still covering it
+// takes over, without any communication, because every camera evaluates
+// the same masks and the same shared dead set.
+func (cs *cameraState) takeoverCheck(policy *core.DistributedPolicy, out *camFrame) {
 	alive := cs.shadows[:0]
 	for _, sh := range cs.shadows {
 		cell, inside := cs.grid.CellIndex(sh.box.Center())
@@ -873,18 +984,25 @@ func (cs *cameraState) takeoverCheck(policy *core.DistributedPolicy) {
 				break
 			}
 		}
-		if assignedSees {
+		deadOwner := assignedSees && policy.Dead(sh.assigned)
+		if assignedSees && !deadOwner {
 			alive = append(alive, sh)
 			continue
 		}
-		// Assigned camera lost it: does this camera take over?
+		// Assigned camera lost it (coverage or death): does this camera
+		// take over?
 		if policy.ShouldTrack(cs.index, cover) {
+			if deadOwner {
+				out.reassigned++
+			}
 			cs.tracker.Spawn(vision.Detection{Box: sh.box, Score: 0.5, TruthID: sh.truthID})
 			continue // shadow promoted to active track
 		}
 		if owner, ok := policy.Owner(cover); ok {
 			sh.assigned = owner // another camera takes it; keep shadowing
 			alive = append(alive, sh)
+		} else if deadOwner {
+			out.orphaned++ // no live camera covers it; the object is lost
 		}
 	}
 	cs.shadows = alive
