@@ -13,11 +13,13 @@ import (
 	"sync"
 	"testing"
 
+	"mvs/internal/assoc"
 	"mvs/internal/core"
 	"mvs/internal/experiments"
 	"mvs/internal/geom"
 	"mvs/internal/pipeline"
 	"mvs/internal/profile"
+	"mvs/internal/scene"
 )
 
 // benchFrames keeps benchmark setups affordable; the mvexp command runs
@@ -512,6 +514,142 @@ func BenchmarkRunModes(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Central-stage scaling benches (docs/SCALING.md) ---
+
+// corridorWorld chains n cameras along a straight road (the S4 idiom at
+// arbitrary width): adjacent cameras overlap, so the trained model holds
+// O(n) useful pairs out of the n*(n-1) directed pairs the association
+// layer enumerates. Traffic arrives on per-segment routes (one pair per
+// adjacent camera pair) rather than one end-to-end route, so every
+// camera sees vehicles from the first frames even on a short trace —
+// a full-corridor route would leave the far half of a 32-camera world
+// empty for the first ~two minutes.
+func corridorWorld(seed int64, n int) *scene.World {
+	length := 40.0*float64(n) + 40
+	camX := func(i int) float64 { return -length/2 + 40 + float64(i)*40 }
+	cams := make([]*scene.Camera, n)
+	var routes []scene.Route
+	for i := range cams {
+		x := camX(i)
+		y, yaw := 16.0, -0.35
+		if i%2 == 1 {
+			y, yaw = -16.0, 0.35
+		}
+		cams[i] = &scene.Camera{
+			Name: fmt.Sprintf("corridor-%d", i), Pos: geom.Point{X: x, Y: y},
+			Height: 8, Yaw: yaw, Pitch: 0.4, Focal: 560,
+			ImageW: 1280, ImageH: 704, MaxRange: 68,
+		}
+		if i+1 < n {
+			a, bx := camX(i)-20, camX(i+1)+20
+			east := scene.MustPath(geom.Point{X: a, Y: 4}, geom.Point{X: bx, Y: 4})
+			west := scene.MustPath(geom.Point{X: bx, Y: -4}, geom.Point{X: a, Y: -4})
+			routes = append(routes,
+				scene.Route{Path: east, Speed: 9, Arrivals: scene.Poisson{RatePerSec: 0.3}},
+				scene.Route{Path: west, Speed: 9, Arrivals: scene.Poisson{RatePerSec: 0.3}},
+			)
+		}
+	}
+	return &scene.World{
+		Routes:  routes,
+		Cameras: cams,
+		FPS:     10,
+		Seed:    seed,
+	}
+}
+
+// corridorFixture is a per-width cached corridor world: the training
+// half, a trained model, and one mid-trace frame's boxes.
+type corridorFixture struct {
+	train *scene.Trace
+	model *assoc.Model
+	boxes [][]geom.Rect
+	err   error
+}
+
+var (
+	corridorMu       sync.Mutex
+	corridorFixtures = map[int]*corridorFixture{}
+)
+
+// benchCorridor builds (once per width) the corridor fixture used by the
+// central-stage scaling benches.
+func benchCorridor(b *testing.B, cams int) *corridorFixture {
+	b.Helper()
+	corridorMu.Lock()
+	fx, ok := corridorFixtures[cams]
+	if !ok {
+		fx = &corridorFixture{}
+		corridorFixtures[cams] = fx
+		fx.err = func() error {
+			trace, err := corridorWorld(9, cams).Run(240)
+			if err != nil {
+				return err
+			}
+			train, test := trace.SplitTrain()
+			model, err := assoc.Train(train, assoc.Factories{})
+			if err != nil {
+				return err
+			}
+			frame := &test.Frames[len(test.Frames)/2]
+			boxes := make([][]geom.Rect, cams)
+			for ci, obs := range frame.PerCamera {
+				for _, o := range obs {
+					boxes[ci] = append(boxes[ci], o.Box)
+				}
+			}
+			fx.train, fx.model, fx.boxes = train, model, boxes
+			return nil
+		}()
+	}
+	corridorMu.Unlock()
+	if fx.err != nil {
+		b.Fatal(fx.err)
+	}
+	return fx
+}
+
+// BenchmarkTrainWorkers measures association-model training — the
+// N*(N-1) directed-pair fan-out — across corridor widths and worker
+// bounds. The trained model is bit-identical at every width (the
+// determinism contract); docs/SCALING.md records the measured table.
+func BenchmarkTrainWorkers(b *testing.B) {
+	for _, cams := range []int{4, 8, 16, 32} {
+		for _, w := range []int{1, 4, 8} {
+			cams, w := cams, w
+			b.Run(fmt.Sprintf("cams=%d/workers=%d", cams, w), func(b *testing.B) {
+				fx := benchCorridor(b, cams)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := assoc.Train(fx.train, assoc.Factories{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAssociateWorkers measures one cross-camera association round
+// — the N*(N-1)/2 unordered-pair Hungarian fan-out — across corridor
+// widths and worker bounds, on a mid-trace frame's boxes.
+func BenchmarkAssociateWorkers(b *testing.B) {
+	for _, cams := range []int{4, 8, 16, 32} {
+		for _, w := range []int{1, 4, 8} {
+			cams, w := cams, w
+			b.Run(fmt.Sprintf("cams=%d/workers=%d", cams, w), func(b *testing.B) {
+				fx := benchCorridor(b, cams)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := fx.model.AssociateWorkers(fx.boxes, 0.1, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -13,9 +13,11 @@
 // outages); like sweep and occlusion, chaos is excluded from "all".
 //
 // -workers bounds the concurrency of independent experiment points
-// (modes, sweep points) and the per-camera fan-out inside each pipeline
-// run (0 = GOMAXPROCS, 1 = fully sequential). Results are identical for
-// every value (see docs/CONCURRENCY.md).
+// (modes, sweep points), the per-camera fan-out inside each pipeline
+// run, its central stage's per-pair association fan-out, and the
+// per-pair training fan-out of experiments that retrain models
+// (0 = GOMAXPROCS, 1 = fully sequential). Results are identical for
+// every value (see docs/CONCURRENCY.md and docs/SCALING.md).
 //
 // Output is plain text, one table per experiment, with the paper's
 // qualitative expectations noted next to each.

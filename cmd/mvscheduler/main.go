@@ -9,12 +9,16 @@
 // Usage:
 //
 //	mvscheduler [-listen :7001] [-scenario S2] [-seed 42] [-frames 1200]
-//	            [-metrics-addr :8080] [-metrics-jsonl rounds.jsonl]
+//	            [-workers N] [-metrics-addr :8080] [-metrics-jsonl rounds.jsonl]
 //
-// With -metrics-addr the scheduler serves its latest scheduling-round
-// snapshot as JSON at /metricsz; -metrics-jsonl appends one snapshot
-// per round to a file (see docs/OBSERVABILITY.md). SIGINT/SIGTERM shut
-// the scheduler down cleanly, flushing the metrics log.
+// -workers bounds the goroutines used for association-model training
+// and for each scheduling round's per-pair association fan-out
+// (0 = GOMAXPROCS, 1 = sequential); assignments are bit-identical at
+// every value (docs/SCALING.md). With -metrics-addr the scheduler
+// serves its latest scheduling-round snapshot as JSON at /metricsz;
+// -metrics-jsonl appends one snapshot per round to a file (see
+// docs/OBSERVABILITY.md). SIGINT/SIGTERM shut the scheduler down
+// cleanly, flushing the metrics log.
 //
 // Resilience (docs/FAULTS.md): -round-timeout bounds how long a round
 // waits for stragglers before scheduling with the reports received so
@@ -46,6 +50,7 @@ func main() {
 		scenario     = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
 		seed         = flag.Int64("seed", 42, "shared simulation seed")
 		frames       = flag.Int("frames", 1200, "trace length used for model training")
+		workers      = flag.Int("workers", 0, "training/association worker bound (0 = GOMAXPROCS, 1 = sequential)")
 		roundTimeout = flag.Duration("round-timeout", 30*time.Second, "schedule an incomplete round after this long (0 = wait forever)")
 		lease        = flag.Duration("lease", 0, "treat a camera silent for this long as dead for round barriers (0 = off)")
 		faultsSpec   = flag.String("faults", "", "inject connection faults on accepted connections, e.g. seed=7,reset=0.02 (see docs/FAULTS.md)")
@@ -54,13 +59,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*listen, *scenario, *seed, *frames, *roundTimeout, *lease, *faultsSpec, *metricsAddr, *metricsLog); err != nil {
+	if err := run(*listen, *scenario, *seed, *frames, *workers, *roundTimeout, *lease, *faultsSpec, *metricsAddr, *metricsLog); err != nil {
 		fmt.Fprintln(os.Stderr, "mvscheduler:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, scenario string, seed int64, frames int, roundTimeout, lease time.Duration, faultsSpec, metricsAddr, metricsLog string) error {
+func run(listen, scenario string, seed int64, frames, workers int, roundTimeout, lease time.Duration, faultsSpec, metricsAddr, metricsLog string) error {
 	s, err := workload.ByName(scenario, seed)
 	if err != nil {
 		return err
@@ -71,7 +76,7 @@ func run(listen, scenario string, seed int64, frames int, roundTimeout, lease ti
 		return err
 	}
 	train, _ := trace.SplitTrain()
-	model, err := assoc.Train(train, assoc.Factories{})
+	model, err := assoc.Train(train, assoc.Factories{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -82,6 +87,7 @@ func run(listen, scenario string, seed int64, frames int, roundTimeout, lease ti
 	}
 	sched, err := cluster.NewScheduler(model, s.Profiles(), 0,
 		cluster.WithLogger(log.Default()), cluster.WithSink(export.Sink),
+		cluster.WithWorkers(workers),
 		cluster.WithRoundTimeout(roundTimeout), cluster.WithLease(lease))
 	if err != nil {
 		_ = export.Close()

@@ -8,9 +8,10 @@
 //	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
 //	      [-cam-faults seed=7,rate=0.1] [-health-k K]
 //
-// -workers bounds the per-camera parallelism inside the pipeline
+// -workers bounds the per-camera parallelism inside the pipeline and
+// the central stage's per-pair association fan-out at key frames
 // (0 = GOMAXPROCS, 1 = sequential); results are identical for every
-// value (see docs/CONCURRENCY.md). -metrics-addr serves the latest
+// value (see docs/CONCURRENCY.md and docs/SCALING.md). -metrics-addr serves the latest
 // per-frame snapshot at /metricsz while the run is in flight;
 // -metrics-jsonl appends every snapshot to a file
 // (see docs/OBSERVABILITY.md). -cam-faults injects a deterministic

@@ -12,6 +12,41 @@
 // identities. The module is model-agnostic (the paper's Figs. 10 and 11
 // swap in SVM/logistic/tree classifiers and homography/linear/RANSAC
 // regressors), with KNN as the deployed default.
+//
+// # Execution model and determinism
+//
+// Both per-pair hot loops fan out on the internal/pool worker pool:
+// Train over the N*(N-1) directed pairs (bounded by Factories.Workers)
+// and AssociateWorkers over the N*(N-1)/2 unordered pairs. Every pair's
+// computation is independent — it reads only the shared inputs and
+// writes only its own slot of a per-pair result array — and the merge
+// back into shared state happens sequentially after the fan-out, in
+// ascending pair order. The contract callers rely on:
+//
+//   - Train produces a bit-identical Model at every worker count: pair
+//     (src, dst) is always trained on exactly BuildPairSamples(trace,
+//     src, dst), and the pair map is assembled after the fan-out;
+//   - AssociateWorkers produces bit-identical groups at every worker
+//     count: per-pair match lists are computed in isolation and the
+//     union-find merges are applied in ascending (i, j) pair order
+//     (docs/CONCURRENCY.md §5 documents why the grouping is already
+//     order-invariant; the fixed order makes it checkable);
+//   - errors are reported for the lowest-numbered failing pair,
+//     regardless of goroutine interleaving (the pool.Do error rule);
+//   - workers == 1 is the sequential reference path, byte-for-byte the
+//     loop it replaced; workers <= 0 selects GOMAXPROCS.
+//
+// # Goroutine safety
+//
+// A Model is immutable after Train returns: MapBox, Associate,
+// AssociateWorkers, NominalBox, CellCoverage, and CellCoverageWorkers
+// only read the trained pair models (KNN k-d trees are query-only), so
+// any number of goroutines may call them concurrently on one shared
+// Model — including concurrent AssociateWorkers calls that each fan out
+// internally. Train itself must not race with readers of the Model it
+// is building; the model factories it is given are called concurrently
+// from worker goroutines and must return a fresh, unshared model per
+// call.
 package assoc
 
 import (
@@ -21,6 +56,7 @@ import (
 	"mvs/internal/geom"
 	"mvs/internal/hungarian"
 	"mvs/internal/ml"
+	"mvs/internal/pool"
 	"mvs/internal/scene"
 )
 
@@ -155,19 +191,30 @@ func (pm *PairModel) Map(box geom.Rect) (geom.Rect, bool, error) {
 }
 
 // Model is the full cross-camera association model: one PairModel per
-// ordered camera pair.
+// ordered camera pair. It is immutable after Train returns and safe for
+// concurrent use — see the package comment's goroutine-safety contract.
 type Model struct {
 	numCams int
 	pairs   map[[2]int]*PairModel
 }
 
 // Factories bundles the model constructors used for training, so
-// experiments can swap baselines in.
+// experiments can swap baselines in, and bounds Train's per-pair
+// fan-out.
 type Factories struct {
 	// NewClassifier returns a fresh untrained classifier (default KNN).
+	// It is called once per directed camera pair, possibly from several
+	// goroutines at once, so it must return a new, unshared model each
+	// call.
 	NewClassifier func() ml.Classifier
 	// NewRegressor returns a fresh untrained regressor (default KNN).
+	// The same concurrent-call contract as NewClassifier applies.
 	NewRegressor func() ml.Regressor
+	// Workers bounds the goroutines training camera pairs: 1 forces the
+	// sequential reference path, <= 0 (the default) selects GOMAXPROCS,
+	// and any value is capped at the pair count. The trained Model is
+	// bit-identical for every value.
+	Workers int
 }
 
 func (f Factories) withDefaults() Factories {
@@ -180,32 +227,59 @@ func (f Factories) withDefaults() Factories {
 	return f
 }
 
+// directedPairs enumerates the (src, dst) camera pairs with src != dst,
+// in the fixed src-major order the sequential loops used. Both the Train
+// fan-out and its merge walk this slice, so the pair at index k is the
+// same pair on every worker count.
+func directedPairs(numCams int) [][2]int {
+	out := make([][2]int, 0, numCams*(numCams-1))
+	for src := 0; src < numCams; src++ {
+		for dst := 0; dst < numCams; dst++ {
+			if src != dst {
+				out = append(out, [2]int{src, dst})
+			}
+		}
+	}
+	return out
+}
+
 // Train fits pair models for every ordered camera pair from the training
 // trace. Pairs whose source camera never observes anything are left out;
-// Map treats them as "not visible".
+// Map treats them as "not visible". The N*(N-1) pairs are independent,
+// so they train on up to f.Workers goroutines (see Factories.Workers);
+// each pair's model lands in its own slot and the pair map is assembled
+// sequentially afterwards, so the result is bit-identical at every
+// worker count.
 func Train(trace *scene.Trace, f Factories) (*Model, error) {
 	if len(trace.Cameras) < 2 {
 		return nil, fmt.Errorf("assoc: need >= 2 cameras, got %d", len(trace.Cameras))
 	}
 	f = f.withDefaults()
 	m := &Model{numCams: len(trace.Cameras), pairs: make(map[[2]int]*PairModel)}
-	for src := 0; src < m.numCams; src++ {
-		for dst := 0; dst < m.numCams; dst++ {
-			if src == dst {
-				continue
-			}
-			samples, err := BuildPairSamples(trace, src, dst)
-			if err != nil {
-				return nil, err
-			}
-			if len(samples) == 0 {
-				continue
-			}
-			pm, err := TrainPair(samples, f.NewClassifier, f.NewRegressor)
-			if err != nil {
-				return nil, fmt.Errorf("assoc: pair (%d,%d): %w", src, dst, err)
-			}
-			m.pairs[[2]int{src, dst}] = pm
+	pairs := directedPairs(m.numCams)
+	slots := make([]*PairModel, len(pairs))
+	err := pool.Do(f.Workers, len(pairs), func(k int) error {
+		src, dst := pairs[k][0], pairs[k][1]
+		samples, err := BuildPairSamples(trace, src, dst)
+		if err != nil {
+			return err
+		}
+		if len(samples) == 0 {
+			return nil // untrained pair: Map answers "not visible"
+		}
+		pm, err := TrainPair(samples, f.NewClassifier, f.NewRegressor)
+		if err != nil {
+			return fmt.Errorf("assoc: pair (%d,%d): %w", src, dst, err)
+		}
+		slots[k] = pm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, pm := range slots {
+		if pm != nil {
+			m.pairs[pairs[k]] = pm
 		}
 	}
 	return m, nil
@@ -242,12 +316,35 @@ type Group struct {
 	Members []Ref
 }
 
-// Associate clusters per-camera boxes into global objects. For each
-// camera pair (i < j), every box on i that the pair model maps into j is
-// matched against j's boxes by IoU (Hungarian, threshold minIoU); matched
-// pairs are merged with union-find. minIoU <= 0 defaults to 0.1 (the
-// paper's "preset threshold" on area overlap).
+// Associate clusters per-camera boxes into global objects on the
+// calling goroutine — shorthand for AssociateWorkers with workers == 1,
+// the sequential reference path.
 func (m *Model) Associate(boxes [][]geom.Rect, minIoU float64) ([]Group, error) {
+	return m.AssociateWorkers(boxes, minIoU, 1)
+}
+
+// pairMatch records one Hungarian match of a camera pair in the flat
+// union-find index space.
+type pairMatch struct {
+	a, b int
+}
+
+// AssociateWorkers clusters per-camera boxes into global objects. For
+// each camera pair (i < j), every box on i that the pair model maps
+// into j is matched against j's boxes by IoU (Hungarian, threshold
+// minIoU); matched pairs are merged with union-find. minIoU <= 0
+// defaults to 0.1 (the paper's "preset threshold" on area overlap).
+//
+// The unordered pairs are matched independently on up to workers
+// goroutines (<= 0 selects GOMAXPROCS, 1 runs inline) — each pair
+// writes only its own match list — and the union-find merges are then
+// applied sequentially in ascending (i, then j) pair order, so the
+// returned groups, their order, and their member order are bit-identical
+// at every worker count. A pair with an empty side, or whose boxes are
+// all predicted invisible on the other camera, contributes no matches
+// and never invokes the Hungarian solver, exactly as in the sequential
+// path.
+func (m *Model) AssociateWorkers(boxes [][]geom.Rect, minIoU float64, workers int) ([]Group, error) {
 	if len(boxes) != m.numCams {
 		return nil, fmt.Errorf("assoc: %d camera lists, model trained for %d", len(boxes), m.numCams)
 	}
@@ -259,44 +356,66 @@ func (m *Model) Associate(boxes [][]geom.Rect, minIoU float64) ([]Group, error) 
 	for i, b := range boxes {
 		offsets[i+1] = offsets[i] + len(b)
 	}
-	dsu := newDSU(offsets[len(boxes)])
 
+	// Enumerate the unordered pairs in the merge order (ascending i,
+	// then j); matches[k] is pair k's private output slot.
+	pairs := make([][2]int, 0, m.numCams*(m.numCams-1)/2)
 	for i := 0; i < m.numCams; i++ {
 		for j := i + 1; j < m.numCams; j++ {
-			if len(boxes[i]) == 0 || len(boxes[j]) == 0 {
-				continue
-			}
-			// Map each box on i into j; rows that aren't predicted
-			// visible get zero profit everywhere.
-			profit := make([][]float64, len(boxes[i]))
-			anyVisible := false
-			for bi, box := range boxes[i] {
-				profit[bi] = make([]float64, len(boxes[j]))
-				pred, visible, err := m.MapBox(i, j, box)
-				if err != nil {
-					return nil, err
-				}
-				if !visible {
-					continue
-				}
-				anyVisible = true
-				for bj, other := range boxes[j] {
-					profit[bi][bj] = pred.IoU(other)
-				}
-			}
-			if !anyVisible {
-				continue
-			}
-			assign, _, err := hungarian.MaximizeProfit(profit, minIoU)
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	matches := make([][]pairMatch, len(pairs))
+	err := pool.Do(workers, len(pairs), func(k int) error {
+		i, j := pairs[k][0], pairs[k][1]
+		if len(boxes[i]) == 0 || len(boxes[j]) == 0 {
+			return nil
+		}
+		// Map each box on i into j; rows that aren't predicted visible
+		// get zero profit everywhere.
+		profit := make([][]float64, len(boxes[i]))
+		anyVisible := false
+		for bi, box := range boxes[i] {
+			profit[bi] = make([]float64, len(boxes[j]))
+			pred, visible, err := m.MapBox(i, j, box)
 			if err != nil {
-				return nil, fmt.Errorf("assoc: matching cameras (%d,%d): %w", i, j, err)
+				return err
 			}
-			for bi, bj := range assign {
-				if bj < 0 {
-					continue
-				}
-				dsu.union(offsets[i]+bi, offsets[j]+bj)
+			if !visible {
+				continue
 			}
+			anyVisible = true
+			for bj, other := range boxes[j] {
+				profit[bi][bj] = pred.IoU(other)
+			}
+		}
+		if !anyVisible {
+			return nil // all-zero profit matrix: nothing to solve
+		}
+		assign, _, err := hungarian.MaximizeProfit(profit, minIoU)
+		if err != nil {
+			return fmt.Errorf("assoc: matching cameras (%d,%d): %w", i, j, err)
+		}
+		for bi, bj := range assign {
+			if bj < 0 {
+				continue
+			}
+			matches[k] = append(matches[k], pairMatch{a: offsets[i] + bi, b: offsets[j] + bj})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: apply every pair's matches in ascending pair
+	// order. (The grouping is a connected-components computation, so it
+	// is invariant to this order anyway; fixing it makes the parallel
+	// path checkably identical to the sequential one.)
+	dsu := newDSU(offsets[len(boxes)])
+	for _, ms := range matches {
+		for _, pm := range ms {
+			dsu.union(pm.a, pm.b)
 		}
 	}
 
@@ -363,10 +482,19 @@ func (m *Model) NominalBox(src int, centre geom.Point) geom.Rect {
 // CellCoverage computes, for each cell of the source camera's grid, the
 // set of cameras (indices, always including src) predicted to see an
 // average object centred in that cell — the per-cell coverage sets behind
-// the distributed stage's camera masks (Fig. 8).
+// the distributed stage's camera masks (Fig. 8). It runs on the calling
+// goroutine; CellCoverageWorkers fans the cells out.
 func (m *Model) CellCoverage(src int, grid geom.Grid) ([][]int, error) {
+	return m.CellCoverageWorkers(src, grid, 1)
+}
+
+// CellCoverageWorkers is CellCoverage with the per-cell queries spread
+// over up to workers goroutines (<= 0 selects GOMAXPROCS, 1 runs
+// inline). Each cell's coverage set is written to its own slot, so the
+// result is bit-identical at every worker count.
+func (m *Model) CellCoverageWorkers(src int, grid geom.Grid, workers int) ([][]int, error) {
 	out := make([][]int, grid.NumCells())
-	for c := 0; c < grid.NumCells(); c++ {
+	err := pool.Do(workers, grid.NumCells(), func(c int) error {
 		box := m.NominalBox(src, grid.CellCenter(c))
 		cover := []int{src}
 		for dst := 0; dst < m.numCams; dst++ {
@@ -375,13 +503,17 @@ func (m *Model) CellCoverage(src int, grid geom.Grid) ([][]int, error) {
 			}
 			_, visible, err := m.MapBox(src, dst, box)
 			if err != nil {
-				return nil, fmt.Errorf("assoc: coverage cell %d: %w", c, err)
+				return fmt.Errorf("assoc: coverage cell %d: %w", c, err)
 			}
 			if visible {
 				cover = append(cover, dst)
 			}
 		}
 		out[c] = cover
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -38,6 +38,7 @@ type Scheduler struct {
 	model        *assoc.Model
 	cams         []core.CameraSpec
 	minIoU       float64
+	workers      int
 	logger       *log.Logger
 	sink         metrics.Sink
 	roundTimeout time.Duration
@@ -137,6 +138,21 @@ func WithRoundTimeout(d time.Duration) Option {
 	return func(s *Scheduler) {
 		if d > 0 {
 			s.roundTimeout = d
+		}
+	}
+}
+
+// WithWorkers bounds the goroutines the scheduler uses for a round's
+// per-pair association fan-out and for the handshake's per-cell
+// coverage computation (assoc.AssociateWorkers /
+// assoc.CellCoverageWorkers): 1 forces the sequential reference path,
+// 0 or unset selects GOMAXPROCS. Assignments are bit-identical at
+// every value — the knob trades goroutines for round latency only
+// (docs/SCALING.md prices the central stage per fleet size).
+func WithWorkers(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.workers = n
 		}
 	}
 }
@@ -320,7 +336,7 @@ func (s *Scheduler) handle(conn net.Conn) {
 	ack := &HelloAck{Camera: cam}
 	if env.Hello.FrameW > 0 && env.Hello.FrameH > 0 {
 		grid := geom.NewGrid(geom.Rect{MaxX: env.Hello.FrameW, MaxY: env.Hello.FrameH}, maskGridCols, maskGridRows)
-		cover, err := s.model.CellCoverage(cam, grid)
+		cover, err := s.model.CellCoverageWorkers(cam, grid, s.workers)
 		if err != nil {
 			s.logger.Printf("cluster: camera %d coverage: %v", cam, err)
 			_ = sc.send(&Envelope{Type: TypeError, Error: fmt.Sprintf("coverage: %v", err)})
@@ -601,10 +617,12 @@ func (s *Scheduler) broadcastError(msg string) {
 	}
 }
 
-// schedule mirrors the pipeline's central stage over wire reports. It
-// also assembles the round's snapshot (sans Seq and RoundLatency, which
-// the caller stamps): the scheduled per-camera latencies, the batch
-// occupancy each camera's assignment implies, and assignment counts.
+// schedule mirrors the pipeline's central stage over wire reports,
+// including its per-pair association fan-out (bounded by WithWorkers).
+// It also assembles the round's snapshot (sans Seq and RoundLatency,
+// which the caller stamps): the scheduled per-camera latencies, the
+// batch occupancy each camera's assignment implies, and assignment
+// counts.
 func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.Snapshot, error) {
 	m := len(s.cams)
 	boxes := make([][]geom.Rect, m)
@@ -624,7 +642,7 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.
 		}
 	}
 
-	groups, err := s.model.Associate(boxes, s.minIoU)
+	groups, err := s.model.AssociateWorkers(boxes, s.minIoU, s.workers)
 	if err != nil {
 		return nil, metrics.Snapshot{}, fmt.Errorf("association: %w", err)
 	}

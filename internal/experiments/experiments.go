@@ -11,12 +11,15 @@
 // the rate-scale points of ArrivalSweep — run concurrently on the
 // shared internal/pool worker pool. Every experiment takes an Options
 // struct whose Workers knob (0 = GOMAXPROCS, 1 = fully sequential)
-// bounds both the outer point-level fan-out and, via
+// bounds the outer point-level fan-out and, via
 // pipeline.Options.Workers, the per-camera fan-out inside each pipeline
-// run. Results are assembled positionally, and the pipeline's
-// determinism contract (docs/CONCURRENCY.md) guarantees the numbers are
-// identical for every Workers value — and for every Sink, which
-// observes runs without influencing them (docs/OBSERVABILITY.md).
+// run plus its central stage's per-pair association fan-out; points
+// that retrain an association model (ArrivalSweep) reuse the bound for
+// assoc.Factories.Workers too. Results are assembled positionally, and
+// the pipeline's determinism contract (docs/CONCURRENCY.md) guarantees
+// the numbers are identical for every Workers value — and for every
+// Sink, which observes runs without influencing them
+// (docs/OBSERVABILITY.md).
 //
 // # Experiment index
 //
@@ -93,8 +96,10 @@ func Prepare(name string, seed int64, frames int) (*Setup, error) {
 // covers both knobs).
 type Options struct {
 	// Workers bounds the point-level fan-out and, through it, each
-	// pipeline run's per-camera fan-out: 0 means GOMAXPROCS, 1 fully
-	// sequential.
+	// pipeline run's per-camera fan-out, its central stage's per-pair
+	// association fan-out, and (for experiments that retrain, like
+	// ArrivalSweep) the per-pair training fan-out: 0 means GOMAXPROCS,
+	// 1 fully sequential.
 	Workers int
 	// Sink, when non-nil, receives every pipeline run's per-frame
 	// snapshots. Runs are labelled per experiment point (for example
@@ -459,7 +464,7 @@ func ArrivalSweep(name string, seed int64, frames int, scales []float64, opts Op
 			return fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
 		}
 		train, test := trace.SplitTrain()
-		model, err := assoc.Train(train, assoc.Factories{})
+		model, err := assoc.Train(train, assoc.Factories{Workers: opts.Workers})
 		if err != nil {
 			return fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
 		}

@@ -48,9 +48,9 @@ func getParallelEnv(t *testing.T) *parallelEnv {
 
 // TestWorkersDeterministic is the determinism contract: for every
 // scheduling mode, the modelled report is bit-identical whether the
-// per-camera work runs sequentially (Workers=1) or fanned out across
-// several goroutines. Run on both the 5-camera S1 and 2-camera S2
-// fixtures.
+// per-camera work and the central stage's per-pair association fan-out
+// run sequentially (Workers=1) or across several goroutines. Run on
+// both the 5-camera S1 and 2-camera S2 fixtures.
 func TestWorkersDeterministic(t *testing.T) {
 	type fixture struct {
 		name     string
@@ -72,7 +72,7 @@ func TestWorkersDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%v sequential: %v", f.name, mode, err)
 			}
-			for _, workers := range []int{2, 4, 0} {
+			for _, workers := range []int{2, 4, 8, 0} {
 				par, err := Run(f.test, f.profiles, f.model, Options{Mode: mode, Seed: f.seed, Workers: workers})
 				if err != nil {
 					t.Fatalf("%s/%v workers=%d: %v", f.name, mode, workers, err)

@@ -22,10 +22,14 @@
 // by exactly one goroutine per frame; per-camera outputs are collected
 // into camFrame shards and merged in fixed camera order, so the modelled
 // results are bit-identical for every worker count (the determinism
-// contract, docs/CONCURRENCY.md). Cross-camera stages (association,
-// central BALB, the SP ownership pass) stay sequential between fan-outs,
-// exactly as the paper's central scheduler is a single node. Workers=1
-// runs everything inline on the calling goroutine.
+// contract, docs/CONCURRENCY.md). The key-frame central stage runs
+// between per-camera fan-outs, as the paper's central scheduler is a
+// single node, but is not purely sequential: its pairwise association
+// fans out per camera pair on the same Workers bound
+// (assoc.AssociateWorkers), with the union-find merge applied in
+// deterministic pair order; only the BALB solve and the SP ownership
+// pass remain inline. Workers=1 runs everything — fan-outs included —
+// inline on the calling goroutine.
 //
 // Run itself is safe to call concurrently from multiple goroutines as
 // long as each call gets its own profiles slice (trace and model are
@@ -117,9 +121,11 @@ type Options struct {
 	// against the current frame, so lag shows up as handoff anomalies.
 	CameraLag []int
 	// Workers bounds the goroutines used for per-camera work within a
-	// frame: 1 forces the sequential reference path, 0 (the default)
-	// selects GOMAXPROCS, and any value is capped at the camera count.
-	// The modelled report fields are identical for every value (see
+	// frame, for the central stage's per-pair association fan-out at key
+	// frames, and for the per-cell coverage precomputation: 1 forces the
+	// sequential reference path, 0 (the default) selects GOMAXPROCS, and
+	// any value is capped at the item count of each fan-out. The
+	// modelled report fields are identical for every value (see
 	// Report.Modeled and docs/CONCURRENCY.md).
 	Workers int
 	// Sink, when non-nil, receives one metrics.Snapshot per frame —
@@ -524,7 +530,7 @@ func buildCameraStates(trace *scene.Trace, profiles []*profile.Profile, model *a
 	// statically mounted, so this happens once, as in the paper).
 	if opts.Mode == CentralOnly || opts.Mode == BALB || opts.Mode == StaticPartition {
 		for _, cs := range cams {
-			cover, err := model.CellCoverage(cs.index, cs.grid)
+			cover, err := model.CellCoverageWorkers(cs.index, cs.grid, opts.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: camera %d coverage: %w", cs.index, err)
 			}
@@ -689,10 +695,13 @@ func (cs *cameraState) keyFrame(obs []scene.Observation, out *camFrame) error {
 }
 
 // centralStage runs association plus the central-stage scheduler and
-// applies the assignment: unassigned members become shadows. For SP the
-// association is skipped (its partition is static), so the stage only
-// reconciles track ownership by cell owner, which key-frame handling
-// already did — it returns a nil policy to keep the previous one.
+// applies the assignment: unassigned members become shadows. The
+// pairwise association — the stage's O(N^2) term — fans out per camera
+// pair on opts.Workers (assoc.AssociateWorkers); the BALB solve and the
+// shadow bookkeeping stay inline. For SP the association is skipped
+// (its partition is static), so the stage only reconciles track
+// ownership by cell owner, which key-frame handling already did — it
+// returns a nil policy to keep the previous one.
 //
 // A non-nil dead mask excludes those cameras' (stale, frozen) tracks
 // from association, so the MVS instance is built over the healthy
@@ -715,7 +724,7 @@ func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 			trackIDs[i] = append(trackIDs[i], t.ID)
 		}
 	}
-	groups, err := model.Associate(boxes, opts.AssocMinIoU)
+	groups, err := model.AssociateWorkers(boxes, opts.AssocMinIoU, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: association: %w", err)
 	}
