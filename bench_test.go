@@ -20,6 +20,8 @@ import (
 	"mvs/internal/pipeline"
 	"mvs/internal/profile"
 	"mvs/internal/scene"
+	"mvs/internal/shard"
+	"mvs/internal/workload"
 )
 
 // benchFrames keeps benchmark setups affordable; the mvexp command runs
@@ -650,6 +652,103 @@ func BenchmarkAssociateWorkers(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// shardFixture caches the 64-camera corridor fleet shared by the
+// sharding benches: test trace, trained model, profiles, and the
+// model-derived coverage graph.
+type shardFixture struct {
+	test     *scene.Trace
+	model    *assoc.Model
+	profiles []*profile.Profile
+	graph    *shard.Graph
+	err      error
+}
+
+var (
+	shardFixOnce sync.Once
+	shardFix     shardFixture
+)
+
+func benchShardFixture(b *testing.B) *shardFixture {
+	b.Helper()
+	shardFixOnce.Do(func() {
+		shardFix.err = func() error {
+			s, err := workload.Corridor(64, 9)
+			if err != nil {
+				return err
+			}
+			trace, err := s.World.Run(300)
+			if err != nil {
+				return err
+			}
+			train, test := trace.SplitTrain()
+			model, err := assoc.Train(train, assoc.Factories{})
+			if err != nil {
+				return err
+			}
+			rects := make([]geom.Rect, len(s.World.Cameras))
+			for i, c := range s.World.Cameras {
+				rects[i] = c.Frame()
+			}
+			adj, err := model.OverlapAdjacency(rects, 16, 9, 0)
+			if err != nil {
+				return err
+			}
+			g, err := shard.FromAdjacency(adj)
+			if err != nil {
+				return err
+			}
+			shardFix.test, shardFix.model, shardFix.profiles, shardFix.graph = test, model, s.Profiles(), g
+			return nil
+		}()
+	})
+	if shardFix.err != nil {
+		b.Fatal(shardFix.err)
+	}
+	return &shardFix
+}
+
+// BenchmarkShardedCentralRound prices the sharded central stage on a
+// 64-camera corridor: one sub-bench per -shard-max bound (global = no
+// sharding), each running the full BALB pipeline and reporting the
+// measured central-stage cost per frame plus recall. The docs/SCALING.md
+// §3 table records the measured numbers; expected shape is central cost
+// falling roughly as 1/shards (k shards of 64/k cameras price
+// k·(64/k)² = 64²/k pair work), with recall holding.
+func BenchmarkShardedCentralRound(b *testing.B) {
+	for _, maxShard := range []int{0, 16, 8, 4} {
+		name := "global"
+		if maxShard > 0 {
+			name = fmt.Sprintf("max=%d", maxShard)
+		}
+		maxShard := maxShard
+		b.Run(name, func(b *testing.B) {
+			fx := benchShardFixture(b)
+			var m *shard.Map
+			if maxShard > 0 {
+				var err error
+				m, err = shard.Partition(fx.graph, maxShard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.NumShards()), "shards")
+			}
+			var centralUS, recall float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := pipeline.Run(fx.test, fx.profiles, fx.model,
+					pipeline.Options{Mode: pipeline.BALB, Seed: 42, Shards: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				centralUS = float64(rep.CentralPerFrame.Microseconds())
+				recall = rep.Recall
+			}
+			b.ReportMetric(centralUS, "central-us/frame")
+			b.ReportMetric(recall, "recall")
+		})
 	}
 }
 

@@ -7,10 +7,11 @@
 //	      [-scenario S1|S2|S3|all] [-frames N] [-seed N] [-workers N]
 //	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
 //
-// Beyond the paper's figures, -exp sweep, -exp occlusion, and -exp
-// chaos run the extrapolated studies (arrival-rate sensitivity,
-// redundancy-2 hedging, and graceful degradation under camera
-// outages); like sweep and occlusion, chaos is excluded from "all".
+// Beyond the paper's figures, -exp sweep, -exp occlusion, -exp chaos,
+// and -exp shard run the extrapolated studies (arrival-rate
+// sensitivity, redundancy-2 hedging, graceful degradation under camera
+// outages, and the 64-camera shard-count scaling sweep); all four are
+// excluded from "all".
 //
 // -workers bounds the concurrency of independent experiment points
 // (modes, sweep points), the per-camera fan-out inside each pipeline
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos")
+		exp         = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos, shard")
 		scenario    = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
 		frames      = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
 		seed        = flag.Int64("seed", 42, "simulation seed")
@@ -98,7 +99,7 @@ func run(exp, scenario string, frames int, seed int64, opts experiments.Options)
 	known := map[string]bool{
 		"fig2": true, "table1": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "table2": true,
-		"sweep": true, "occlusion": true, "chaos": true,
+		"sweep": true, "occlusion": true, "chaos": true, "shard": true,
 	}
 	if !wantAll && !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
@@ -121,6 +122,11 @@ func run(exp, scenario string, frames int, seed int64, opts experiments.Options)
 			}
 		}
 		return nil
+	}
+	// The shard sweep builds its own 64-camera corridor fleet rather
+	// than using an S* scenario, so it too only runs when asked for.
+	if exp == "shard" {
+		return printShardSweep(seed, frames, opts)
 	}
 	if exp == "chaos" {
 		for _, name := range names {
@@ -426,6 +432,33 @@ func printChaos(s *experiments.Setup, opts experiments.Options) error {
 		"reassignments", "orphaned"}, csvRows)
 	fmt.Println("expected shape: failover recall above the off arm at every rate;")
 	fmt.Println("both arms degrade gracefully (recall falls with outage rate, no cliff)")
+	return nil
+}
+
+func printShardSweep(seed int64, frames int, opts experiments.Options) error {
+	header("Shard sweep (C64): global vs sharded central-round cost, 64-camera corridor")
+	points, err := experiments.ShardSweep(64, seed, frames, nil, opts)
+	if err != nil {
+		return err
+	}
+	var csvRows [][]string
+	for _, p := range points {
+		label := "global"
+		if p.MaxShard > 0 {
+			label = fmt.Sprintf("max=%d", p.MaxShard)
+		}
+		fmt.Printf("%-8s shards=%-3d central/frame=%10v  recall=%.3f latency=%8v\n",
+			label, p.Shards, p.CentralPerFrame.Round(1000), p.Recall,
+			p.MeanSlowest.Round(100*1000))
+		csvRows = append(csvRows, []string{strconv.Itoa(p.MaxShard), strconv.Itoa(p.Shards),
+			strconv.FormatInt(p.CentralPerFrame.Microseconds(), 10),
+			strconv.FormatFloat(p.Recall, 'f', 4, 64),
+			strconv.FormatInt(p.MeanSlowest.Microseconds(), 10)})
+	}
+	writeCSV("shard_C64", []string{"max_shard", "shards", "central_us_per_frame",
+		"recall", "latency_us"}, csvRows)
+	fmt.Println("expected shape: central cost falls roughly linearly in the shard count")
+	fmt.Println("(k shards of N/k cameras price k·(N/k)² = N²/k pair work); recall holds")
 	return nil
 }
 

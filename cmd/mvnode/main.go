@@ -20,6 +20,12 @@
 // camera outages (the node skips the frame loop while "down", which a
 // lease-armed scheduler observes as silence and reports as a dead
 // camera to the surviving nodes).
+//
+// Sharded deployments (mvscheduler -shard-max / -shards) need no node
+// flag: the scheduler routes the node to its shard's round loop at the
+// hello handshake, and shard-scoped assignments carry their camera
+// roster, from which the node builds a scoped ownership policy
+// (docs/SCALING.md §3, docs/ARCHITECTURE.md).
 package main
 
 import (

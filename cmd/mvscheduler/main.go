@@ -25,6 +25,14 @@
 // far; -lease stops silent cameras from blocking the barrier (pair with
 // mvnode -heartbeat-every); -faults wraps the listener in a
 // deterministic fault injector for chaos runs.
+//
+// Scaling (docs/SCALING.md §3): -shard-max N partitions the fleet into
+// overlap groups of at most N cameras from the trained model's coverage
+// graph and runs one independent scheduling round loop per shard
+// (cluster.ShardedScheduler); -shards gives the partition explicitly,
+// e.g. "0,1,2|3,4,5". Nodes need no flag — shard-scoped assignments
+// carry their roster on the wire. docs/ARCHITECTURE.md has the full
+// picture.
 package main
 
 import (
@@ -40,7 +48,9 @@ import (
 	"mvs/internal/assoc"
 	"mvs/internal/cluster"
 	"mvs/internal/faults"
+	"mvs/internal/geom"
 	"mvs/internal/metrics"
+	"mvs/internal/shard"
 	"mvs/internal/workload"
 )
 
@@ -54,18 +64,53 @@ func main() {
 		roundTimeout = flag.Duration("round-timeout", 30*time.Second, "schedule an incomplete round after this long (0 = wait forever)")
 		lease        = flag.Duration("lease", 0, "treat a camera silent for this long as dead for round barriers (0 = off)")
 		faultsSpec   = flag.String("faults", "", "inject connection faults on accepted connections, e.g. seed=7,reset=0.02 (see docs/FAULTS.md)")
+		shardMax     = flag.Int("shard-max", 0, "partition the fleet into overlap groups of at most N cameras and run one round loop per shard (0 = one global round)")
+		shardSpec    = flag.String("shards", "", "explicit shard partition, e.g. 0,1,2|3,4,5 (overrides -shard-max)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
 		metricsLog   = flag.String("metrics-jsonl", "", "append per-round metrics snapshots to this JSONL file")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *scenario, *seed, *frames, *workers, *roundTimeout, *lease, *faultsSpec, *metricsAddr, *metricsLog); err != nil {
+	if err := run(*listen, *scenario, *seed, *frames, *workers, *roundTimeout, *lease, *faultsSpec, *metricsAddr, *metricsLog, *shardMax, *shardSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "mvscheduler:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, scenario string, seed int64, frames, workers int, roundTimeout, lease time.Duration, faultsSpec, metricsAddr, metricsLog string) error {
+// service is the part of cluster.Scheduler and cluster.ShardedScheduler
+// the command drives.
+type service interface {
+	Serve(net.Listener) error
+	Close()
+}
+
+// shardMap resolves the sharding flags against the trained model: an
+// explicit -shards spec wins, then -shard-max partitions the coverage
+// graph, and with neither the scheduler runs the legacy global round
+// (nil map).
+func shardMap(spec string, maxShard int, s *workload.Scenario, model *assoc.Model) (*shard.Map, error) {
+	if spec == "" && maxShard <= 0 {
+		return nil, nil
+	}
+	rects := make([]geom.Rect, len(s.World.Cameras))
+	for i, c := range s.World.Cameras {
+		rects[i] = c.Frame()
+	}
+	adj, err := model.OverlapAdjacency(rects, 16, 9, 0)
+	if err != nil {
+		return nil, err
+	}
+	g, err := shard.FromAdjacency(adj)
+	if err != nil {
+		return nil, err
+	}
+	if spec != "" {
+		return shard.ParseSpec(spec, model.NumCameras(), g)
+	}
+	return shard.Partition(g, maxShard)
+}
+
+func run(listen, scenario string, seed int64, frames, workers int, roundTimeout, lease time.Duration, faultsSpec, metricsAddr, metricsLog string, shardMax int, shardSpec string) error {
 	s, err := workload.ByName(scenario, seed)
 	if err != nil {
 		return err
@@ -85,10 +130,23 @@ func run(listen, scenario string, seed int64, frames, workers int, roundTimeout,
 	if err != nil {
 		return err
 	}
-	sched, err := cluster.NewScheduler(model, s.Profiles(), 0,
+	opts := []cluster.Option{
 		cluster.WithLogger(log.Default()), cluster.WithSink(export.Sink),
 		cluster.WithWorkers(workers),
-		cluster.WithRoundTimeout(roundTimeout), cluster.WithLease(lease))
+		cluster.WithRoundTimeout(roundTimeout), cluster.WithLease(lease),
+	}
+	m, err := shardMap(shardSpec, shardMax, s, model)
+	if err != nil {
+		_ = export.Close()
+		return err
+	}
+	var sched service
+	if m != nil {
+		log.Printf("sharded scheduling: %s", m.String())
+		sched, err = cluster.NewShardedScheduler(model, s.Profiles(), 0, m, opts...)
+	} else {
+		sched, err = cluster.NewScheduler(model, s.Profiles(), 0, opts...)
+	}
 	if err != nil {
 		_ = export.Close()
 		return err

@@ -465,6 +465,79 @@ func (d *dsu) union(a, b int) {
 	}
 }
 
+// Subset extracts the sub-model over the given cameras (ascending
+// global indices): a Model over len(cams) cameras whose pair (i, j) is
+// the original pair (cams[i], cams[j]). Trained pair models are shared,
+// not copied — a Model is immutable, so the subset and the original are
+// safe to use concurrently. The sharded schedulers use this to run one
+// association per overlap group instead of one over the fleet
+// (docs/SCALING.md §3).
+func (m *Model) Subset(cams []int) (*Model, error) {
+	if len(cams) == 0 {
+		return nil, errors.New("assoc: empty camera subset")
+	}
+	seen := make(map[int]bool, len(cams))
+	for k, c := range cams {
+		if c < 0 || c >= m.numCams {
+			return nil, fmt.Errorf("assoc: subset camera %d out of range [0,%d)", c, m.numCams)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("assoc: subset lists camera %d twice", c)
+		}
+		seen[c] = true
+		if k > 0 && cams[k-1] >= c {
+			return nil, fmt.Errorf("assoc: subset cameras must ascend, got %v", cams)
+		}
+	}
+	sub := &Model{numCams: len(cams), pairs: make(map[[2]int]*PairModel)}
+	for i, src := range cams {
+		for j, dst := range cams {
+			if i == j {
+				continue
+			}
+			if pm, ok := m.pairs[[2]int{src, dst}]; ok {
+				sub.pairs[[2]int{i, j}] = pm
+			}
+		}
+	}
+	return sub, nil
+}
+
+// OverlapAdjacency extracts the model's pairwise overlap graph: for
+// each source camera, a cell grid of the given shape is laid over its
+// frame and every cell's coverage set is queried
+// (CellCoverageWorkers); adj[src][dst] is true when any cell of src
+// predicts dst visible. frames[i] is camera i's pixel frame. The
+// matrix is directed as predicted; shard.FromAdjacency symmetrizes it
+// into the overlap graph that Partition consumes. Cost: one
+// CellCoverage sweep per camera (N · cols·rows · (N−1) MapBox
+// queries), paid once at deployment time, like the mask precomputation
+// it reuses.
+func (m *Model) OverlapAdjacency(frames []geom.Rect, cols, rows, workers int) ([][]bool, error) {
+	if len(frames) != m.numCams {
+		return nil, fmt.Errorf("assoc: %d frames for model with %d cameras", len(frames), m.numCams)
+	}
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("assoc: bad grid %dx%d", cols, rows)
+	}
+	adj := make([][]bool, m.numCams)
+	for src := range adj {
+		adj[src] = make([]bool, m.numCams)
+		cover, err := m.CellCoverageWorkers(src, geom.NewGrid(frames[src], cols, rows), workers)
+		if err != nil {
+			return nil, fmt.Errorf("assoc: overlap for camera %d: %w", src, err)
+		}
+		for _, set := range cover {
+			for _, dst := range set {
+				if dst != src && dst >= 0 && dst < m.numCams {
+					adj[src][dst] = true
+				}
+			}
+		}
+	}
+	return adj, nil
+}
+
 // NominalBox synthesizes a box of the pair's mean training size centred
 // at the given pixel point on the source camera. The distributed-stage
 // mask computation uses it to ask "would an average object here be

@@ -9,6 +9,15 @@
 //
 // Messages are length-prefixed JSON for debuggability; frames are small
 // (tens of boxes), so the codec favours clarity over compactness.
+//
+// Two scheduler services share the protocol. Scheduler runs one global
+// round loop over the whole fleet — the paper's shape. ShardedScheduler
+// partitions the fleet into overlap groups (internal/shard) and runs
+// one independent Scheduler round loop per shard, coordinated only
+// through an in-memory boundary hand-off bus; a node cannot tell which
+// it is talking to, except that shard-scoped assignments carry their
+// camera roster (Assignment.Roster). docs/ARCHITECTURE.md §2 has the
+// design, docs/SCALING.md §3 the measured effect.
 package cluster
 
 import (
@@ -118,17 +127,30 @@ type Assignment struct {
 	// always when leases are off — so the legacy wire format is
 	// unchanged in fault-free deployments.
 	Dead []int `json:"dead,omitempty"`
+	// Roster, when present, marks this as a shard-scoped assignment
+	// from a ShardedScheduler round: it lists the shard's cameras
+	// (ascending global indices), and Priority orders exactly those
+	// cameras rather than a 0..M-1 permutation. Nodes build a scoped
+	// ownership policy (core.NewScopedPolicy) from it, which skips
+	// foreign-shard cameras in coverage sets. Omitted by the global
+	// scheduler, keeping the legacy wire format unchanged.
+	Roster []int `json:"roster,omitempty"`
 }
 
-// Envelope is the wire message union.
+// Envelope is the wire message union: Type names which single payload
+// pointer is set (TypeHello carries Hello, TypeError only the Error
+// string, and so on); all other fields are nil/empty on the wire.
 type Envelope struct {
-	Type       string      `json:"type"`
+	// Type is one of the Type* constants and selects the payload.
+	Type string `json:"type"`
+	// Exactly one payload field matches Type; the rest are omitted.
 	Hello      *Hello      `json:"hello,omitempty"`
 	Ack        *HelloAck   `json:"ack,omitempty"`
 	Detections *Detections `json:"detections,omitempty"`
 	Assignment *Assignment `json:"assignment,omitempty"`
 	Heartbeat  *Heartbeat  `json:"heartbeat,omitempty"`
-	Error      string      `json:"error,omitempty"`
+	// Error carries a TypeError message's human-readable reason.
+	Error string `json:"error,omitempty"`
 }
 
 // WriteMessage frames and writes one envelope: 4-byte big-endian length,

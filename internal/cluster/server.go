@@ -43,7 +43,11 @@ type Scheduler struct {
 	sink         metrics.Sink
 	roundTimeout time.Duration
 	lease        time.Duration
-	shutdown     chan struct{}
+	// handoffTTL is the boundary hand-off claim lifetime in frames
+	// (WithHandoffTTL); only consulted when building a
+	// ShardedScheduler's bus.
+	handoffTTL int
+	shutdown   chan struct{}
 
 	closeOnce sync.Once
 	handlers  sync.WaitGroup
@@ -51,6 +55,13 @@ type Scheduler struct {
 	// happen under mu while !closed, so Close's Wait cannot race a
 	// late Add.
 	timers sync.WaitGroup
+
+	// shard scopes this scheduler to one shard of a ShardedScheduler:
+	// all internal state (cams, conns, rounds, reports) is indexed by
+	// *local* roster position, and the wire boundary translates to and
+	// from global camera indices. nil for a standalone global
+	// scheduler, whose local and global indices coincide.
+	shard *shardCtx
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -211,6 +222,32 @@ type logDiscard struct{}
 
 func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 
+// glob translates a local camera index to its global roster index (the
+// identity for a standalone scheduler).
+func (s *Scheduler) glob(local int) int {
+	if s.shard == nil {
+		return local
+	}
+	return s.shard.roster[local]
+}
+
+// local translates a global camera index to this scheduler's local
+// index, or (-1, false) when the camera is not in the roster.
+func (s *Scheduler) local(global int) (int, bool) {
+	if s.shard == nil {
+		if global < 0 || global >= len(s.cams) {
+			return -1, false
+		}
+		return global, true
+	}
+	for li, g := range s.shard.roster {
+		if g == global {
+			return li, true
+		}
+	}
+	return -1, false
+}
+
 // Serve accepts camera connections until the listener is closed or
 // Close is called. It blocks, and returns only after every connection
 // handler it spawned has exited — so when Serve returns, no goroutine
@@ -297,13 +334,26 @@ func (s *Scheduler) handle(conn net.Conn) {
 		s.logger.Printf("cluster: handshake read: %v", err)
 		return
 	}
+	s.handleHello(conn, env)
+}
+
+// handleHello registers a camera from its (already read) hello envelope
+// and runs the connection's read loop. It does not close conn; the
+// caller owns the connection's lifetime. Split from handle so a
+// ShardedScheduler can read the hello itself, route the connection to
+// the owning shard's scheduler, and delegate here.
+func (s *Scheduler) handleHello(conn net.Conn, env *Envelope) {
 	if env.Type != TypeHello || env.Hello == nil {
 		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: "expected hello"})
 		return
 	}
-	cam := env.Hello.Camera
-	if cam < 0 || cam >= len(s.cams) {
-		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: fmt.Sprintf("camera %d out of range", cam)})
+	// The wire carries global camera indices; a shard-scoped scheduler
+	// translates to its local roster position at this boundary and back
+	// out in every reply.
+	globalCam := env.Hello.Camera
+	cam, ok := s.local(globalCam)
+	if !ok {
+		_ = WriteMessage(conn, &Envelope{Type: TypeError, Error: fmt.Sprintf("camera %d out of range", globalCam)})
 		return
 	}
 	sc := &schedConn{camera: cam, conn: conn, lastSeen: time.Now()}
@@ -324,30 +374,39 @@ func (s *Scheduler) handle(conn net.Conn) {
 		// replaced and leaves the new registration alone.
 		old.conn.Close()
 		s.logger.Printf("cluster: camera %d reconnected, replacing previous connection from %v",
-			cam, old.conn.RemoteAddr())
+			globalCam, old.conn.RemoteAddr())
 	}
 	s.conns[cam] = sc
 	s.mu.Unlock()
-	s.logger.Printf("cluster: camera %d connected from %v", cam, conn.RemoteAddr())
+	s.logger.Printf("cluster: camera %d connected from %v", globalCam, conn.RemoteAddr())
 	// Ack the handshake so Dial returns only once the camera is
 	// registered (otherwise two racing hellos for the same index could
 	// each believe they won). When the node announced its frame size,
 	// the ack carries the static cell-coverage masks.
-	ack := &HelloAck{Camera: cam}
+	ack := &HelloAck{Camera: globalCam}
 	if env.Hello.FrameW > 0 && env.Hello.FrameH > 0 {
 		grid := geom.NewGrid(geom.Rect{MaxX: env.Hello.FrameW, MaxY: env.Hello.FrameH}, maskGridCols, maskGridRows)
 		cover, err := s.model.CellCoverageWorkers(cam, grid, s.workers)
 		if err != nil {
-			s.logger.Printf("cluster: camera %d coverage: %v", cam, err)
+			s.logger.Printf("cluster: camera %d coverage: %v", globalCam, err)
 			_ = sc.send(&Envelope{Type: TypeError, Error: fmt.Sprintf("coverage: %v", err)})
 			return
+		}
+		if s.shard != nil {
+			// The subset model speaks local indices; nodes work in
+			// global ones.
+			for _, set := range cover {
+				for k, c := range set {
+					set[k] = s.glob(c)
+				}
+			}
 		}
 		ack.GridCols = maskGridCols
 		ack.GridRows = maskGridRows
 		ack.Coverage = cover
 	}
 	if err := sc.send(&Envelope{Type: TypeHello, Ack: ack}); err != nil {
-		s.logger.Printf("cluster: camera %d ack: %v", cam, err)
+		s.logger.Printf("cluster: camera %d ack: %v", globalCam, err)
 		return
 	}
 
@@ -370,7 +429,7 @@ func (s *Scheduler) handle(conn net.Conn) {
 	for {
 		env, err := ReadMessage(conn)
 		if err != nil {
-			s.logger.Printf("cluster: camera %d read: %v", cam, err)
+			s.logger.Printf("cluster: camera %d read: %v", globalCam, err)
 			return
 		}
 		switch {
@@ -378,11 +437,13 @@ func (s *Scheduler) handle(conn net.Conn) {
 			s.touch(sc)
 			_ = sc.send(&Envelope{Type: TypePong, Heartbeat: env.Heartbeat})
 		case env.Type == TypeDetections && env.Detections != nil:
-			if env.Detections.Camera != cam {
+			if env.Detections.Camera != globalCam {
 				_ = sc.send(&Envelope{Type: TypeError, Error: "camera id mismatch"})
 				continue
 			}
 			s.touch(sc)
+			// Rounds and reports are local-indexed internally.
+			env.Detections.Camera = cam
 			s.submit(env.Detections)
 		case env.Type == TypeDetections || env.Type == TypeHello:
 			// A malformed known message is a protocol error worth
@@ -391,7 +452,7 @@ func (s *Scheduler) handle(conn net.Conn) {
 		default:
 			// Unknown (newer-protocol) types are skipped, mirroring the
 			// client's tolerance, so mixed-version fleets keep running.
-			s.logger.Printf("cluster: camera %d sent unknown message type %q, ignoring", cam, env.Type)
+			s.logger.Printf("cluster: camera %d sent unknown message type %q, ignoring", globalCam, env.Type)
 		}
 	}
 }
@@ -577,10 +638,16 @@ func (s *Scheduler) completeRound(r *round, frame int) {
 	}
 	dead := s.deadCameras(r)
 	if len(dead) > 0 {
-		s.logger.Printf("cluster: round %d declares cameras %v dead (lease expired or disconnected)", frame, dead)
+		// deadCameras speaks local indices; the wire (and the shared
+		// liveness mask every node installs) is global.
+		deadGlobal := make([]int, len(dead))
+		for i, c := range dead {
+			deadGlobal[i] = s.glob(c)
+		}
+		s.logger.Printf("cluster: round %d declares cameras %v dead (lease expired or disconnected)", frame, deadGlobal)
 		for _, reply := range replies {
 			if reply != nil {
-				reply.Dead = dead
+				reply.Dead = deadGlobal
 			}
 		}
 	}
@@ -668,13 +735,38 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.
 	// expiry, disconnect, or a camera that never joined) is partial.
 	snap.Partial = len(r.reports) < m
 
+	// The wire speaks global camera indices; translate the priority
+	// order (the identity for a standalone scheduler) and stamp the
+	// shard roster so nodes build a scoped ownership policy.
+	prio := make([]int, len(sol.Priority))
+	for k, c := range sol.Priority {
+		prio[k] = s.glob(c)
+	}
+	var roster []int
+	if s.shard != nil {
+		roster = s.shard.roster
+	}
+
+	// Cross-shard hand-off: a boundary object also claimed by a
+	// lower-ID shard belongs there — every local member becomes a
+	// shadow of the foreign owner instead of being kept.
+	demoted := s.consultHandoff(frame, groups, boxes, sol)
+
 	replies := make(map[int]*Assignment, m)
 	for cam := 0; cam < m; cam++ {
-		replies[cam] = &Assignment{Frame: frame, Priority: sol.Priority}
+		replies[cam] = &Assignment{Frame: frame, Priority: prio, Roster: roster}
 	}
 	for gi, g := range groups {
 		assigned, ok := sol.Assign[gi+1]
 		if !ok {
+			continue
+		}
+		if owner, isDemoted := demoted[gi+1]; isDemoted {
+			for _, ref := range g.Members {
+				replies[ref.Cam].Shadows = append(replies[ref.Cam].Shadows, ShadowOrder{
+					TrackID: trackIDs[ref.Cam][ref.Index], AssignedCamera: owner,
+				})
+			}
 			continue
 		}
 		for _, ref := range g.Members {
@@ -683,11 +775,12 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.
 				replies[ref.Cam].Keep = append(replies[ref.Cam].Keep, id)
 			} else {
 				replies[ref.Cam].Shadows = append(replies[ref.Cam].Shadows, ShadowOrder{
-					TrackID: id, AssignedCamera: assigned,
+					TrackID: id, AssignedCamera: s.glob(assigned),
 				})
 			}
 		}
 	}
+	s.publishHandoff(frame, groups, boxes, sol, demoted)
 	return replies, snap, nil
 }
 
@@ -704,6 +797,12 @@ func (s *Scheduler) roundSnapshot(frame int, objects []core.ObjectSpec, sol *cor
 		FrameLatency: sol.System(),
 		Cameras:      make([]metrics.CameraSnapshot, len(s.cams)),
 	}
+	if s.shard != nil {
+		// Shard-scoped rounds share one sink; the label demultiplexes
+		// them ("shard0", "shard1", ...), and camera indices below are
+		// globalized so fleet-wide dashboards line up.
+		snap.Label = s.shard.label
+	}
 	counts := make([]map[int]int, len(s.cams))
 	assigned := make([]int, len(s.cams))
 	for i := range objects {
@@ -719,7 +818,7 @@ func (s *Scheduler) roundSnapshot(frame int, objects []core.ObjectSpec, sol *cor
 		assigned[cam]++
 	}
 	for i := range s.cams {
-		cs := metrics.CameraSnapshot{Camera: i, Assignments: assigned[i]}
+		cs := metrics.CameraSnapshot{Camera: s.glob(i), Assignments: assigned[i]}
 		if i < len(sol.Latencies) {
 			cs.Latency = sol.Latencies[i]
 		}

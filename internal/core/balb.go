@@ -195,6 +195,40 @@ func NewDistributedPolicy(priority []int) (*DistributedPolicy, error) {
 	return &DistributedPolicy{Priority: append([]int(nil), priority...), rank: rank}, nil
 }
 
+// NewScopedPolicy builds a policy over a camera *subset*: priority
+// lists distinct global camera indices (a shard's roster) from highest
+// to lowest priority; cameras outside the roster are unknown — Owner
+// and ShouldTrack skip them, exactly as they skip out-of-range
+// indices. This is the per-shard half of sharded ownership: a camera
+// node handed a shard-scoped Assignment builds one of these from
+// (Assignment.Priority), and NewShardedPolicy composes one per shard.
+// An empty priority returns ErrEmptyPriority.
+func NewScopedPolicy(priority []int) (*DistributedPolicy, error) {
+	if len(priority) == 0 {
+		return nil, ErrEmptyPriority
+	}
+	maxCam := 0
+	for _, cam := range priority {
+		if cam < 0 {
+			return nil, fmt.Errorf("core: priority entry %d out of range", cam)
+		}
+		if cam > maxCam {
+			maxCam = cam
+		}
+	}
+	rank := make([]int, maxCam+1)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for pos, cam := range priority {
+		if rank[cam] != -1 {
+			return nil, fmt.Errorf("core: camera %d appears twice in priority", cam)
+		}
+		rank[cam] = pos
+	}
+	return &DistributedPolicy{Priority: append([]int(nil), priority...), rank: rank}, nil
+}
+
 // SetDead installs the shared liveness mask: dead[c] == true removes
 // camera c from every subsequent Owner/ShouldTrack decision, so the
 // next-priority covering camera takes over its objects. A nil or empty
@@ -234,8 +268,8 @@ func (p *DistributedPolicy) Dead(cam int) bool {
 func (p *DistributedPolicy) Owner(cover []int) (int, bool) {
 	best := -1
 	for _, c := range cover {
-		if c < 0 || c >= len(p.rank) {
-			continue
+		if c < 0 || c >= len(p.rank) || p.rank[c] < 0 {
+			continue // out of range, or outside a scoped policy's roster
 		}
 		if p.Dead(c) {
 			continue

@@ -1,0 +1,149 @@
+package core
+
+import "fmt"
+
+// Policy is the distributed-stage decision surface: who owns a new
+// object given its coverage set, whether a particular camera should
+// start tracking it, and the shared liveness mask behind both answers.
+// *DistributedPolicy implements it for a single global priority order;
+// *ShardedPolicy implements it by composing one shard-scoped policy
+// per overlap group. Every camera evaluating the same Policy from the
+// same state reaches the same decision — the communication-free
+// property the distributed stage depends on.
+type Policy interface {
+	// Owner returns the camera responsible for a new object with the
+	// given coverage set, or (0, false) when no live known camera
+	// covers it.
+	Owner(cover []int) (int, bool)
+	// ShouldTrack reports whether cam is the owner for the coverage
+	// set.
+	ShouldTrack(cam int, cover []int) bool
+	// Dead reports whether cam is marked dead by the liveness mask.
+	Dead(cam int) bool
+	// SetDead installs the shared liveness mask (nil/all-false
+	// clears). Not safe to call concurrently with the query methods.
+	SetDead(dead []bool)
+}
+
+var (
+	_ Policy = (*DistributedPolicy)(nil)
+	_ Policy = (*ShardedPolicy)(nil)
+)
+
+// ShardedPolicy composes per-shard scoped policies into one fleet-wide
+// ownership rule. Each shard runs its own central stage and publishes
+// a priority order over only its own cameras; cameras resolve
+// ownership of an object by first picking the *owning shard* — the
+// lowest-ID shard with a live camera covering the object — and then
+// delegating to that shard's scoped policy. The rule is deterministic
+// and needs no cross-shard communication: every camera knows the full
+// shard map and every shard's priority order for the current horizon.
+//
+// For an object covered by a single shard this reduces exactly to
+// that shard's scoped decision, which (because a shard's priority is
+// the restriction of the global priority when shards do not interact)
+// is what makes sharded and global runs bit-identical on scenarios
+// with zero cross-shard traffic. For a boundary object seen by two
+// shards, the lower-ID shard owns it and the higher-ID shard demotes
+// its local boxes to shadows — the hand-off rule in
+// cluster.ShardedScheduler.
+type ShardedPolicy struct {
+	shardOf []int
+	shards  []*DistributedPolicy
+}
+
+// NewShardedPolicy builds the composite policy. shardOf maps each
+// global camera index to its shard; priorities[s] is shard s's
+// priority order listing *global* camera indices, highest first.
+// Every camera must appear exactly once, in its own shard's order.
+func NewShardedPolicy(shardOf []int, priorities [][]int) (*ShardedPolicy, error) {
+	if len(shardOf) == 0 {
+		return nil, ErrEmptyPriority
+	}
+	shards := make([]*DistributedPolicy, len(priorities))
+	counted := 0
+	for s, prio := range priorities {
+		for _, cam := range prio {
+			if cam < 0 || cam >= len(shardOf) {
+				return nil, fmt.Errorf("core: shard %d priority entry %d out of range", s, cam)
+			}
+			if shardOf[cam] != s {
+				return nil, fmt.Errorf("core: camera %d listed in shard %d but mapped to shard %d", cam, s, shardOf[cam])
+			}
+		}
+		p, err := NewScopedPolicy(prio)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+		shards[s] = p
+		counted += len(prio)
+	}
+	if counted != len(shardOf) {
+		return nil, fmt.Errorf("core: shard priorities cover %d cameras, want %d", counted, len(shardOf))
+	}
+	for cam, s := range shardOf {
+		if s < 0 || s >= len(shards) {
+			return nil, fmt.Errorf("core: camera %d mapped to unknown shard %d", cam, s)
+		}
+	}
+	return &ShardedPolicy{
+		shardOf: append([]int(nil), shardOf...),
+		shards:  shards,
+	}, nil
+}
+
+// Owner picks the owning shard — the lowest-ID shard with a live
+// camera in cover — and returns that shard's scoped owner. (0, false)
+// means the object is orphaned: no live known camera covers it in any
+// shard.
+func (p *ShardedPolicy) Owner(cover []int) (int, bool) {
+	owning := -1
+	for _, c := range cover {
+		if c < 0 || c >= len(p.shardOf) {
+			continue
+		}
+		s := p.shardOf[c]
+		if p.shards[s].Dead(c) {
+			continue
+		}
+		if owning == -1 || s < owning {
+			owning = s
+		}
+	}
+	if owning < 0 {
+		return 0, false
+	}
+	return p.shards[owning].Owner(cover)
+}
+
+// ShouldTrack reports whether cam is the fleet-wide owner for cover.
+func (p *ShardedPolicy) ShouldTrack(cam int, cover []int) bool {
+	owner, ok := p.Owner(cover)
+	return ok && owner == cam
+}
+
+// Dead reports whether cam is marked dead in its shard's policy.
+// Out-of-range cameras are not dead (they are simply unknown).
+func (p *ShardedPolicy) Dead(cam int) bool {
+	if cam < 0 || cam >= len(p.shardOf) {
+		return false
+	}
+	return p.shards[p.shardOf[cam]].Dead(cam)
+}
+
+// SetDead installs the fleet-wide liveness mask, fanned out to every
+// shard's scoped policy (each ignores entries outside its roster).
+func (p *ShardedPolicy) SetDead(dead []bool) {
+	for _, sp := range p.shards {
+		sp.SetDead(dead)
+	}
+}
+
+// Shard returns camera cam's shard ID, or an error for an unknown
+// camera.
+func (p *ShardedPolicy) Shard(cam int) (int, error) {
+	if cam < 0 || cam >= len(p.shardOf) {
+		return 0, fmt.Errorf("core: camera %d out of range", cam)
+	}
+	return p.shardOf[cam], nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import "testing"
+
+func TestNewScopedPolicyRoster(t *testing.T) {
+	// Roster {5, 2, 7}: camera 5 highest priority.
+	p, err := NewScopedPolicy([]int{5, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := p.Owner([]int{2, 5, 7}); !ok || owner != 5 {
+		t.Fatalf("Owner = %d,%v want 5,true", owner, ok)
+	}
+	// Non-roster cameras (0, 3) and out-of-range (9) are skipped.
+	if owner, ok := p.Owner([]int{0, 3, 9, 7}); !ok || owner != 7 {
+		t.Fatalf("Owner = %d,%v want 7,true", owner, ok)
+	}
+	if _, ok := p.Owner([]int{0, 3}); ok {
+		t.Fatal("cover with only non-roster cameras must orphan")
+	}
+	// Dead failover stays inside the roster.
+	mask := make([]bool, 8)
+	mask[5] = true
+	p.SetDead(mask)
+	if owner, ok := p.Owner([]int{2, 5, 7}); !ok || owner != 2 {
+		t.Fatalf("after dead 5: Owner = %d,%v want 2,true", owner, ok)
+	}
+	if !p.Dead(5) || p.Dead(2) {
+		t.Fatal("Dead mask wrong")
+	}
+}
+
+func TestNewScopedPolicyRejects(t *testing.T) {
+	if _, err := NewScopedPolicy(nil); err != ErrEmptyPriority {
+		t.Fatalf("empty: err = %v", err)
+	}
+	if _, err := NewScopedPolicy([]int{1, -2}); err == nil {
+		t.Fatal("negative entry must fail")
+	}
+	if _, err := NewScopedPolicy([]int{3, 3}); err == nil {
+		t.Fatal("duplicate entry must fail")
+	}
+}
+
+// shardedFixture: 6 cameras, shards {0,1,2} and {3,4,5}, priorities
+// 2>0>1 and 4>5>3.
+func shardedFixture(t *testing.T) *ShardedPolicy {
+	t.Helper()
+	p, err := NewShardedPolicy(
+		[]int{0, 0, 0, 1, 1, 1},
+		[][]int{{2, 0, 1}, {4, 5, 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestShardedPolicySingleShardCover(t *testing.T) {
+	p := shardedFixture(t)
+	// Cover inside shard 0: scoped decision.
+	if owner, ok := p.Owner([]int{0, 1}); !ok || owner != 0 {
+		t.Fatalf("Owner = %d,%v want 0,true", owner, ok)
+	}
+	// Cover inside shard 1.
+	if owner, ok := p.Owner([]int{3, 5}); !ok || owner != 5 {
+		t.Fatalf("Owner = %d,%v want 5,true", owner, ok)
+	}
+	if !p.ShouldTrack(5, []int{3, 5}) || p.ShouldTrack(3, []int{3, 5}) {
+		t.Fatal("ShouldTrack disagrees with Owner")
+	}
+}
+
+func TestShardedPolicyBoundaryLowerShardOwns(t *testing.T) {
+	p := shardedFixture(t)
+	// Straddling cover {1, 4}: shard 0 is the lowest covering shard,
+	// so its scoped owner (camera 1) wins even though camera 4 tops
+	// shard 1's priority.
+	if owner, ok := p.Owner([]int{1, 4}); !ok || owner != 1 {
+		t.Fatalf("Owner = %d,%v want 1,true", owner, ok)
+	}
+}
+
+func TestShardedPolicyDeadFailover(t *testing.T) {
+	p := shardedFixture(t)
+	mask := make([]bool, 6)
+	mask[1] = true
+	p.SetDead(mask)
+	if !p.Dead(1) || p.Dead(4) {
+		t.Fatal("Dead mask wrong")
+	}
+	// Shard 0's only covering camera is dead: ownership falls through
+	// to shard 1 — cross-shard failover at the boundary.
+	if owner, ok := p.Owner([]int{1, 4}); !ok || owner != 4 {
+		t.Fatalf("Owner = %d,%v want 4,true", owner, ok)
+	}
+	// Everything covering dead: orphaned.
+	if _, ok := p.Owner([]int{1}); ok {
+		t.Fatal("all-dead cover must orphan")
+	}
+	p.SetDead(nil)
+	if owner, ok := p.Owner([]int{1, 4}); !ok || owner != 1 {
+		t.Fatalf("after clear: Owner = %d,%v want 1,true", owner, ok)
+	}
+}
+
+func TestShardedPolicyMatchesGlobalRestriction(t *testing.T) {
+	// With shard priorities that are restrictions of one global order,
+	// single-shard covers must decide identically under both policies.
+	global, err := NewDistributedPolicy([]int{2, 4, 0, 5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := shardedFixture(t) // restrictions: {2,0,1}, {4,5,3}
+	covers := [][]int{{0}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}, {3}, {3, 4}, {4, 5}, {3, 5}, {3, 4, 5}}
+	for _, cover := range covers {
+		go1, ok1 := global.Owner(cover)
+		go2, ok2 := sharded.Owner(cover)
+		if go1 != go2 || ok1 != ok2 {
+			t.Fatalf("cover %v: global %d,%v sharded %d,%v", cover, go1, ok1, go2, ok2)
+		}
+	}
+}
+
+func TestNewShardedPolicyRejects(t *testing.T) {
+	if _, err := NewShardedPolicy(nil, nil); err != ErrEmptyPriority {
+		t.Fatalf("empty: err = %v", err)
+	}
+	// Camera listed in the wrong shard.
+	if _, err := NewShardedPolicy([]int{0, 1}, [][]int{{0, 1}, {}}); err == nil {
+		t.Fatal("wrong-shard listing must fail")
+	}
+	// Missing camera.
+	if _, err := NewShardedPolicy([]int{0, 0}, [][]int{{0}}); err == nil {
+		t.Fatal("missing camera must fail")
+	}
+	// Out-of-range camera.
+	if _, err := NewShardedPolicy([]int{0}, [][]int{{0, 7}}); err == nil {
+		t.Fatal("out-of-range camera must fail")
+	}
+	// shardOf points past priorities.
+	if _, err := NewShardedPolicy([]int{0, 3}, [][]int{{0, 1}}); err == nil {
+		t.Fatal("unknown shard mapping must fail")
+	}
+}

@@ -42,12 +42,14 @@ import (
 
 	"mvs/internal/assoc"
 	"mvs/internal/camfault"
+	"mvs/internal/geom"
 	"mvs/internal/metrics"
 	"mvs/internal/ml"
 	"mvs/internal/pipeline"
 	"mvs/internal/pool"
 	"mvs/internal/profile"
 	"mvs/internal/scene"
+	"mvs/internal/shard"
 	"mvs/internal/workload"
 )
 
@@ -487,6 +489,107 @@ func ArrivalSweep(name string, seed int64, frames int, scales []float64, opts Op
 			BALBRecall:  balb.Recall,
 			CenRecall:   cen.Recall,
 			BALBLatency: balb.MeanSlowest,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ShardPoint is one point of the shard-count scaling sweep.
+type ShardPoint struct {
+	// MaxShard is the -shard-max bound the partition was built with
+	// (0 = no sharding, the global round).
+	MaxShard int
+	// Shards is the resulting shard count (1 for the global round).
+	Shards int
+	// CentralPerFrame is the measured central-stage cost (association +
+	// BALB across all shards), amortized per frame — the quantity
+	// docs/SCALING.md §3's cost model prices.
+	CentralPerFrame time.Duration
+	// Recall and MeanSlowest check the quality side: sharding must not
+	// tank the scheduling quality it is accelerating.
+	Recall      float64
+	MeanSlowest time.Duration
+}
+
+// ShardSweep prices overlap-group sharding on a large corridor fleet:
+// the same trace and association model run once globally and once per
+// max-shard bound, under pipeline.Options.Shards (the in-process
+// analogue of cluster.ShardedScheduler). cams <= 0 defaults to 64,
+// frames <= 0 to 400, maxShards nil to {16, 8, 4}. The global point
+// runs first; sweep points then run concurrently under opts.Workers.
+// Snapshots are labelled "shard/global" and "shard/max=<k>".
+func ShardSweep(cams int, seed int64, frames int, maxShards []int, opts Options) ([]ShardPoint, error) {
+	if cams <= 0 {
+		cams = 64
+	}
+	if frames <= 0 {
+		frames = 400
+	}
+	if len(maxShards) == 0 {
+		maxShards = []int{16, 8, 4}
+	}
+	s, err := workload.Corridor(cams, seed)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := s.World.Run(frames)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard sweep: %w", err)
+	}
+	train, test := trace.SplitTrain()
+	model, err := assoc.Train(train, assoc.Factories{Workers: opts.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard sweep training: %w", err)
+	}
+	rects := make([]geom.Rect, len(s.World.Cameras))
+	for i, c := range s.World.Cameras {
+		rects[i] = c.Frame()
+	}
+	adj, err := model.OverlapAdjacency(rects, 16, 9, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard sweep: %w", err)
+	}
+	g, err := shard.FromAdjacency(adj)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard sweep: %w", err)
+	}
+
+	global, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
+		Mode: pipeline.BALB, Seed: seed, Workers: opts.Workers,
+		Sink: opts.Sink, Label: "shard/global",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard sweep global: %w", err)
+	}
+	out := make([]ShardPoint, 1+len(maxShards))
+	out[0] = ShardPoint{
+		MaxShard: 0, Shards: 1,
+		CentralPerFrame: global.CentralPerFrame,
+		Recall:          global.Recall,
+		MeanSlowest:     global.MeanSlowest,
+	}
+	err = pool.Do(opts.Workers, len(maxShards), func(i int) error {
+		k := maxShards[i]
+		m, err := shard.Partition(g, k)
+		if err != nil {
+			return fmt.Errorf("experiments: shard sweep max=%d: %w", k, err)
+		}
+		rep, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
+			Mode: pipeline.BALB, Seed: seed, Workers: opts.Workers,
+			Shards: m, Sink: opts.Sink, Label: fmt.Sprintf("shard/max=%d", k),
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: shard sweep max=%d: %w", k, err)
+		}
+		out[1+i] = ShardPoint{
+			MaxShard: k, Shards: m.NumShards(),
+			CentralPerFrame: rep.CentralPerFrame,
+			Recall:          rep.Recall,
+			MeanSlowest:     rep.MeanSlowest,
 		}
 		return nil
 	})

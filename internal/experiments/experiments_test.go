@@ -250,3 +250,34 @@ func TestRunModesSinkLabels(t *testing.T) {
 		}
 	}
 }
+
+// TestShardSweepSmall runs the shard-count sweep on a small corridor and
+// checks its structural invariants: the global point leads, shard counts
+// grow as the max-shard bound falls, and sharding does not collapse
+// recall.
+func TestShardSweepSmall(t *testing.T) {
+	points, err := ShardSweep(8, 7, 240, []int{4, 2}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	if points[0].MaxShard != 0 || points[0].Shards != 1 {
+		t.Fatalf("global point = %+v", points[0])
+	}
+	for i, p := range points {
+		if p.CentralPerFrame <= 0 {
+			t.Fatalf("point %d: central cost %v", i, p.CentralPerFrame)
+		}
+		if p.Recall < 0.5 {
+			t.Fatalf("point %d (max=%d): recall %v", i, p.MaxShard, p.Recall)
+		}
+	}
+	if points[1].Shards < 2 || points[2].Shards < points[1].Shards {
+		t.Fatalf("shard counts %d, %d do not grow as max falls", points[1].Shards, points[2].Shards)
+	}
+	if diff := points[0].Recall - points[2].Recall; diff > 0.1 {
+		t.Fatalf("sharding cost %.3f recall", diff)
+	}
+}

@@ -227,7 +227,18 @@ func (r *Runtime) ApplyAssignment(a *cluster.Assignment) error {
 	if a == nil {
 		return fmt.Errorf("node: nil assignment")
 	}
-	policy, err := core.NewDistributedPolicy(a.Priority)
+	// A shard-scoped assignment (Roster present) carries a priority
+	// over the shard's global camera indices rather than a 0..M-1
+	// permutation; the scoped policy skips foreign-shard cameras in
+	// coverage sets so ownership stays communication-free within the
+	// shard.
+	var policy *core.DistributedPolicy
+	var err error
+	if len(a.Roster) > 0 {
+		policy, err = core.NewScopedPolicy(a.Priority)
+	} else {
+		policy, err = core.NewDistributedPolicy(a.Priority)
+	}
 	if err != nil {
 		return fmt.Errorf("node: %w", err)
 	}
@@ -235,9 +246,24 @@ func (r *Runtime) ApplyAssignment(a *cluster.Assignment) error {
 		// The scheduler's liveness leases feed the distributed stage:
 		// every node installs the identical dead set, so failover
 		// ownership decisions stay communication-free.
-		mask := make([]bool, len(a.Priority))
+		// Size the mask by the largest camera index on the wire, not
+		// len(Priority): a scoped assignment's priority holds sparse
+		// global indices, and the dead set may name foreign-shard
+		// cameras (whose entries the scoped policy simply ignores).
+		maxCam := -1
+		for _, c := range a.Priority {
+			if c > maxCam {
+				maxCam = c
+			}
+		}
 		for _, c := range a.Dead {
-			if c >= 0 && c < len(mask) {
+			if c > maxCam {
+				maxCam = c
+			}
+		}
+		mask := make([]bool, maxCam+1)
+		for _, c := range a.Dead {
+			if c >= 0 {
 				mask[c] = true
 			}
 		}

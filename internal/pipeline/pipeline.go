@@ -50,6 +50,7 @@ import (
 	"mvs/internal/pool"
 	"mvs/internal/profile"
 	"mvs/internal/scene"
+	"mvs/internal/shard"
 	"mvs/internal/vision"
 )
 
@@ -153,6 +154,18 @@ type Options struct {
 	// faults still drop frames, but scheduling stays oblivious (the
 	// no-failover ablation). Only meaningful with CamFaults set.
 	HealthK int
+	// Shards, when non-nil, runs the central stage sharded: one
+	// association + BALB solve per shard over that shard's cameras only
+	// (on an assoc.Model.Subset), composed into a core.ShardedPolicy
+	// for the distributed stage. This is the in-process analogue of
+	// cluster.ShardedScheduler — no fleet-wide O(N²) association, no
+	// data structure spanning shards — usable at 64+ cameras without
+	// sockets. Only valid for BALB and CentralOnly modes. On a scenario
+	// with zero cross-shard coverage the modelled results are
+	// bit-identical to the unsharded run (see docs/ARCHITECTURE.md,
+	// determinism contract); with boundary traffic, ownership of
+	// straddling objects follows the lowest covering shard.
+	Shards *shard.Map
 }
 
 func (o Options) withDefaults() Options {
@@ -294,6 +307,28 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 		}
 	}
 
+	var subModels []*assoc.Model
+	if opts.Shards != nil {
+		if opts.Mode != BALB && opts.Mode != CentralOnly {
+			return nil, fmt.Errorf("pipeline: Shards requires BALB or CentralOnly mode, got %v", opts.Mode)
+		}
+		if err := opts.Shards.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		if opts.Shards.NumCameras() != len(trace.Cameras) {
+			return nil, fmt.Errorf("pipeline: shard map covers %d cameras, trace has %d",
+				opts.Shards.NumCameras(), len(trace.Cameras))
+		}
+		subModels = make([]*assoc.Model, opts.Shards.NumShards())
+		for s, roster := range opts.Shards.Shards {
+			sub, err := model.Subset(roster)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: shard %d model: %w", s, err)
+			}
+			subModels[s] = sub
+		}
+	}
+
 	cams, err := buildCameraStates(trace, profiles, model, opts)
 	if err != nil {
 		return nil, err
@@ -316,18 +351,29 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 		horizons     int
 		centralTotal time.Duration
 		breakdown    = metrics.NewBreakdown()
-		policy       *core.DistributedPolicy
+		policy       core.Policy
 		frameSeries  metrics.LatencySeries
 		prevBusy     = make([]time.Duration, len(cams))
 	)
 
-	// Default policy (before the first central stage): priority by index.
+	// Default policy (before the first central stage): priority by index
+	// — sharded runs compose the same index order per shard, so the
+	// pre-key-frame decisions match the unsharded ones on single-shard
+	// coverage sets.
 	if needsModel || opts.Mode == Independent {
-		idx := make([]int, len(cams))
-		for i := range idx {
-			idx[i] = i
+		if opts.Shards != nil {
+			prios := make([][]int, opts.Shards.NumShards())
+			for s, roster := range opts.Shards.Shards {
+				prios[s] = append([]int(nil), roster...)
+			}
+			policy, err = core.NewShardedPolicy(opts.Shards.ShardOf, prios)
+		} else {
+			idx := make([]int, len(cams))
+			for i := range idx {
+				idx[i] = i
+			}
+			policy, err = core.NewDistributedPolicy(idx)
 		}
-		policy, err = core.NewDistributedPolicy(idx)
 		if err != nil {
 			return nil, err
 		}
@@ -422,7 +468,7 @@ func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, op
 			}
 			if needsModel {
 				start := time.Now()
-				newPolicy, err := centralStage(cams, coreCams, model, deadMask, opts)
+				newPolicy, err := centralStage(cams, coreCams, model, subModels, deadMask, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -703,25 +749,78 @@ func (cs *cameraState) keyFrame(obs []scene.Observation, out *camFrame) error {
 // ownership by cell owner, which key-frame handling already did — it
 // returns a nil policy to keep the previous one.
 //
+// With opts.Shards set the stage runs once per shard over that shard's
+// cameras only (subModels[s] is the model restricted to the shard's
+// roster), and the per-shard priorities compose into a
+// core.ShardedPolicy; no association pair, MVS instance, or priority
+// order ever spans two shards.
+//
 // A non-nil dead mask excludes those cameras' (stale, frozen) tracks
 // from association, so the MVS instance is built over the healthy
 // subset only and every orphaned object is implicitly reassigned to a
 // live covering camera by Central.
-func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model, dead []bool, opts Options) (*core.DistributedPolicy, error) {
+func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model,
+	subModels []*assoc.Model, dead []bool, opts Options) (core.Policy, error) {
 	if opts.Mode == StaticPartition {
 		return nil, nil
 	}
+	if opts.Shards == nil {
+		prio, err := centralShard(cams, coreCams, model, dead, nil, opts)
+		if err != nil {
+			return nil, err
+		}
+		policy, err := core.NewDistributedPolicy(prio)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		return policy, nil
+	}
+	priorities := make([][]int, opts.Shards.NumShards())
+	for s, roster := range opts.Shards.Shards {
+		prio, err := centralShard(cams, coreCams, subModels[s], dead, roster, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: shard %d: %w", s, err)
+		}
+		priorities[s] = prio
+	}
+	policy, err := core.NewShardedPolicy(opts.Shards.ShardOf, priorities)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	return policy, nil
+}
 
-	// Gather per-camera track boxes (live cameras only).
-	boxes := make([][]geom.Rect, len(cams))
-	trackIDs := make([][]int, len(cams))
-	for i, cs := range cams {
-		if dead != nil && i < len(dead) && dead[i] {
+// centralShard runs one central-stage round over a camera roster (nil
+// = the whole fleet, with local index == global index) and returns the
+// resulting priority order in *global* camera indices. The model must
+// be scoped to the roster (assoc.Model.Subset); boxes, coverage sets,
+// and the BALB instance all use local (roster) indices internally, and
+// only the applied shadows and the returned priority are translated
+// back to global.
+func centralShard(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model,
+	dead []bool, roster []int, opts Options) ([]int, error) {
+	n := len(cams)
+	if roster != nil {
+		n = len(roster)
+	}
+	glob := func(li int) int {
+		if roster == nil {
+			return li
+		}
+		return roster[li]
+	}
+
+	// Gather per-camera track boxes (live cameras only), local order.
+	boxes := make([][]geom.Rect, n)
+	trackIDs := make([][]int, n)
+	for li := 0; li < n; li++ {
+		g := glob(li)
+		if dead != nil && g < len(dead) && dead[g] {
 			continue
 		}
-		for _, t := range cs.tracker.Tracks() {
-			boxes[i] = append(boxes[i], t.Box)
-			trackIDs[i] = append(trackIDs[i], t.ID)
+		for _, t := range cams[g].tracker.Tracks() {
+			boxes[li] = append(boxes[li], t.Box)
+			trackIDs[li] = append(trackIDs[li], t.ID)
 		}
 	}
 	groups, err := model.AssociateWorkers(boxes, opts.AssocMinIoU, opts.Workers)
@@ -729,12 +828,13 @@ func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 		return nil, fmt.Errorf("pipeline: association: %w", err)
 	}
 
-	// Build the MVS instance: one object per associated group.
+	// Build the MVS instance: one object per associated group, coverage
+	// in local indices.
 	objects := make([]core.ObjectSpec, 0, len(groups))
 	for gi, g := range groups {
 		spec := core.ObjectSpec{ID: gi + 1, Size: make(map[int]int)}
 		for _, ref := range g.Members {
-			cs := cams[ref.Cam]
+			cs := cams[glob(ref.Cam)]
 			track := cs.tracker.Get(trackIDs[ref.Cam][ref.Index])
 			if track == nil {
 				continue
@@ -751,24 +851,28 @@ func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 		}
 	}
 
+	localCore := make([]core.CameraSpec, n)
+	for li := range localCore {
+		localCore[li] = core.CameraSpec{Index: li, Profile: coreCams[glob(li)].Profile}
+	}
 	var sol *core.Solution
 	extra := map[int][]int{}
 	if opts.Redundancy > 1 {
 		var err error
-		sol, extra, err = core.CentralRedundant(coreCams, objects, opts.Redundancy, opts.RedundancySlack)
+		sol, extra, err = core.CentralRedundant(localCore, objects, opts.Redundancy, opts.RedundancySlack)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: redundant central BALB: %w", err)
 		}
 	} else {
 		var err error
-		sol, err = core.Central(coreCams, objects, core.CentralOptions{})
+		sol, err = core.Central(localCore, objects, core.CentralOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: central BALB: %w", err)
 		}
 	}
 
 	// Apply: members on non-assigned (and non-redundant) cameras become
-	// shadows.
+	// shadows, with the assignment recorded in global indices.
 	for gi, g := range groups {
 		assignedCam, ok := sol.Assign[gi+1]
 		if !ok {
@@ -778,7 +882,7 @@ func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 			if ref.Cam == assignedCam || containsCam(extra[gi+1], ref.Cam) {
 				continue
 			}
-			cs := cams[ref.Cam]
+			cs := cams[glob(ref.Cam)]
 			id := trackIDs[ref.Cam][ref.Index]
 			track := cs.tracker.Get(id)
 			if track == nil {
@@ -788,18 +892,18 @@ func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 				box:      track.Box,
 				vel:      track.Velocity,
 				truthID:  track.TruthID,
-				assigned: assignedCam,
+				assigned: glob(assignedCam),
 				size:     track.QuantSize,
 			})
 			cs.tracker.Remove(id)
 		}
 	}
 
-	policy, err := core.NewDistributedPolicy(sol.Priority)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: %w", err)
+	prio := make([]int, len(sol.Priority))
+	for k, li := range sol.Priority {
+		prio[k] = glob(li)
 	}
-	return policy, nil
+	return prio, nil
 }
 
 func containsCam(cams []int, cam int) bool {
@@ -817,7 +921,7 @@ func containsCam(cams []int, cam int) bool {
 // camFrame shard.
 func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, detected map[int]bool,
 	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame,
-	policy *core.DistributedPolicy, opts Options) error {
+	policy core.Policy, opts Options) error {
 	var err error
 	if opts.Mode == Full {
 		err = pool.Do(opts.Workers, len(cams), func(i int) error {
@@ -853,7 +957,7 @@ func (cs *cameraState) fullFrame(obs []scene.Observation, out *camFrame) {
 // regularFrame is one camera's share of a non-Full regular frame:
 // shadow advance, slicing, new-region proposals, batched GPU execution,
 // tracking update, and the distributed-stage ownership decisions.
-func (cs *cameraState) regularFrame(obs []scene.Observation, policy *core.DistributedPolicy,
+func (cs *cameraState) regularFrame(obs []scene.Observation, policy core.Policy,
 	opts Options, out *camFrame) error {
 	useDistributed := opts.Mode == BALB || opts.Mode == Independent || opts.Mode == StaticPartition
 
@@ -957,7 +1061,7 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy *core.Distri
 // by mode: Independent keeps all; SP keeps tracks in its owned cells;
 // BALB keeps tracks whose cell it owns under the latency-priority masks;
 // CentralOnly never spawns between key frames (no distributed stage).
-func (cs *cameraState) keepNewTrack(centre geom.Point, policy *core.DistributedPolicy, opts Options) bool {
+func (cs *cameraState) keepNewTrack(centre geom.Point, policy core.Policy, opts Options) bool {
 	switch opts.Mode {
 	case Independent:
 		return true
@@ -978,7 +1082,7 @@ func (cs *cameraState) keepNewTrack(centre geom.Point, policy *core.DistributedP
 // health tracker — the highest-priority live camera still covering it
 // takes over, without any communication, because every camera evaluates
 // the same masks and the same shared dead set.
-func (cs *cameraState) takeoverCheck(policy *core.DistributedPolicy, out *camFrame) {
+func (cs *cameraState) takeoverCheck(policy core.Policy, out *camFrame) {
 	alive := cs.shadows[:0]
 	for _, sh := range cs.shadows {
 		cell, inside := cs.grid.CellIndex(sh.box.Center())

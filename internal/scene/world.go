@@ -454,3 +454,36 @@ func (t *Trace) ObjectCounts(sampleEvery int) [][]int {
 	}
 	return out
 }
+
+// CoObservation returns the pairwise co-observation counts of the
+// trace: counts[i][j] is the number of (frame, object) pairs observed
+// by both camera i and camera j in the same frame. The matrix is
+// symmetric with a zero diagonal. It is the ground-truth input to the
+// fleet's overlap graph (shard.FromCoObservation): two cameras that
+// never co-observe an object never need to share a scheduling round.
+func (t *Trace) CoObservation() [][]int {
+	n := len(t.Cameras)
+	counts := make([][]int, n)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	for fi := range t.Frames {
+		f := &t.Frames[fi]
+		// seen[id] lists the cameras observing object id this frame.
+		seen := make(map[int][]int)
+		for ci := range f.PerCamera {
+			for _, o := range f.PerCamera[ci] {
+				seen[o.ObjectID] = append(seen[o.ObjectID], ci)
+			}
+		}
+		for _, cams := range seen {
+			for a := 0; a < len(cams); a++ {
+				for b := a + 1; b < len(cams); b++ {
+					counts[cams[a]][cams[b]]++
+					counts[cams[b]][cams[a]]++
+				}
+			}
+		}
+	}
+	return counts
+}

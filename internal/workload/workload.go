@@ -14,6 +14,8 @@ package workload
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"mvs/internal/geom"
 	"mvs/internal/profile"
@@ -224,8 +226,111 @@ func S4(seed int64) *Scenario {
 	}
 }
 
-// ByName returns the named scenario (case-sensitive: S1, S2, S3, or the
-// extension scale scenario S4).
+// Corridor generalizes S4 to n cameras: a straight boulevard of
+// 32 m camera spacing, cameras alternating sides in an overlapping
+// chain, device classes cycling Xavier/TX2/Nano. Its coverage graph is
+// the nearly block-diagonal shape sharding exploits — each camera
+// overlaps only a few neighbours — so it is the canonical input for
+// the 64-camera sharded-vs-global comparisons (docs/SCALING.md §3).
+// n must be at least 2.
+func Corridor(n int, seed int64) (*Scenario, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: corridor needs at least 2 cameras, got %d", n)
+	}
+	length := float64(n)*32 + 16
+	east := scene.MustPath(geom.Point{X: -length / 2, Y: 4}, geom.Point{X: length / 2, Y: 4})
+	west := scene.MustPath(geom.Point{X: length / 2, Y: -4}, geom.Point{X: -length / 2, Y: -4})
+
+	var cameras []*scene.Camera
+	var devices []profile.DeviceClass
+	classes := []profile.DeviceClass{
+		profile.JetsonXavier, profile.JetsonTX2, profile.JetsonNano,
+	}
+	for i := 0; i < n; i++ {
+		x := -length/2 + 20 + float64(i)*32
+		if i%2 == 0 {
+			cameras = append(cameras, cam(fmt.Sprintf("c%d-n", i), geom.Point{X: x, Y: 16}, -0.35))
+		} else {
+			cameras = append(cameras, cam(fmt.Sprintf("c%d-s", i), geom.Point{X: x, Y: -16}, 0.35))
+		}
+		devices = append(devices, classes[i%len(classes)])
+	}
+	world := &scene.World{
+		Routes: []scene.Route{
+			{Path: east, Speed: 9, Arrivals: scene.Poisson{RatePerSec: 0.5}},
+			{Path: west, Speed: 9, Arrivals: scene.Poisson{RatePerSec: 0.5}},
+		},
+		Cameras: cameras,
+		FPS:     10,
+		Seed:    seed,
+	}
+	return &Scenario{
+		Name:        fmt.Sprintf("C%d", n),
+		Description: fmt.Sprintf("scale corridor: %.0f m boulevard, %d cameras in an overlapping chain", length, n),
+		World:       world,
+		Devices:     devices,
+	}, nil
+}
+
+// Islands builds k disjoint corridor deployments of per cameras each,
+// offset 500 m apart so no camera pair across islands can ever
+// co-observe an object and no route crosses islands. The coverage
+// graph is exactly block-diagonal, which makes Islands the reference
+// scenario for the sharded-equals-global determinism tests: a shard
+// map with one shard per island has zero cross-shard traffic by
+// construction. Camera indices are island-major (island 0's cameras
+// first), matching shard.Partition's component order.
+func Islands(k, per int, seed int64) (*Scenario, error) {
+	if k < 1 || per < 2 {
+		return nil, fmt.Errorf("workload: islands needs k >= 1 and per >= 2, got k=%d per=%d", k, per)
+	}
+	length := float64(per)*32 + 16
+	var cameras []*scene.Camera
+	var devices []profile.DeviceClass
+	var routes []scene.Route
+	classes := []profile.DeviceClass{
+		profile.JetsonXavier, profile.JetsonTX2, profile.JetsonNano,
+	}
+	for is := 0; is < k; is++ {
+		y := float64(is) * 500
+		routes = append(routes,
+			scene.Route{
+				Path:  scene.MustPath(geom.Point{X: -length / 2, Y: y + 4}, geom.Point{X: length / 2, Y: y + 4}),
+				Speed: 9, Arrivals: scene.Poisson{RatePerSec: 0.5},
+			},
+			scene.Route{
+				Path:  scene.MustPath(geom.Point{X: length / 2, Y: y - 4}, geom.Point{X: -length / 2, Y: y - 4}),
+				Speed: 9, Arrivals: scene.Poisson{RatePerSec: 0.5},
+			},
+		)
+		for i := 0; i < per; i++ {
+			x := -length/2 + 20 + float64(i)*32
+			idx := is*per + i
+			if i%2 == 0 {
+				cameras = append(cameras, cam(fmt.Sprintf("i%d-c%d-n", is, i), geom.Point{X: x, Y: y + 16}, -0.35))
+			} else {
+				cameras = append(cameras, cam(fmt.Sprintf("i%d-c%d-s", is, i), geom.Point{X: x, Y: y - 16}, 0.35))
+			}
+			devices = append(devices, classes[idx%len(classes)])
+		}
+	}
+	world := &scene.World{
+		Routes:  routes,
+		Cameras: cameras,
+		FPS:     10,
+		Seed:    seed,
+	}
+	return &Scenario{
+		Name:        fmt.Sprintf("I%dx%d", k, per),
+		Description: fmt.Sprintf("%d disjoint corridors of %d cameras each (block-diagonal coverage)", k, per),
+		World:       world,
+		Devices:     devices,
+	}, nil
+}
+
+// ByName returns the named scenario (case-sensitive): S1, S2, S3, the
+// extension scale scenario S4, or "C<n>" for an n-camera Corridor
+// (e.g. C64).
 func ByName(name string, seed int64) (*Scenario, error) {
 	switch name {
 	case "S1":
@@ -236,9 +341,13 @@ func ByName(name string, seed int64) (*Scenario, error) {
 		return S3(seed), nil
 	case "S4":
 		return S4(seed), nil
-	default:
-		return nil, fmt.Errorf("workload: unknown scenario %q (want S1, S2, S3, or S4)", name)
 	}
+	if strings.HasPrefix(name, "C") {
+		if n, err := strconv.Atoi(name[1:]); err == nil {
+			return Corridor(n, seed)
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q (want S1, S2, S3, S4, or C<n>)", name)
 }
 
 // All returns the three scenarios with the given seed.
