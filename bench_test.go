@@ -138,7 +138,7 @@ func BenchmarkFig12Recall(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := pipeline.Run(s1.Test, s1.Scenario.Profiles(), s1.Model,
-			pipeline.Options{Mode: pipeline.BALB, Seed: 42})
+			pipeline.NewConfig(pipeline.BALB, 42))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,12 +158,12 @@ func BenchmarkFig13Latency(b *testing.B) {
 			var speedup float64
 			for i := 0; i < b.N; i++ {
 				full, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model,
-					pipeline.Options{Mode: pipeline.Full, Seed: 42})
+					pipeline.NewConfig(pipeline.Full, 42))
 				if err != nil {
 					b.Fatal(err)
 				}
 				balb, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model,
-					pipeline.Options{Mode: pipeline.BALB, Seed: 42})
+					pipeline.NewConfig(pipeline.BALB, 42))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -183,12 +183,12 @@ func BenchmarkFig13VsStaticPartition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sp, err := pipeline.Run(s1.Test, s1.Scenario.Profiles(), s1.Model,
-			pipeline.Options{Mode: pipeline.StaticPartition, Seed: 42})
+			pipeline.NewConfig(pipeline.StaticPartition, 42))
 		if err != nil {
 			b.Fatal(err)
 		}
 		balb, err := pipeline.Run(s1.Test, s1.Scenario.Profiles(), s1.Model,
-			pipeline.Options{Mode: pipeline.BALB, Seed: 42})
+			pipeline.NewConfig(pipeline.BALB, 42))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -440,12 +440,12 @@ func BenchmarkScaleS4EightCameras(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		full, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model,
-			pipeline.Options{Mode: pipeline.Full, Seed: 42})
+			pipeline.NewConfig(pipeline.Full, 42))
 		if err != nil {
 			b.Fatal(err)
 		}
 		balb, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model,
-			pipeline.Options{Mode: pipeline.BALB, Seed: 42})
+			pipeline.NewConfig(pipeline.BALB, 42))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -494,7 +494,7 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/workers-%d", sc.name, w), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := pipeline.Run(sc.s.Test, sc.s.Scenario.Profiles(), sc.s.Model,
-						pipeline.Options{Mode: pipeline.BALB, Seed: 42, Workers: w}); err != nil {
+						pipeline.Config{Sched: pipeline.Sched{Mode: pipeline.BALB, Workers: w}, Sim: pipeline.Sim{Seed: 42}}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -739,7 +739,7 @@ func BenchmarkShardedCentralRound(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rep, err := pipeline.Run(fx.test, fx.profiles, fx.model,
-					pipeline.Options{Mode: pipeline.BALB, Seed: 42, Shards: m})
+					pipeline.Config{Sched: pipeline.Sched{Mode: pipeline.BALB, Shards: m}, Sim: pipeline.Sim{Seed: 42}})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -750,6 +750,82 @@ func BenchmarkShardedCentralRound(b *testing.B) {
 			b.ReportMetric(recall, "recall")
 		})
 	}
+}
+
+// engineFixture caches the 16-camera corridor run shared by the
+// streaming-engine benches: test trace, trained model, and profiles.
+type engineFixture struct {
+	test     *scene.Trace
+	model    *assoc.Model
+	profiles []*profile.Profile
+	err      error
+}
+
+var (
+	engineFixOnce sync.Once
+	engineFix     engineFixture
+)
+
+func benchEngineFixture(b *testing.B) *engineFixture {
+	b.Helper()
+	engineFixOnce.Do(func() {
+		engineFix.err = func() error {
+			s, err := workload.Corridor(16, 9)
+			if err != nil {
+				return err
+			}
+			trace, err := s.World.Run(300)
+			if err != nil {
+				return err
+			}
+			train, test := trace.SplitTrain()
+			model, err := assoc.Train(train, assoc.Factories{})
+			if err != nil {
+				return err
+			}
+			engineFix.test, engineFix.model, engineFix.profiles = test, model, s.Profiles()
+			return nil
+		}()
+	})
+	if engineFix.err != nil {
+		b.Fatal(engineFix.err)
+	}
+	return &engineFix
+}
+
+// BenchmarkEngineStream prices the streaming engine against the batch
+// wrapper on a 16-camera corridor — the API-redesign acceptance point:
+// the per-frame cost of NewEngine+Step must stay within ~10% of
+// pipeline.Run. Both sub-benches produce bit-identical modeled reports
+// (TestEngineMatchesRun); only the ns/frame metric should differ, and
+// barely (docs/STREAMING.md records the measured numbers).
+func BenchmarkEngineStream(b *testing.B) {
+	fx := benchEngineFixture(b)
+	cfg := pipeline.NewConfig(pipeline.BALB, 42)
+	frames := float64(len(fx.test.Frames))
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.Run(fx.test, fx.profiles, fx.model, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*frames), "ns/frame")
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := pipeline.NewEngine(pipeline.NewTraceSource(fx.test), fx.profiles, fx.model, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Report(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*frames), "ns/frame")
+	})
 }
 
 // BenchmarkCentralStageScaling measures how the central stage scales

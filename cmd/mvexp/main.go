@@ -6,6 +6,7 @@
 //	mvexp [-exp all|fig2|table1|fig10|fig11|fig12|fig13|fig14|table2]
 //	      [-scenario S1|S2|S3|all] [-frames N] [-seed N] [-workers N]
 //	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
+//	      [-cam-faults seed=7,rate=0.1] [-health-k K] [-record rundir]
 //
 // Beyond the paper's figures, -exp sweep, -exp occlusion, -exp chaos,
 // and -exp shard run the extrapolated studies (arrival-rate
@@ -22,6 +23,13 @@
 //
 // Output is plain text, one table per experiment, with the paper's
 // qualitative expectations noted next to each.
+//
+// -cam-faults applies a shared camera-outage schedule to the mode
+// comparison (figs 12/13, table2), so every algorithm is scored under
+// the identical incident; -health-k arms their failover. -record <dir>
+// captures the mode runs' snapshots and round decisions into a run
+// store for audit (capture-only: mvreplay needs an mvsim recording;
+// see docs/STREAMING.md). Both require a single -scenario.
 package main
 
 import (
@@ -33,22 +41,24 @@ import (
 	"strconv"
 	"strings"
 
+	"mvs/internal/cliconf"
 	"mvs/internal/experiments"
 	"mvs/internal/metrics"
 	"mvs/internal/pipeline"
+	"mvs/internal/scene"
+	"mvs/internal/store"
+	"mvs/internal/workload"
 )
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos, shard")
-		scenario    = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
-		frames      = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
-		seed        = flag.Int64("seed", 42, "simulation seed")
-		workers     = flag.Int("workers", 0, "experiment/camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
-		csvDir      = flag.String("csv", "", "also write machine-readable CSVs into this directory")
-		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
-		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
+		exp      = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos, shard")
+		scenario = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
+		frames   = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	)
+	shared := cliconf.Register(flag.CommandLine, "experiment/camera")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -58,16 +68,37 @@ func main() {
 		}
 		csvOut = *csvDir
 	}
-	export, err := metrics.OpenExport(*metricsAddr, *metricsLog)
+	export, err := shared.OpenExport()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvexp:", err)
 		os.Exit(1)
 	}
-	opts := experiments.Options{Workers: *workers}
-	if *metricsAddr != "" || *metricsLog != "" {
+	opts := experiments.Options{
+		Workers: shared.Workers, CamFaults: shared.CamFaults, HealthK: shared.HealthK,
+	}
+	if shared.ExportEnabled() {
 		opts.Sink = export.Sink
 	}
+	rec, err := openRecorder(shared, *exp, *scenario, *seed, *frames)
+	if err != nil {
+		_ = export.Close()
+		fmt.Fprintln(os.Stderr, "mvexp:", err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		if opts.Sink != nil {
+			opts.Sink = metrics.Multi(opts.Sink, rec)
+		} else {
+			opts.Sink = rec
+		}
+		opts.Rounds = rec
+	}
 	runErr := run(*exp, *scenario, *frames, *seed, opts)
+	if rec != nil {
+		if err := rec.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -75,6 +106,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvexp:", runErr)
 		os.Exit(1)
 	}
+}
+
+// openRecorder opens the -record capture store: experiment snapshots
+// and round decisions under a manifest naming the incident, no frame
+// log (the simulator regenerates frames from (scenario, seed)).
+func openRecorder(shared *cliconf.Shared, exp, scenario string, seed int64, frames int) (*store.Writer, error) {
+	if shared.Record == "" {
+		return nil, nil
+	}
+	if scenario == "all" {
+		return nil, fmt.Errorf("-record needs a single -scenario (the manifest pins one camera roster)")
+	}
+	s, err := workload.ByName(scenario, seed)
+	if err != nil {
+		return nil, err
+	}
+	roster, err := scene.MarshalCameras(s.World.Cameras)
+	if err != nil {
+		return nil, err
+	}
+	return shared.OpenRecorder(store.Manifest{
+		Label: "mvexp/" + exp, Scenario: scenario, Seed: seed,
+		TraceFrames: frames, Mode: "modes", Horizon: 10, Cameras: roster,
+	})
 }
 
 func scenarioNames(scenario string) ([]string, error) {

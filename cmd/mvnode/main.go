@@ -26,6 +26,11 @@
 // hello handshake, and shard-scoped assignments carry their camera
 // roster, from which the node builds a scoped ownership policy
 // (docs/SCALING.md §3, docs/ARCHITECTURE.md).
+//
+// -record <dir> captures the node's per-frame snapshots into a run
+// store labelled with its camera index (capture-only; see
+// docs/STREAMING.md). -workers is accepted for flag-matrix parity with
+// the other binaries — the node's frame loop is inherently sequential.
 package main
 
 import (
@@ -35,34 +40,34 @@ import (
 	"os"
 	"time"
 
-	"mvs/internal/camfault"
+	"mvs/internal/cliconf"
 	"mvs/internal/cluster"
 	"mvs/internal/faults"
 	"mvs/internal/metrics"
 	"mvs/internal/node"
+	"mvs/internal/scene"
+	"mvs/internal/store"
 	"mvs/internal/workload"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", "localhost:7001", "scheduler address")
-		camera      = flag.Int("camera", 0, "this node's camera index")
-		scenario    = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
-		seed        = flag.Int64("seed", 42, "shared simulation seed")
-		frames      = flag.Int("frames", 1200, "trace length (first half is the model's training split)")
-		horizon     = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
-		rate        = flag.Duration("rate", 0, "real-time pacing per frame (0 = as fast as possible)")
-		deadline    = flag.Duration("deadline", 30*time.Second, "how long a key frame waits for its assignment before degrading")
-		retries     = flag.Int("retries", 4, "connection attempts per operation before degrading")
-		hbEvery     = flag.Int("heartbeat-every", 0, "send a liveness ping every N regular frames (0 = off; pair with mvscheduler -lease)")
-		faultsSpec  = flag.String("faults", "", "inject connection faults, e.g. seed=7,drop=0.05,cut=40 (see docs/FAULTS.md)")
-		camFaults   = flag.String("cam-faults", "", "inject camera outages, e.g. seed=7,rate=0.1,mean=20 (see docs/FAULTS.md)")
-		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8081)")
-		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
+		addr       = flag.String("addr", "localhost:7001", "scheduler address")
+		camera     = flag.Int("camera", 0, "this node's camera index")
+		scenario   = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
+		seed       = flag.Int64("seed", 42, "shared simulation seed")
+		frames     = flag.Int("frames", 1200, "trace length (first half is the model's training split)")
+		horizon    = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
+		rate       = flag.Duration("rate", 0, "real-time pacing per frame (0 = as fast as possible)")
+		deadline   = flag.Duration("deadline", 30*time.Second, "how long a key frame waits for its assignment before degrading")
+		retries    = flag.Int("retries", 4, "connection attempts per operation before degrading")
+		hbEvery    = flag.Int("heartbeat-every", 0, "send a liveness ping every N regular frames (0 = off; pair with mvscheduler -lease)")
+		faultsSpec = flag.String("faults", "", "inject connection faults, e.g. seed=7,drop=0.05,cut=40 (see docs/FAULTS.md)")
 	)
+	shared := cliconf.Register(flag.CommandLine, "(matrix parity; unused)")
 	flag.Parse()
 
-	export, err := metrics.OpenExport(*metricsAddr, *metricsLog)
+	export, err := shared.OpenExport()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvnode:", err)
 		os.Exit(1)
@@ -71,7 +76,7 @@ func main() {
 		addr: *addr, camera: *camera, scenario: *scenario, seed: *seed,
 		frames: *frames, horizon: *horizon, rate: *rate,
 		deadline: *deadline, retries: *retries, hbEvery: *hbEvery,
-		faultsSpec: *faultsSpec, camFaults: *camFaults, export: export,
+		faultsSpec: *faultsSpec, shared: shared, export: export,
 	})
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
@@ -94,7 +99,7 @@ type runConfig struct {
 	retries    int
 	hbEvery    int
 	faultsSpec string
-	camFaults  string
+	shared     *cliconf.Shared
 	export     *metrics.Export
 }
 
@@ -116,16 +121,11 @@ func run(cfg runConfig) error {
 	// scheduler's association model.
 	_, test := trace.SplitTrain()
 
-	var camModel *camfault.Model
-	if cfg.camFaults != "" {
-		ccfg, err := camfault.ParseSpec(cfg.camFaults)
-		if err != nil {
-			return err
-		}
-		camModel, err = camfault.Generate(ccfg, len(s.World.Cameras), len(test.Frames))
-		if err != nil {
-			return err
-		}
+	camModel, err := cfg.shared.FaultModel(len(s.World.Cameras), len(test.Frames))
+	if err != nil {
+		return err
+	}
+	if camModel != nil {
 		down := 0
 		for fi := range test.Frames {
 			if camModel.Down(cfg.camera, fi) {
@@ -134,6 +134,28 @@ func run(cfg runConfig) error {
 		}
 		log.Printf("camera-fault injection armed: %d/%d frames down for camera %d",
 			down, len(test.Frames), cfg.camera)
+	}
+
+	// -record: capture this node's per-frame snapshots durably. The node
+	// never records frames — the world regenerates from (scenario, seed).
+	sink := cfg.export.Sink
+	var rec *store.Writer
+	if cfg.shared.Record != "" {
+		roster, err := scene.MarshalCameras(s.World.Cameras)
+		if err != nil {
+			return err
+		}
+		rec, err = cfg.shared.OpenRecorder(store.Manifest{
+			Label: fmt.Sprintf("mvnode/cam%d", cfg.camera), Scenario: cfg.scenario,
+			Seed: cfg.seed, TraceFrames: cfg.frames, Mode: "node",
+			Horizon: cfg.horizon, Cameras: roster,
+		})
+		if err != nil {
+			return err
+		}
+		defer rec.Close() // idempotent; the success path closes explicitly
+		sink = metrics.Multi(sink, rec)
+		log.Printf("recording node snapshots into %s", cfg.shared.Record)
 	}
 
 	var dial cluster.DialFunc
@@ -165,7 +187,7 @@ func run(cfg runConfig) error {
 		Profile:    s.Profiles()[cfg.camera],
 		NumCameras: len(s.World.Cameras),
 		Seed:       cfg.seed,
-		Sink:       cfg.export.Sink,
+		Sink:       sink,
 	}
 	degradedFromStart := false
 	if err := client.Connect(); err != nil {
@@ -263,5 +285,8 @@ func run(cfg runConfig) error {
 	upKbps := float64(client.BytesSent()) * 8 / 1000 / secs
 	fmt.Printf("  network:           %d B up, %d B down (%.1f kbit/s uplink)\n",
 		client.BytesSent(), client.BytesReceived(), upKbps)
+	if rec != nil {
+		return rec.Close()
+	}
 	return nil
 }

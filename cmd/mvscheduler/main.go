@@ -10,6 +10,7 @@
 //
 //	mvscheduler [-listen :7001] [-scenario S2] [-seed 42] [-frames 1200]
 //	            [-workers N] [-metrics-addr :8080] [-metrics-jsonl rounds.jsonl]
+//	            [-record rundir]
 //
 // -workers bounds the goroutines used for association-model training
 // and for each scheduling round's per-pair association fan-out
@@ -33,6 +34,12 @@
 // e.g. "0,1,2|3,4,5". Nodes need no flag — shard-scoped assignments
 // carry their roster on the wire. docs/ARCHITECTURE.md has the full
 // picture.
+//
+// -record <dir> captures every scheduling round's snapshot and
+// decision record into a run store for post-incident audit
+// (capture-only — camera outages are node-side, so -cam-faults here
+// only stamps the deployment's fault spec into the manifest; pass the
+// same spec to the nodes to arm it). See docs/STREAMING.md.
 package main
 
 import (
@@ -46,11 +53,14 @@ import (
 	"time"
 
 	"mvs/internal/assoc"
+	"mvs/internal/cliconf"
 	"mvs/internal/cluster"
 	"mvs/internal/faults"
 	"mvs/internal/geom"
 	"mvs/internal/metrics"
+	"mvs/internal/scene"
 	"mvs/internal/shard"
+	"mvs/internal/store"
 	"mvs/internal/workload"
 )
 
@@ -60,18 +70,16 @@ func main() {
 		scenario     = flag.String("scenario", "S2", "scenario: S1, S2, or S3")
 		seed         = flag.Int64("seed", 42, "shared simulation seed")
 		frames       = flag.Int("frames", 1200, "trace length used for model training")
-		workers      = flag.Int("workers", 0, "training/association worker bound (0 = GOMAXPROCS, 1 = sequential)")
 		roundTimeout = flag.Duration("round-timeout", 30*time.Second, "schedule an incomplete round after this long (0 = wait forever)")
 		lease        = flag.Duration("lease", 0, "treat a camera silent for this long as dead for round barriers (0 = off)")
 		faultsSpec   = flag.String("faults", "", "inject connection faults on accepted connections, e.g. seed=7,reset=0.02 (see docs/FAULTS.md)")
 		shardMax     = flag.Int("shard-max", 0, "partition the fleet into overlap groups of at most N cameras and run one round loop per shard (0 = one global round)")
 		shardSpec    = flag.String("shards", "", "explicit shard partition, e.g. 0,1,2|3,4,5 (overrides -shard-max)")
-		metricsAddr  = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
-		metricsLog   = flag.String("metrics-jsonl", "", "append per-round metrics snapshots to this JSONL file")
 	)
+	shared := cliconf.Register(flag.CommandLine, "training/association")
 	flag.Parse()
 
-	if err := run(*listen, *scenario, *seed, *frames, *workers, *roundTimeout, *lease, *faultsSpec, *metricsAddr, *metricsLog, *shardMax, *shardSpec); err != nil {
+	if err := run(*listen, *scenario, *seed, *frames, *roundTimeout, *lease, *faultsSpec, *shardMax, *shardSpec, shared); err != nil {
 		fmt.Fprintln(os.Stderr, "mvscheduler:", err)
 		os.Exit(1)
 	}
@@ -110,7 +118,7 @@ func shardMap(spec string, maxShard int, s *workload.Scenario, model *assoc.Mode
 	return shard.Partition(g, maxShard)
 }
 
-func run(listen, scenario string, seed int64, frames, workers int, roundTimeout, lease time.Duration, faultsSpec, metricsAddr, metricsLog string, shardMax int, shardSpec string) error {
+func run(listen, scenario string, seed int64, frames int, roundTimeout, lease time.Duration, faultsSpec string, shardMax int, shardSpec string, shared *cliconf.Shared) error {
 	s, err := workload.ByName(scenario, seed)
 	if err != nil {
 		return err
@@ -121,24 +129,58 @@ func run(listen, scenario string, seed int64, frames, workers int, roundTimeout,
 		return err
 	}
 	train, _ := trace.SplitTrain()
-	model, err := assoc.Train(train, assoc.Factories{Workers: workers})
+	model, err := assoc.Train(train, assoc.Factories{Workers: shared.Workers})
 	if err != nil {
 		return err
 	}
 
-	export, err := metrics.OpenExport(metricsAddr, metricsLog)
+	export, err := shared.OpenExport()
 	if err != nil {
 		return err
 	}
+	var rec *store.Writer
+	if shared.Record != "" {
+		roster, err := scene.MarshalCameras(s.World.Cameras)
+		if err != nil {
+			_ = export.Close()
+			return err
+		}
+		rec, err = shared.OpenRecorder(store.Manifest{
+			Label: "mvscheduler", Scenario: scenario, Seed: seed,
+			TraceFrames: frames, Mode: "cluster", Cameras: roster,
+		})
+		if err != nil {
+			_ = export.Close()
+			return err
+		}
+		log.Printf("recording scheduling rounds into %s", shared.Record)
+	}
+	sink := export.Sink
+	if rec != nil {
+		sink = metrics.Multi(sink, rec)
+	}
 	opts := []cluster.Option{
-		cluster.WithLogger(log.Default()), cluster.WithSink(export.Sink),
-		cluster.WithWorkers(workers),
+		cluster.WithLogger(log.Default()), cluster.WithSink(sink),
+		cluster.WithWorkers(shared.Workers),
 		cluster.WithRoundTimeout(roundTimeout), cluster.WithLease(lease),
+	}
+	if rec != nil {
+		opts = append(opts, cluster.WithRounds(rec))
+	}
+	closeAll := func(serveErr error) error {
+		if rec != nil {
+			if err := rec.Close(); err != nil && serveErr == nil {
+				serveErr = err
+			}
+		}
+		if err := export.Close(); err != nil && serveErr == nil {
+			serveErr = err
+		}
+		return serveErr
 	}
 	m, err := shardMap(shardSpec, shardMax, s, model)
 	if err != nil {
-		_ = export.Close()
-		return err
+		return closeAll(err)
 	}
 	var sched service
 	if m != nil {
@@ -148,8 +190,7 @@ func run(listen, scenario string, seed int64, frames, workers int, roundTimeout,
 		sched, err = cluster.NewScheduler(model, s.Profiles(), 0, opts...)
 	}
 	if err != nil {
-		_ = export.Close()
-		return err
+		return closeAll(err)
 	}
 	if export.Addr != "" {
 		log.Printf("serving live metrics at http://%s/metricsz", export.Addr)
@@ -157,15 +198,13 @@ func run(listen, scenario string, seed int64, frames, workers int, roundTimeout,
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
-		_ = export.Close()
-		return err
+		return closeAll(err)
 	}
 	if faultsSpec != "" {
 		fcfg, err := faults.ParseSpec(faultsSpec)
 		if err != nil {
-			_ = export.Close()
 			ln.Close()
-			return err
+			return closeAll(err)
 		}
 		ln = faults.New(fcfg).Listener(ln)
 		log.Printf("fault injection armed: %s", faultsSpec)
@@ -180,9 +219,5 @@ func run(listen, scenario string, seed int64, frames, workers int, roundTimeout,
 
 	log.Printf("central scheduler for %s (%d cameras) listening on %s",
 		scenario, len(s.Devices), ln.Addr())
-	serveErr := sched.Serve(ln)
-	if err := export.Close(); err != nil && serveErr == nil {
-		serveErr = err
-	}
-	return serveErr
+	return closeAll(sched.Serve(ln))
 }

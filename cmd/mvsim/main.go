@@ -7,6 +7,7 @@
 //	      [-frames N] [-horizon T] [-seed N] [-workers N]
 //	      [-metrics-addr :8080] [-metrics-jsonl run.jsonl]
 //	      [-cam-faults seed=7,rate=0.1] [-health-k K]
+//	      [-record rundir]
 //
 // -workers bounds the per-camera parallelism inside the pipeline and
 // the central stage's per-pair association fan-out at key frames
@@ -18,6 +19,12 @@
 // camera-outage schedule (syntax in docs/FAULTS.md) and -health-k
 // tunes the silence threshold for declaring a camera dead (0 disables
 // failover — the ablation).
+//
+// -record <dir> streams the run into a durable run store: the frame
+// log, the per-frame snapshots, the scheduling-round decisions, and a
+// manifest that pins scenario, seed, mode, and fault schedule. A
+// recorded run replays bit-identically with mvreplay — including under
+// a different scheduler (docs/STREAMING.md).
 package main
 
 import (
@@ -25,44 +32,25 @@ import (
 	"fmt"
 	"os"
 
-	"mvs/internal/camfault"
+	"mvs/internal/cliconf"
 	"mvs/internal/experiments"
 	"mvs/internal/metrics"
 	"mvs/internal/pipeline"
+	"mvs/internal/scene"
+	"mvs/internal/store"
 	"mvs/internal/workload"
 )
 
-func parseMode(s string) (pipeline.Mode, error) {
-	switch s {
-	case "full":
-		return pipeline.Full, nil
-	case "ind":
-		return pipeline.Independent, nil
-	case "cen":
-		return pipeline.CentralOnly, nil
-	case "balb":
-		return pipeline.BALB, nil
-	case "sp":
-		return pipeline.StaticPartition, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (want full, ind, cen, balb, sp)", s)
-	}
-}
-
 func main() {
 	var (
-		scenario    = flag.String("scenario", "S1", "scenario: S1, S2, or S3")
-		modeName    = flag.String("mode", "balb", "scheduler: full, ind, cen, balb, sp")
-		frames      = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
-		horizon     = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
-		seed        = flag.Int64("seed", 42, "simulation seed")
-		workers     = flag.Int("workers", 0, "per-camera worker bound (0 = GOMAXPROCS, 1 = sequential)")
-		saveTrace   = flag.String("save-trace", "", "write the generated trace as JSON and exit")
-		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
-		metricsLog  = flag.String("metrics-jsonl", "", "append per-frame metrics snapshots to this JSONL file")
-		camFaults   = flag.String("cam-faults", "", "camera-fault schedule, e.g. seed=7,rate=0.1,mean=20,boot=2,down=1:100-200 (see docs/FAULTS.md)")
-		healthK     = flag.Int("health-k", 3, "frames of silence before a camera is declared dead (0 disables failover)")
+		scenario  = flag.String("scenario", "S1", "scenario: S1, S2, or S3")
+		modeName  = flag.String("mode", "balb", "scheduler: full, ind, cen, balb, sp")
+		frames    = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
+		horizon   = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		saveTrace = flag.String("save-trace", "", "write the generated trace as JSON and exit")
 	)
+	shared := cliconf.Register(flag.CommandLine, "per-camera")
 	flag.Parse()
 
 	if *saveTrace != "" {
@@ -72,16 +60,12 @@ func main() {
 		}
 		return
 	}
-	export, err := metrics.OpenExport(*metricsAddr, *metricsLog)
+	export, err := shared.OpenExport()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvsim:", err)
 		os.Exit(1)
 	}
-	var sink metrics.Sink
-	if *metricsAddr != "" || *metricsLog != "" {
-		sink = export.Sink
-	}
-	runErr := run(*scenario, *modeName, *frames, *horizon, *seed, *workers, sink, *camFaults, *healthK)
+	runErr := run(*scenario, *modeName, *frames, *horizon, *seed, shared, export)
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -115,8 +99,8 @@ func dumpTrace(scenario string, frames int, seed int64, path string) error {
 	return f.Close()
 }
 
-func run(scenario, modeName string, frames, horizon int, seed int64, workers int, sink metrics.Sink, camFaults string, healthK int) error {
-	mode, err := parseMode(modeName)
+func run(scenario, modeName string, frames, horizon int, seed int64, shared *cliconf.Shared, export *metrics.Export) error {
+	mode, err := cliconf.ParseMode(modeName)
 	if err != nil {
 		return err
 	}
@@ -125,26 +109,67 @@ func run(scenario, modeName string, frames, horizon int, seed int64, workers int
 	if err != nil {
 		return err
 	}
-	popts := pipeline.Options{
-		Mode: mode, Horizon: horizon, Seed: seed, Workers: workers, Sink: sink,
+	cfg := pipeline.NewConfig(mode, seed)
+	cfg.Sched.Horizon = horizon
+	cfg.Sched.Workers = shared.Workers
+	if shared.ExportEnabled() {
+		cfg.Obs.Sink = export.Sink
 	}
-	if camFaults != "" {
-		cfg, err := camfault.ParseSpec(camFaults)
-		if err != nil {
-			return err
-		}
-		model, err := camfault.Generate(cfg, len(setup.Test.Cameras), len(setup.Test.Frames))
-		if err != nil {
-			return err
-		}
-		popts.CamFaults = model
-		popts.HealthK = healthK
-		fmt.Fprintf(os.Stderr, "injecting camera faults: %d/%d camera-frames down, health-k=%d\n",
-			model.DownFrames(), len(setup.Test.Cameras)*len(setup.Test.Frames), healthK)
-	}
-	rep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, popts)
+
+	faults, err := shared.FaultModel(len(setup.Test.Cameras), len(setup.Test.Frames))
 	if err != nil {
 		return err
+	}
+	if faults != nil {
+		cfg.Fault.CamFaults = faults
+		cfg.Fault.HealthK = shared.HealthK
+		fmt.Fprintf(os.Stderr, "injecting camera faults: %d/%d camera-frames down, health-k=%d\n",
+			faults.DownFrames(), len(setup.Test.Cameras)*len(setup.Test.Frames), shared.HealthK)
+	}
+
+	// -record: tee the frame stream into a durable run store and persist
+	// snapshots + round decisions next to it, under a manifest that lets
+	// mvreplay regenerate the model and fault schedule.
+	var src pipeline.Source = pipeline.NewTraceSource(setup.Test)
+	var rec *store.Writer
+	if shared.Record != "" {
+		roster, err := scene.MarshalCameras(setup.Test.Cameras)
+		if err != nil {
+			return err
+		}
+		rec, err = shared.OpenRecorder(store.Manifest{
+			Scenario: scenario, Seed: seed, TraceFrames: frames,
+			Mode: mode.String(), Horizon: horizon, Cameras: roster,
+		})
+		if err != nil {
+			return err
+		}
+		src = rec.Tee(src)
+		cfg.Obs.Rounds = rec
+		if cfg.Obs.Sink != nil {
+			cfg.Obs.Sink = metrics.Multi(cfg.Obs.Sink, rec)
+		} else {
+			cfg.Obs.Sink = rec
+		}
+	}
+
+	eng, err := pipeline.NewEngine(src, setup.Scenario.Profiles(), setup.Model, cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.Run(); err != nil {
+		return err
+	}
+	rep, err := eng.Report()
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d frames into %s (replay with: mvreplay -run %s)\n",
+			rep.Frames, shared.Record, shared.Record)
 	}
 
 	fmt.Printf("scenario:          %s (%s)\n", setup.Scenario.Name, setup.Scenario.Description)
@@ -160,15 +185,16 @@ func run(scenario, modeName string, frames, horizon int, seed int64, workers int
 	fmt.Printf("framework overhead/frame: central=%v tracking=%v distributed=%v batching=%v\n",
 		rep.CentralPerFrame.Round(10_000), rep.TrackingPerFrame.Round(10_000),
 		rep.DistributedPerFrame.Round(1_000), rep.BatchingPerFrame.Round(1_000))
-	if camFaults != "" {
+	if faults != nil {
 		fmt.Printf("camera faults:     outage=%d frames, reassigned=%d, orphaned=%d (p99 latency %v)\n",
 			rep.OutageFrames, rep.Reassignments, rep.OrphanedObjects, rep.P99Slowest.Round(100_000))
 	}
 
 	if mode != pipeline.Full {
-		fullRep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, pipeline.Options{
-			Mode: pipeline.Full, Horizon: horizon, Seed: seed, Workers: workers,
-		})
+		fullCfg := pipeline.NewConfig(pipeline.Full, seed)
+		fullCfg.Sched.Horizon = horizon
+		fullCfg.Sched.Workers = shared.Workers
+		fullRep, err := pipeline.Run(setup.Test, setup.Scenario.Profiles(), setup.Model, fullCfg)
 		if err != nil {
 			return err
 		}

@@ -57,11 +57,11 @@ func main() {
 	}
 
 	// 4. Run full-frame processing and BALB, compare.
-	full, err := pipeline.Run(test, profiles, model, pipeline.Options{Mode: pipeline.Full, Seed: 7})
+	full, err := pipeline.Run(test, profiles, model, pipeline.NewConfig(pipeline.Full, 7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	balb, err := pipeline.Run(test, profiles, model, pipeline.Options{Mode: pipeline.BALB, Seed: 7})
+	balb, err := pipeline.Run(test, profiles, model, pipeline.NewConfig(pipeline.BALB, 7))
 	if err != nil {
 		log.Fatal(err)
 	}

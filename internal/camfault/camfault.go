@@ -6,7 +6,7 @@
 // Where internal/faults breaks the *network* (connections, dials),
 // camfault breaks the *sensor*: a camera that is down produces no
 // observations and runs no inspection. The pipeline injects a Model via
-// pipeline.Options.CamFaults; cmd/mvnode uses one to stop its frame
+// pipeline.Config.Fault.CamFaults; cmd/mvnode uses one to stop its frame
 // loop during outages. The companion Tracker is the health model both
 // BALB stages consult: a camera silent for K consecutive frames is
 // marked unhealthy, the central stage reschedules over the healthy

@@ -1,0 +1,117 @@
+// Package cliconf holds the flag groups shared by the mv* commands, so
+// every binary exposes the identical -workers / -metrics-addr /
+// -metrics-jsonl / -cam-faults / -health-k / -record matrix instead of
+// four hand-rolled copies (the README flag table is the source of
+// truth). Each command registers the shared group once, parses, and
+// turns the values into the config objects of the layer it drives:
+// metrics.OpenExport for the observability flags, camfault.Generate for
+// the fault flags, store.Create for -record, and ParseMode for the
+// scheduler-mode names.
+package cliconf
+
+import (
+	"flag"
+	"fmt"
+
+	"mvs/internal/camfault"
+	"mvs/internal/metrics"
+	"mvs/internal/pipeline"
+	"mvs/internal/store"
+)
+
+// Shared is the flag matrix common to mvsim, mvexp, mvscheduler, and
+// mvnode (mvreplay registers a subset). Fields are filled by fs.Parse
+// after Register.
+type Shared struct {
+	// Workers bounds each binary's fan-outs (0 = GOMAXPROCS,
+	// 1 = sequential); modelled results are identical for every value
+	// (docs/CONCURRENCY.md, docs/SCALING.md).
+	Workers int
+	// MetricsAddr and MetricsJSONL are the live-export knobs
+	// (docs/OBSERVABILITY.md).
+	MetricsAddr  string
+	MetricsJSONL string
+	// CamFaults is the camera-outage schedule spec (docs/FAULTS.md);
+	// empty disables injection. HealthK is the dead-camera silence
+	// threshold (0 disables failover).
+	CamFaults string
+	HealthK   int
+	// Record is the run-store directory (docs/STREAMING.md); empty
+	// disables recording.
+	Record string
+}
+
+// Register installs the shared matrix on fs. workersHelp tailors the
+// -workers usage line to the binary's fan-outs ("per-camera",
+// "experiment/camera", ...).
+func Register(fs *flag.FlagSet, workersHelp string) *Shared {
+	s := &Shared{}
+	fs.IntVar(&s.Workers, "workers", 0, workersHelp+" worker bound (0 = GOMAXPROCS, 1 = sequential)")
+	fs.StringVar(&s.MetricsAddr, "metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
+	fs.StringVar(&s.MetricsJSONL, "metrics-jsonl", "", "append metrics snapshots to this JSONL file")
+	fs.StringVar(&s.CamFaults, "cam-faults", "", "camera-fault schedule, e.g. seed=7,rate=0.1,mean=20 (see docs/FAULTS.md)")
+	fs.IntVar(&s.HealthK, "health-k", 3, "frames of silence before a camera is declared dead (0 disables failover)")
+	fs.StringVar(&s.Record, "record", "", "record this run into a run-store directory (see docs/STREAMING.md)")
+	return s
+}
+
+// OpenExport builds the metrics export stack from the -metrics-* flags.
+// The export is always non-nil (a zero-config export closes cleanly);
+// ExportEnabled reports whether a sink should actually be attached.
+func (s *Shared) OpenExport() (*metrics.Export, error) {
+	return metrics.OpenExport(s.MetricsAddr, s.MetricsJSONL)
+}
+
+// ExportEnabled reports whether any -metrics-* flag was given.
+func (s *Shared) ExportEnabled() bool {
+	return s.MetricsAddr != "" || s.MetricsJSONL != ""
+}
+
+// FaultModel materialises the -cam-faults spec for a roster of numCams
+// cameras over numFrames frames. It returns (nil, nil) when the flag is
+// unset.
+func (s *Shared) FaultModel(numCams, numFrames int) (*camfault.Model, error) {
+	if s.CamFaults == "" {
+		return nil, nil
+	}
+	cfg, err := camfault.ParseSpec(s.CamFaults)
+	if err != nil {
+		return nil, err
+	}
+	return camfault.Generate(cfg, numCams, numFrames)
+}
+
+// OpenRecorder creates the -record run store, stamping the fault flags
+// into the manifest so a replay can regenerate the identical schedule.
+// It returns (nil, nil) when -record is unset; callers own the
+// writer's Close.
+func (s *Shared) OpenRecorder(man store.Manifest) (*store.Writer, error) {
+	if s.Record == "" {
+		return nil, nil
+	}
+	if man.CamFaults == "" && s.CamFaults != "" {
+		man.CamFaults = s.CamFaults
+		man.HealthK = s.HealthK
+	}
+	return store.Create(s.Record, man)
+}
+
+// ParseMode maps a mode name to its pipeline mode. It accepts both the
+// CLI short names (mvsim -mode, mvreplay -mode) and the canonical
+// Mode.String() forms a run-store manifest records.
+func ParseMode(s string) (pipeline.Mode, error) {
+	switch s {
+	case "full", pipeline.Full.String():
+		return pipeline.Full, nil
+	case "ind", pipeline.Independent.String():
+		return pipeline.Independent, nil
+	case "cen", pipeline.CentralOnly.String():
+		return pipeline.CentralOnly, nil
+	case "balb", pipeline.BALB.String():
+		return pipeline.BALB, nil
+	case "sp", pipeline.StaticPartition.String():
+		return pipeline.StaticPartition, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want full, ind, cen, balb, sp)", s)
+	}
+}

@@ -1,0 +1,107 @@
+package cliconf
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"mvs/internal/pipeline"
+	"mvs/internal/scene"
+	"mvs/internal/store"
+	"mvs/internal/workload"
+)
+
+func TestRegisterMatrix(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := Register(fs, "per-camera")
+	err := fs.Parse([]string{
+		"-workers", "4", "-metrics-jsonl", "run.jsonl",
+		"-cam-faults", "seed=7,rate=0.1", "-health-k", "5",
+		"-record", "/tmp/rec",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Shared{
+		Workers: 4, MetricsJSONL: "run.jsonl",
+		CamFaults: "seed=7,rate=0.1", HealthK: 5, Record: "/tmp/rec",
+	}
+	if *s != want {
+		t.Fatalf("parsed %+v, want %+v", *s, want)
+	}
+	if !s.ExportEnabled() {
+		t.Fatal("-metrics-jsonl must enable the export")
+	}
+	if (&Shared{}).ExportEnabled() {
+		t.Fatal("zero flags must not enable the export")
+	}
+}
+
+func TestFaultModel(t *testing.T) {
+	s := &Shared{}
+	if m, err := s.FaultModel(4, 100); m != nil || err != nil {
+		t.Fatalf("empty spec: %v %v", m, err)
+	}
+	s.CamFaults = "seed=7,rate=0.1,mean=5"
+	m, err := s.FaultModel(4, 100)
+	if err != nil || m == nil {
+		t.Fatalf("valid spec: %v %v", m, err)
+	}
+	if m.NumCameras() != 4 || m.NumFrames() != 100 {
+		t.Fatalf("model shape %dx%d", m.NumCameras(), m.NumFrames())
+	}
+	s.CamFaults = "rate=banana"
+	if _, err := s.FaultModel(4, 100); err == nil {
+		t.Fatal("bad spec must error")
+	}
+}
+
+func TestOpenRecorderStampsFaults(t *testing.T) {
+	s := &Shared{}
+	if w, err := s.OpenRecorder(store.Manifest{}); w != nil || err != nil {
+		t.Fatalf("unset -record: %v %v", w, err)
+	}
+
+	sc, err := workload.ByName("S1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster, err := scene.MarshalCameras(sc.World.Cameras)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	s = &Shared{Record: dir, CamFaults: "seed=7,rate=0.1", HealthK: 2}
+	w, err := s.OpenRecorder(store.Manifest{Scenario: "S1", Seed: 1, Mode: "BALB", Cameras: roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := run.Manifest()
+	if man.CamFaults != "seed=7,rate=0.1" || man.HealthK != 2 {
+		t.Fatalf("fault flags not stamped into manifest: %+v", man)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]pipeline.Mode{
+		"full": pipeline.Full, "ind": pipeline.Independent,
+		"cen": pipeline.CentralOnly, "balb": pipeline.BALB,
+		"sp": pipeline.StaticPartition,
+	}
+	for name, want := range cases {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMode("turbo"); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}

@@ -41,6 +41,7 @@ type Scheduler struct {
 	workers      int
 	logger       *log.Logger
 	sink         metrics.Sink
+	roundSink    metrics.RoundSink
 	roundTimeout time.Duration
 	lease        time.Duration
 	// handoffTTL is the boundary hand-off claim lifetime in frames
@@ -68,7 +69,10 @@ type Scheduler struct {
 	conns  map[int]*schedConn
 	rounds map[int]*round
 	seq    int
-	closed bool
+	// roundSeq numbers the decision records of this emitter (guarded by
+	// mu, like seq; a shard-scoped scheduler counts its own stream).
+	roundSeq int
+	closed   bool
 	// Data-plane fault accounting, only active with WithLease (guarded
 	// by mu): lastAssigned holds each camera's assignment count from
 	// the previous round, so a camera declared dead can be charged for
@@ -133,6 +137,22 @@ func WithSink(sink metrics.Sink) Option {
 	return func(s *Scheduler) {
 		if sink != nil {
 			s.sink = sink
+		}
+	}
+}
+
+// WithRounds attaches a round-decision sink: one metrics.Round per
+// completed scheduling round, carrying the decision a Snapshot only
+// summarizes — the priority order and per-camera assignment counts —
+// so a run store (internal/store) can persist the schedule for audit
+// and replay. Under a ShardedScheduler the option applies per shard:
+// each shard's round loop emits its own gap-free stream, labelled
+// "shard<N>". The sink must tolerate concurrent RecordRound calls.
+// nil disables (the default). No round is emitted after Close returns.
+func WithRounds(rs metrics.RoundSink) Option {
+	return func(s *Scheduler) {
+		if rs != nil {
+			s.roundSink = rs
 		}
 	}
 }
@@ -325,6 +345,46 @@ func (s *Scheduler) emit(snap metrics.Snapshot) {
 	snap.Seq = s.seq
 	s.seq++
 	s.sink.RecordFrame(snap)
+}
+
+// emitRound mirrors emit for the round-decision stream (WithRounds):
+// the same closed-check under mu makes "no round after Close" exact,
+// and the record is derived from the already-assembled snapshot plus
+// the round's global priority order. Assigned is indexed by global
+// camera index and sized to the emitter's roster extent (the fleet for
+// a standalone scheduler; a shard leaves foreign cameras at zero).
+func (s *Scheduler) emitRound(snap metrics.Snapshot, prio []int) {
+	if s.roundSink == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	rd := metrics.Round{
+		Source:        metrics.SourceScheduler,
+		Label:         snap.Label,
+		Seq:           s.roundSeq,
+		Frame:         snap.Frame,
+		Objects:       snap.Objects,
+		Priority:      prio,
+		Partial:       snap.Partial,
+		Reassignments: snap.Reassignments,
+		RoundLatency:  snap.RoundLatency,
+	}
+	extent := 0
+	for _, cs := range snap.Cameras {
+		if cs.Camera+1 > extent {
+			extent = cs.Camera + 1
+		}
+	}
+	rd.Assigned = make([]int, extent)
+	for _, cs := range snap.Cameras {
+		rd.Assigned[cs.Camera] = cs.Assignments
+	}
+	s.roundSeq++
+	s.roundSink.RecordRound(rd)
 }
 
 func (s *Scheduler) handle(conn net.Conn) {
@@ -630,7 +690,7 @@ func (s *Scheduler) noteFaults(snap *metrics.Snapshot, dead []int) {
 // and emits the round's observability snapshot.
 func (s *Scheduler) completeRound(r *round, frame int) {
 	start := time.Now()
-	replies, snap, err := s.schedule(r, frame)
+	replies, snap, prio, err := s.schedule(r, frame)
 	if err != nil {
 		s.logger.Printf("cluster: scheduling frame %d: %v", frame, err)
 		s.broadcastError(fmt.Sprintf("scheduling failed: %v", err))
@@ -654,6 +714,7 @@ func (s *Scheduler) completeRound(r *round, frame int) {
 	s.noteFaults(&snap, dead)
 	snap.RoundLatency = time.Since(start)
 	s.emit(snap)
+	s.emitRound(snap, prio)
 	s.gcStaleRounds(frame)
 	s.mu.Lock()
 	conns := make([]*schedConn, 0, len(s.conns))
@@ -690,7 +751,7 @@ func (s *Scheduler) broadcastError(msg string) {
 // which the caller stamps): the scheduled per-camera latencies, the
 // batch occupancy each camera's assignment implies, and assignment
 // counts.
-func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.Snapshot, error) {
+func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.Snapshot, []int, error) {
 	m := len(s.cams)
 	boxes := make([][]geom.Rect, m)
 	trackIDs := make([][]int, m)
@@ -711,7 +772,7 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.
 
 	groups, err := s.model.AssociateWorkers(boxes, s.minIoU, s.workers)
 	if err != nil {
-		return nil, metrics.Snapshot{}, fmt.Errorf("association: %w", err)
+		return nil, metrics.Snapshot{}, nil, fmt.Errorf("association: %w", err)
 	}
 	objects := make([]core.ObjectSpec, 0, len(groups))
 	for gi, g := range groups {
@@ -728,7 +789,7 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.
 	}
 	sol, err := core.Central(s.cams, objects, core.CentralOptions{})
 	if err != nil {
-		return nil, metrics.Snapshot{}, fmt.Errorf("central BALB: %w", err)
+		return nil, metrics.Snapshot{}, nil, fmt.Errorf("central BALB: %w", err)
 	}
 	snap := s.roundSnapshot(frame, objects, sol)
 	// A round missing at least one roster camera's view (timeout, lease
@@ -781,7 +842,7 @@ func (s *Scheduler) schedule(r *round, frame int) (map[int]*Assignment, metrics.
 		}
 	}
 	s.publishHandoff(frame, groups, boxes, sol, demoted)
-	return replies, snap, nil
+	return replies, snap, prio, nil
 }
 
 // roundSnapshot derives the observability record of a scheduled round:

@@ -12,7 +12,7 @@
 // shared internal/pool worker pool. Every experiment takes an Options
 // struct whose Workers knob (0 = GOMAXPROCS, 1 = fully sequential)
 // bounds the outer point-level fan-out and, via
-// pipeline.Options.Workers, the per-camera fan-out inside each pipeline
+// pipeline.Config.Sched.Workers, the per-camera fan-out inside each pipeline
 // run plus its central stage's per-pair association fan-out; points
 // that retrain an association model (ArrivalSweep) reuse the bound for
 // assoc.Factories.Workers too. Results are assembled positionally, and
@@ -110,6 +110,17 @@ type Options struct {
 	// Experiments never Flush the sink — its lifecycle belongs to the
 	// caller.
 	Sink metrics.Sink
+	// Rounds, when non-nil, receives every RunModes run's scheduling-round
+	// decisions (pipeline.Config.Obs.Rounds) — the stream mvexp -record
+	// persists. Like Sink, its lifecycle belongs to the caller.
+	Rounds metrics.RoundSink
+	// CamFaults, when non-empty, is a camfault spec (docs/FAULTS.md)
+	// applied to every RunModes run: all modes share the identical
+	// outage schedule, so Figs. 12/13 and Table II compare the
+	// algorithms under the same incident. HealthK arms failover for
+	// those runs (0 = no failover, the ablation).
+	CamFaults string
+	HealthK   int
 }
 
 // Fig2Result is the per-camera object-count time series.
@@ -311,12 +322,25 @@ func Modes() []pipeline.Mode {
 // harness, Options{Workers: 1} the fully sequential one. Snapshots are
 // labelled "modes/<mode>".
 func RunModes(s *Setup, horizon int, opts Options) (map[pipeline.Mode]*pipeline.Report, error) {
+	var faults *camfault.Model
+	if opts.CamFaults != "" {
+		fcfg, err := camfault.ParseSpec(opts.CamFaults)
+		if err != nil {
+			return nil, err
+		}
+		faults, err = camfault.Generate(fcfg, len(s.Test.Cameras), len(s.Test.Frames))
+		if err != nil {
+			return nil, err
+		}
+	}
 	modes := Modes()
 	reports := make([]*pipeline.Report, len(modes))
 	err := pool.Do(opts.Workers, len(modes), func(i int) error {
-		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: modes[i], Horizon: horizon, Seed: s.Seed, Workers: opts.Workers,
-			Sink: opts.Sink, Label: "modes/" + modes[i].String(),
+		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Config{
+			Sched: pipeline.Sched{Mode: modes[i], Horizon: horizon, Workers: opts.Workers},
+			Sim:   pipeline.Sim{Seed: s.Seed},
+			Fault: pipeline.Fault{CamFaults: faults, HealthK: opts.HealthK},
+			Obs:   pipeline.Obs{Sink: opts.Sink, Rounds: opts.Rounds, Label: "modes/" + modes[i].String()},
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: mode %v: %w", modes[i], err)
@@ -361,16 +385,18 @@ func Fig14(s *Setup, horizons []int, opts Options) ([]HorizonPoint, error) {
 	out := make([]HorizonPoint, len(horizons))
 	err := pool.Do(opts.Workers, len(horizons), func(i int) error {
 		h := horizons[i]
-		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: pipeline.BALB, Horizon: h, Seed: s.Seed, Workers: opts.Workers,
-			Sink: opts.Sink, Label: fmt.Sprintf("fig14/T=%d", h),
+		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Config{
+			Sched: pipeline.Sched{Mode: pipeline.BALB, Horizon: h, Workers: opts.Workers},
+			Sim:   pipeline.Sim{Seed: s.Seed},
+			Obs:   pipeline.Obs{Sink: opts.Sink, Label: fmt.Sprintf("fig14/T=%d", h)},
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: horizon %d: %w", h, err)
 		}
-		cen, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-			Mode: pipeline.CentralOnly, Horizon: h, Seed: s.Seed, Workers: opts.Workers,
-			Sink: opts.Sink, Label: fmt.Sprintf("fig14/T=%d/cen", h),
+		cen, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Config{
+			Sched: pipeline.Sched{Mode: pipeline.CentralOnly, Horizon: h, Workers: opts.Workers},
+			Sim:   pipeline.Sim{Seed: s.Seed},
+			Obs:   pipeline.Obs{Sink: opts.Sink, Label: fmt.Sprintf("fig14/T=%d/cen", h)},
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: horizon %d (central-only): %w", h, err)
@@ -400,9 +426,7 @@ type TableIIRow struct {
 // TableII runs BALB and reports the measured per-frame framework
 // overheads.
 func TableII(s *Setup) (*TableIIRow, error) {
-	rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.Options{
-		Mode: pipeline.BALB, Seed: s.Seed,
-	})
+	rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, pipeline.NewConfig(pipeline.BALB, s.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -470,16 +494,18 @@ func ArrivalSweep(name string, seed int64, frames int, scales []float64, opts Op
 		if err != nil {
 			return fmt.Errorf("experiments: arrival sweep %v: %w", scale, err)
 		}
-		balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-			Mode: pipeline.BALB, Seed: seed, Workers: opts.Workers,
-			Sink: opts.Sink, Label: fmt.Sprintf("sweep/x%g", scale),
+		balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.Config{
+			Sched: pipeline.Sched{Mode: pipeline.BALB, Workers: opts.Workers},
+			Sim:   pipeline.Sim{Seed: seed},
+			Obs:   pipeline.Obs{Sink: opts.Sink, Label: fmt.Sprintf("sweep/x%g", scale)},
 		})
 		if err != nil {
 			return err
 		}
-		cen, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-			Mode: pipeline.CentralOnly, Seed: seed, Workers: opts.Workers,
-			Sink: opts.Sink, Label: fmt.Sprintf("sweep/x%g/cen", scale),
+		cen, err := pipeline.Run(test, s.Profiles(), model, pipeline.Config{
+			Sched: pipeline.Sched{Mode: pipeline.CentralOnly, Workers: opts.Workers},
+			Sim:   pipeline.Sim{Seed: seed},
+			Obs:   pipeline.Obs{Sink: opts.Sink, Label: fmt.Sprintf("sweep/x%g/cen", scale)},
 		})
 		if err != nil {
 			return err
@@ -517,7 +543,7 @@ type ShardPoint struct {
 
 // ShardSweep prices overlap-group sharding on a large corridor fleet:
 // the same trace and association model run once globally and once per
-// max-shard bound, under pipeline.Options.Shards (the in-process
+// max-shard bound, under pipeline.Config.Sched.Shards (the in-process
 // analogue of cluster.ShardedScheduler). cams <= 0 defaults to 64,
 // frames <= 0 to 400, maxShards nil to {16, 8, 4}. The global point
 // runs first; sweep points then run concurrently under opts.Workers.
@@ -558,9 +584,10 @@ func ShardSweep(cams int, seed int64, frames int, maxShards []int, opts Options)
 		return nil, fmt.Errorf("experiments: shard sweep: %w", err)
 	}
 
-	global, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-		Mode: pipeline.BALB, Seed: seed, Workers: opts.Workers,
-		Sink: opts.Sink, Label: "shard/global",
+	global, err := pipeline.Run(test, s.Profiles(), model, pipeline.Config{
+		Sched: pipeline.Sched{Mode: pipeline.BALB, Workers: opts.Workers},
+		Sim:   pipeline.Sim{Seed: seed},
+		Obs:   pipeline.Obs{Sink: opts.Sink, Label: "shard/global"},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: shard sweep global: %w", err)
@@ -578,9 +605,10 @@ func ShardSweep(cams int, seed int64, frames int, maxShards []int, opts Options)
 		if err != nil {
 			return fmt.Errorf("experiments: shard sweep max=%d: %w", k, err)
 		}
-		rep, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-			Mode: pipeline.BALB, Seed: seed, Workers: opts.Workers,
-			Shards: m, Sink: opts.Sink, Label: fmt.Sprintf("shard/max=%d", k),
+		rep, err := pipeline.Run(test, s.Profiles(), model, pipeline.Config{
+			Sched: pipeline.Sched{Mode: pipeline.BALB, Workers: opts.Workers, Shards: m},
+			Sim:   pipeline.Sim{Seed: seed},
+			Obs:   pipeline.Obs{Sink: opts.Sink, Label: fmt.Sprintf("shard/max=%d", k)},
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: shard sweep max=%d: %w", k, err)
@@ -649,15 +677,17 @@ func ChaosSweep(s *Setup, rates []float64, healthK int, opts Options) ([]ChaosPo
 		if err != nil {
 			return fmt.Errorf("experiments: chaos rate %g: %w", rates[i], err)
 		}
-		popts := pipeline.Options{
-			Mode: pipeline.BALB, Seed: s.Seed, Workers: opts.Workers,
-			Sink: opts.Sink, CamFaults: faults,
+		popts := pipeline.Config{
+			Sched: pipeline.Sched{Mode: pipeline.BALB, Workers: opts.Workers},
+			Sim:   pipeline.Sim{Seed: s.Seed},
+			Obs:   pipeline.Obs{Sink: opts.Sink},
+			Fault: pipeline.Fault{CamFaults: faults},
 		}
 		if arm == 0 {
-			popts.HealthK = healthK
-			popts.Label = fmt.Sprintf("chaos/r=%g/fo", rates[i])
+			popts.Fault.HealthK = healthK
+			popts.Obs.Label = fmt.Sprintf("chaos/r=%g/fo", rates[i])
 		} else {
-			popts.Label = fmt.Sprintf("chaos/r=%g/off", rates[i])
+			popts.Obs.Label = fmt.Sprintf("chaos/r=%g/off", rates[i])
 		}
 		rep, err := pipeline.Run(s.Test, s.Scenario.Profiles(), s.Model, popts)
 		if err != nil {
@@ -721,14 +751,13 @@ func OcclusionStudy(name string, seed int64, frames int, occlusionFrac float64) 
 	if err != nil {
 		return nil, fmt.Errorf("experiments: occlusion study: %w", err)
 	}
-	balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-		Mode: pipeline.BALB, Seed: seed,
-	})
+	balb, err := pipeline.Run(test, s.Profiles(), model, pipeline.NewConfig(pipeline.BALB, seed))
 	if err != nil {
 		return nil, err
 	}
-	red, err := pipeline.Run(test, s.Profiles(), model, pipeline.Options{
-		Mode: pipeline.BALB, Seed: seed, Redundancy: 2, RedundancySlack: 1.3,
+	red, err := pipeline.Run(test, s.Profiles(), model, pipeline.Config{
+		Sched: pipeline.Sched{Mode: pipeline.BALB, Redundancy: 2, RedundancySlack: 1.3},
+		Sim:   pipeline.Sim{Seed: seed},
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,52 @@
+package metrics
+
+import "time"
+
+// Round is one scheduling round's decision record: the central stage's
+// priority order and per-camera assignment counts at a key frame. Where
+// a Snapshot reports *outcomes* (recall, latency), a Round persists the
+// *decision* that produced them, so a recorded run can be audited or
+// re-driven under a different scheduler (docs/STREAMING.md). Rounds are
+// emitted by the in-process engine (pipeline source) and by the cluster
+// scheduler (scheduler source, one per shard round loop).
+type Round struct {
+	// Source is SourcePipeline or SourceScheduler.
+	Source string `json:"source"`
+	// Label identifies the emitting run (mode name, or "shard<N>").
+	Label string `json:"label,omitempty"`
+	// Seq numbers the rounds of one emitter from 0.
+	Seq int `json:"seq"`
+	// Frame is the round's key-frame index (pipeline: trace index;
+	// scheduler: wire frame index).
+	Frame int `json:"frame"`
+	// Objects is the number of associated object groups scheduled.
+	Objects int `json:"objects,omitempty"`
+	// Shards is the shard count when the round was composed from a
+	// sharded central stage (0 = unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Priority is the distributed stage's ownership-claim order for the
+	// horizon: global camera indices, highest priority first.
+	Priority []int `json:"priority"`
+	// Assigned is the number of objects assigned to each camera, indexed
+	// by global camera index. Its length is the emitter's roster extent:
+	// the fleet size for the pipeline engine, the highest camera index a
+	// shard saw plus one for a (possibly sharded) scheduler.
+	Assigned []int `json:"assigned,omitempty"`
+	// Partial marks a round completed without reports from every roster
+	// camera (scheduler source only).
+	Partial bool `json:"partial,omitempty"`
+	// Reassignments and Orphaned are the emitter's cumulative failover
+	// counters as of this round (see Snapshot for their definitions).
+	Reassignments int `json:"reassignments,omitempty"`
+	Orphaned      int `json:"orphaned_objects,omitempty"`
+	// RoundLatency is the measured wall-clock cost of the round
+	// (scheduler source only; never set by the deterministic engine).
+	RoundLatency time.Duration `json:"round_latency_ns,omitempty"`
+}
+
+// RoundSink consumes a stream of round records. Implementations must
+// tolerate concurrent RecordRound calls (sharded schedulers emit from
+// one goroutine per shard) and must not block on slow consumers.
+type RoundSink interface {
+	RecordRound(Round)
+}

@@ -42,8 +42,9 @@ func chaosEnv(t *testing.T) (*testEnv, *camfault.Model) {
 func TestChaosFailoverBeatsNoFailover(t *testing.T) {
 	e, faults := chaosEnv(t)
 	run := func(healthK int) *Report {
-		rep, err := Run(e.test, e.profiles, e.model, Options{
-			Mode: BALB, Seed: 5, CamFaults: faults, HealthK: healthK,
+		rep, err := Run(e.test, e.profiles, e.model, Config{
+			Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5},
+			Fault: Fault{CamFaults: faults, HealthK: healthK},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -83,12 +84,13 @@ func TestChaosFaultFreeBitIdentical(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	sink := metrics.NewJSONLSink(&buf)
-	base, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5})
+	base, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	withModel, err := Run(e.test, e.profiles, e.model, Options{
-		Mode: BALB, Seed: 5, CamFaults: clear, HealthK: 3, Sink: sink,
+	withModel, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5},
+		Fault: Fault{CamFaults: clear, HealthK: 3}, Obs: Obs{Sink: sink},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,8 +116,9 @@ func TestChaosDeterministicAcrossWorkers(t *testing.T) {
 	e, faults := chaosEnv(t)
 	var base *Report
 	for _, workers := range []int{1, 2, 4} {
-		rep, err := Run(e.test, e.profiles, e.model, Options{
-			Mode: BALB, Seed: 5, CamFaults: faults, HealthK: 3, Workers: workers,
+		rep, err := Run(e.test, e.profiles, e.model, Config{
+			Sched: Sched{Mode: BALB, Workers: workers}, Sim: Sim{Seed: 5},
+			Fault: Fault{CamFaults: faults, HealthK: 3},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -136,8 +139,9 @@ func TestChaosDeterministicAcrossWorkers(t *testing.T) {
 func TestChaosSnapshotCounters(t *testing.T) {
 	e, faults := chaosEnv(t)
 	sink := metrics.NewChannelSink(1, len(e.test.Frames))
-	rep, err := Run(e.test, e.profiles, e.model, Options{
-		Mode: BALB, Seed: 5, CamFaults: faults, HealthK: 3, Sink: sink,
+	rep, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5},
+		Fault: Fault{CamFaults: faults, HealthK: 3}, Obs: Obs{Sink: sink},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,14 +167,14 @@ func TestChaosModelValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, CamFaults: short}); err == nil {
+	if _, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5}, Fault: Fault{CamFaults: short}}); err == nil {
 		t.Fatal("accepted a fault schedule shorter than the trace")
 	}
 	wrongCams, err := camfault.Generate(camfault.Config{Seed: 1}, 1, len(e.test.Frames))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, CamFaults: wrongCams}); err == nil {
+	if _, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5}, Fault: Fault{CamFaults: wrongCams}}); err == nil {
 		t.Fatal("accepted a fault schedule with the wrong roster size")
 	}
 }

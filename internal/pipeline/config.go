@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"mvs/internal/camfault"
+	"mvs/internal/metrics"
+	"mvs/internal/shard"
+	"mvs/internal/vision"
+)
+
+// Config configures an Engine (and the batch Run wrapper around it),
+// grouped by concern: Sim shapes the simulated world and sensing, Sched
+// selects and tunes the scheduling algorithm, Fault arms the data-plane
+// failure model, and Obs attaches observability. The zero value is a
+// valid fault-free Full-mode run; NewConfig fills the two knobs every
+// caller sets. Defaults (Horizon 10, 16x9 grid, IoU 0.1, redundancy 1,
+// slack 1.2) are applied when the engine is built.
+//
+// Every field except Sched.Workers is part of the determinism contract:
+// the same (source, profiles, model, Config modulo Workers) produces
+// bit-identical modelled results (docs/CONCURRENCY.md,
+// docs/ARCHITECTURE.md).
+type Config struct {
+	Sim   Sim
+	Sched Sched
+	Fault Fault
+	Obs   Obs
+}
+
+// NewConfig returns a Config with the two universally-set knobs filled
+// in; everything else keeps its zero value and picks up defaults when
+// the engine is built.
+func NewConfig(mode Mode, seed int64) Config {
+	return Config{Sched: Sched{Mode: mode}, Sim: Sim{Seed: seed}}
+}
+
+// Sim is the simulated-world half of the configuration: how cameras
+// sense the scene, independent of how work is scheduled.
+type Sim struct {
+	// Seed drives detector noise.
+	Seed int64
+	// GridCols, GridRows shape the per-camera cell grid for masks
+	// (default 16 x 9).
+	GridCols, GridRows int
+	// Detector tunes the simulated DNN.
+	Detector vision.Config
+	// CameraLag models imperfect synchronization (the paper's §V): when
+	// non-nil, camera i processes the scene as it was CameraLag[i] frames
+	// ago ("while some cameras are processing the 'current' scene, others
+	// might still be working on older versions"). Recall is still scored
+	// against the current frame, so lag shows up as handoff anomalies.
+	// The streaming engine keeps a bounded ring buffer of the last
+	// max(CameraLag)+1 frames to serve lagged views.
+	CameraLag []int
+}
+
+// Sched selects and tunes the scheduling algorithm under evaluation.
+type Sched struct {
+	// Mode is the algorithm under test.
+	Mode Mode
+	// Horizon is T, the frames per scheduling horizon (default 10).
+	Horizon int
+	// AssocMinIoU is the association matching threshold (default 0.1).
+	AssocMinIoU float64
+	// Redundancy, when > 1, makes the central stage keep up to this many
+	// trackers per object (latency budget permitting) — the paper's §V
+	// occlusion-hedging extension. Only meaningful in BALB/CentralOnly
+	// modes; 0 or 1 is standard single-tracker BALB.
+	Redundancy int
+	// RedundancySlack bounds the extra trackers' latency cost as a
+	// multiple of the base system latency (default 1.2).
+	RedundancySlack float64
+	// Workers bounds the goroutines used for per-camera work within a
+	// frame, for the central stage's per-pair association fan-out at key
+	// frames, and for the per-cell coverage precomputation: 1 forces the
+	// sequential reference path, 0 (the default) selects GOMAXPROCS, and
+	// any value is capped at the item count of each fan-out. The
+	// modelled report fields are identical for every value (see
+	// Report.Modeled and docs/CONCURRENCY.md).
+	Workers int
+	// Shards, when non-nil, runs the central stage sharded: one
+	// association + BALB solve per shard over that shard's cameras only
+	// (on an assoc.Model.Subset), composed into a core.ShardedPolicy
+	// for the distributed stage. This is the in-process analogue of
+	// cluster.ShardedScheduler — no fleet-wide O(N²) association, no
+	// data structure spanning shards — usable at 64+ cameras without
+	// sockets. Only valid for BALB and CentralOnly modes. On a scenario
+	// with zero cross-shard coverage the modelled results are
+	// bit-identical to the unsharded run (see docs/ARCHITECTURE.md,
+	// determinism contract); with boundary traffic, ownership of
+	// straddling objects follows the lowest covering shard.
+	Shards *shard.Map
+}
+
+// Fault arms the data-plane failure model (docs/FAULTS.md).
+type Fault struct {
+	// CamFaults, when non-nil, injects the data-plane fault schedule: a
+	// camera that is down for a frame produces no observations and runs
+	// no inspection (its tracker, executor, and shadows freeze). The
+	// model must cover every roster camera and the full stream length.
+	// nil runs fault-free — bit-identical to a build without this
+	// feature (docs/FAULTS.md, "Data-plane failure model").
+	CamFaults *camfault.Model
+	// HealthK is the health-tracker silence threshold: a camera silent
+	// for K consecutive frames is marked dead, the central stage
+	// reschedules over the healthy subset, and the distributed stage's
+	// ownership masks skip it (failover). 0 disables health tracking —
+	// faults still drop frames, but scheduling stays oblivious (the
+	// no-failover ablation). Only meaningful with CamFaults set.
+	HealthK int
+}
+
+// Obs attaches observability to a run. Sinks observe without
+// perturbing: every emitted field is modelled, so attaching one never
+// changes the run's results. Ownership rule (stated here once, see
+// docs/STREAMING.md): whoever opens a sink closes it; the engine
+// Flushes the frame sink exactly once at end of stream and reports the
+// first sink error through Engine.Err.
+type Obs struct {
+	// Sink, when non-nil, receives one metrics.Snapshot per frame —
+	// assembled in fixed camera order after the per-camera merge, from
+	// modelled fields only. The sink must accept concurrent RecordFrame
+	// calls if the same instance is shared by several runs.
+	Sink metrics.Sink
+	// Rounds, when non-nil, receives one metrics.Round per central-stage
+	// scheduling round (key frames of BALB/CentralOnly/SP-with-model
+	// runs): the decision record the run store persists for replay and
+	// audit. Never flushed by the engine — Round sinks buffer at the
+	// owner's discretion.
+	Rounds metrics.RoundSink
+	// Label tags this run's snapshots and rounds; empty defaults to the
+	// mode name. Experiment harnesses use it to demultiplex streams
+	// from concurrent runs.
+	Label string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sched.Horizon <= 0 {
+		c.Sched.Horizon = 10
+	}
+	if c.Sim.GridCols <= 0 {
+		c.Sim.GridCols = 16
+	}
+	if c.Sim.GridRows <= 0 {
+		c.Sim.GridRows = 9
+	}
+	if c.Sched.AssocMinIoU <= 0 {
+		c.Sched.AssocMinIoU = 0.1
+	}
+	if c.Sched.Redundancy < 1 {
+		c.Sched.Redundancy = 1
+	}
+	if c.Sched.RedundancySlack <= 0 {
+		c.Sched.RedundancySlack = 1.2
+	}
+	return c
+}
+
+// label resolves the stream label: explicit Obs.Label, else mode name.
+func (c Config) label() string {
+	if c.Obs.Label != "" {
+		return c.Obs.Label
+	}
+	return c.Sched.Mode.String()
+}

@@ -1,0 +1,455 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"mvs/internal/assoc"
+	"mvs/internal/camfault"
+	"mvs/internal/core"
+	"mvs/internal/metrics"
+	"mvs/internal/profile"
+	"mvs/internal/scene"
+)
+
+// Engine is the long-running streaming form of the pipeline: it
+// consumes frames one at a time from a Source, runs the BALB central
+// and distributed stages incrementally per horizon, and emits the same
+// per-frame metrics.Snapshot stream as the batch Run wrapper — which is
+// now just "build a TraceSource, drain the engine". Every modelled
+// field is bit-identical between the two paths at every worker count:
+// the engine holds exactly the state the batch loop held across
+// iterations, nothing about the algorithm changed shape.
+//
+// Lifecycle: NewEngine validates and builds per-camera state, Step
+// processes one frame (or reports end of stream), Run drains the
+// source, Report summarizes the frames processed so far (it may be
+// called mid-stream; it never mutates engine state), and Err returns
+// the terminal error after the stream ends. At end of stream — clean
+// or not — the engine Flushes the frame sink exactly once and folds
+// the first sink error into Err (the sink ownership rule, Config.Obs).
+//
+// An Engine is not safe for concurrent use; run one goroutine through
+// Step/Run. Distinct engines are independent (they share only
+// read-only inputs: trace frames, profiles slice elements, model).
+type Engine struct {
+	src   Source
+	cfg   Config
+	label string
+
+	needsModel bool
+	model      *assoc.Model
+	subModels  []*assoc.Model
+
+	cams     []*cameraState
+	coreCams []core.CameraSpec
+
+	policy   core.Policy
+	health   *camfault.Tracker
+	deadMask []bool
+
+	recall       metrics.RecallAccumulator
+	horizonCam   []time.Duration
+	horizonLen   int
+	slowestSum   time.Duration
+	horizons     int
+	centralTotal time.Duration
+	breakdown    *metrics.Breakdown
+	frameSeries  metrics.LatencySeries
+	prevBusy     []time.Duration
+
+	outageFrames int
+	orphaned     int
+	reassigned   int
+
+	// hist is the bounded ring buffer serving lagged camera views
+	// (Sim.CameraLag): slot fi % (maxLag+1) holds frame fi, so the last
+	// maxLag+1 frames are always addressable.
+	hist   []*scene.FrameTruth
+	maxLag int
+
+	fi       int // frames processed so far
+	roundSeq int
+	done     bool
+	err      error
+}
+
+// NewEngine builds a streaming engine over a source. The association
+// model may be nil for Full and Independent modes; every other mode
+// requires one trained on a disjoint (earlier) part of the deployment.
+func NewEngine(src Source, profiles []*profile.Profile, model *assoc.Model, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	cameras := src.Cameras()
+	if len(cameras) == 0 {
+		return nil, fmt.Errorf("pipeline: source has no cameras")
+	}
+	if len(profiles) != len(cameras) {
+		return nil, fmt.Errorf("pipeline: %d profiles for %d cameras", len(profiles), len(cameras))
+	}
+	needsModel := cfg.Sched.Mode == CentralOnly || cfg.Sched.Mode == BALB || cfg.Sched.Mode == StaticPartition
+	if needsModel {
+		if model == nil {
+			return nil, fmt.Errorf("pipeline: mode %v requires an association model", cfg.Sched.Mode)
+		}
+		if model.NumCameras() != len(cameras) {
+			return nil, fmt.Errorf("pipeline: model trained for %d cameras, trace has %d",
+				model.NumCameras(), len(cameras))
+		}
+	}
+
+	var subModels []*assoc.Model
+	if cfg.Sched.Shards != nil {
+		if cfg.Sched.Mode != BALB && cfg.Sched.Mode != CentralOnly {
+			return nil, fmt.Errorf("pipeline: Shards requires BALB or CentralOnly mode, got %v", cfg.Sched.Mode)
+		}
+		if err := cfg.Sched.Shards.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		if cfg.Sched.Shards.NumCameras() != len(cameras) {
+			return nil, fmt.Errorf("pipeline: shard map covers %d cameras, trace has %d",
+				cfg.Sched.Shards.NumCameras(), len(cameras))
+		}
+		subModels = make([]*assoc.Model, cfg.Sched.Shards.NumShards())
+		for s, roster := range cfg.Sched.Shards.Shards {
+			sub, err := model.Subset(roster)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: shard %d model: %w", s, err)
+			}
+			subModels[s] = sub
+		}
+	}
+
+	if cfg.Sim.CameraLag != nil && len(cfg.Sim.CameraLag) != len(cameras) {
+		return nil, fmt.Errorf("pipeline: CameraLag has %d entries for %d cameras",
+			len(cfg.Sim.CameraLag), len(cameras))
+	}
+	if cfg.Fault.CamFaults != nil && cfg.Fault.CamFaults.NumCameras() != len(cameras) {
+		return nil, fmt.Errorf("pipeline: fault schedule for %d cameras, trace has %d",
+			cfg.Fault.CamFaults.NumCameras(), len(cameras))
+	}
+
+	cams, err := buildCameraStates(cameras, profiles, model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	coreCams := make([]core.CameraSpec, len(cams))
+	for i := range cams {
+		coreCams[i] = core.CameraSpec{Index: i, Profile: profiles[i]}
+	}
+
+	e := &Engine{
+		src:        src,
+		cfg:        cfg,
+		label:      cfg.label(),
+		needsModel: needsModel,
+		model:      model,
+		subModels:  subModels,
+		cams:       cams,
+		coreCams:   coreCams,
+		horizonCam: make([]time.Duration, len(cams)),
+		breakdown:  metrics.NewBreakdown(),
+		prevBusy:   make([]time.Duration, len(cams)),
+	}
+	for _, lag := range cfg.Sim.CameraLag {
+		if lag > e.maxLag {
+			e.maxLag = lag
+		}
+	}
+	e.hist = make([]*scene.FrameTruth, e.maxLag+1)
+
+	// Default policy (before the first central stage): priority by index
+	// — sharded runs compose the same index order per shard, so the
+	// pre-key-frame decisions match the unsharded ones on single-shard
+	// coverage sets.
+	if needsModel || cfg.Sched.Mode == Independent {
+		if cfg.Sched.Shards != nil {
+			prios := make([][]int, cfg.Sched.Shards.NumShards())
+			for s, roster := range cfg.Sched.Shards.Shards {
+				prios[s] = append([]int(nil), roster...)
+			}
+			e.policy, err = core.NewShardedPolicy(cfg.Sched.Shards.ShardOf, prios)
+		} else {
+			idx := make([]int, len(cams))
+			for i := range idx {
+				idx[i] = i
+			}
+			e.policy, err = core.NewDistributedPolicy(idx)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Health tracking: mark cameras dead after HealthK silent frames and
+	// feed the mask into the ownership policy so the distributed stage
+	// fails over and the central stage reschedules over the survivors.
+	if cfg.Fault.CamFaults != nil && cfg.Fault.HealthK > 0 && e.policy != nil {
+		e.health = camfault.NewTracker(len(cams), cfg.Fault.HealthK)
+	}
+	return e, nil
+}
+
+// Step pulls and processes one frame. It returns (true, nil) after a
+// processed frame, (false, nil) at clean end of stream, and
+// (false, err) when the source, the frame, or the end-of-stream sink
+// flush failed. Once it has returned false, every further call returns
+// (false, Err()).
+func (e *Engine) Step() (bool, error) {
+	if e.done {
+		return false, e.err
+	}
+	frame, err := e.src.Next()
+	if errors.Is(err, io.EOF) {
+		e.finish(nil)
+		return false, e.err
+	}
+	if err != nil {
+		e.finish(fmt.Errorf("pipeline: source: %w", err))
+		return false, e.err
+	}
+	if err := e.process(frame); err != nil {
+		e.finish(err)
+		return false, e.err
+	}
+	return true, nil
+}
+
+// Run drains the source: Step until end of stream. It returns Err().
+func (e *Engine) Run() error {
+	for {
+		ok, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Err returns the engine's terminal error: nil while streaming and
+// after a clean end of stream, otherwise the first source, processing,
+// or sink-flush error.
+func (e *Engine) Err() error { return e.err }
+
+// Frames returns the number of frames processed so far.
+func (e *Engine) Frames() int { return e.fi }
+
+// finish seals the stream and flushes the frame sink exactly once,
+// folding the first sink error into Err (Config.Obs ownership rule).
+func (e *Engine) finish(err error) {
+	e.done = true
+	e.err = err
+	if e.cfg.Obs.Sink != nil {
+		if ferr := e.cfg.Obs.Sink.Flush(); ferr != nil && e.err == nil {
+			e.err = fmt.Errorf("pipeline: sink flush: %w", ferr)
+		}
+	}
+}
+
+// process runs one frame through the two-stage pipeline — the body of
+// the old batch loop, with e.fi as the stream index.
+func (e *Engine) process(frame *scene.FrameTruth) error {
+	fi := e.fi
+	cams := e.cams
+	if len(frame.PerCamera) != len(cams) {
+		return fmt.Errorf("pipeline: frame %d has %d camera lists, want %d",
+			fi, len(frame.PerCamera), len(cams))
+	}
+	if e.cfg.Fault.CamFaults != nil && fi >= e.cfg.Fault.CamFaults.NumFrames() {
+		return fmt.Errorf("pipeline: fault schedule covers %d frames, stream reached frame %d",
+			e.cfg.Fault.CamFaults.NumFrames(), fi)
+	}
+	e.hist[fi%len(e.hist)] = frame
+
+	// Each camera sees the scene as of its own (possibly lagged) frame —
+	// the paper's imperfect-synchronization model, served from the ring
+	// buffer. A camera down per the fault schedule sees nothing and does
+	// no work this frame; its state freezes until it recovers.
+	obs := make([][]scene.Observation, len(cams))
+	var down []bool
+	for i := range cams {
+		if e.cfg.Fault.CamFaults.Down(i, fi) {
+			if down == nil {
+				down = make([]bool, len(cams))
+			}
+			down[i] = true
+			e.outageFrames++
+			continue
+		}
+		src := fi
+		if e.cfg.Sim.CameraLag != nil && e.cfg.Sim.CameraLag[i] > 0 {
+			src = fi - e.cfg.Sim.CameraLag[i]
+			if src < 0 {
+				src = 0
+			}
+		}
+		obs[i] = e.hist[src%len(e.hist)].PerCamera[i]
+	}
+	if e.health != nil {
+		for i := range cams {
+			e.health.Observe(i, down == nil || !down[i])
+		}
+		e.deadMask, _ = e.health.DeadMask(e.deadMask)
+		e.policy.SetDead(e.deadMask) // all-false mask clears
+	}
+	isKey := fi%e.cfg.Sched.Horizon == 0
+	detectedIDs := make(map[int]bool)
+	results := make([]camFrame, len(cams))
+
+	if isKey {
+		e.flushHorizon()
+		if err := runKeyFrame(cams, obs, down, detectedIDs, e.breakdown, e.horizonCam, results, e.cfg); err != nil {
+			return err
+		}
+		if e.needsModel {
+			start := time.Now()
+			newPolicy, round, err := centralStage(cams, e.coreCams, e.model, e.subModels, e.deadMask, e.cfg)
+			if err != nil {
+				return err
+			}
+			e.centralTotal += time.Since(start)
+			if newPolicy != nil {
+				e.policy = newPolicy
+				e.policy.SetDead(e.deadMask)
+			}
+			if round != nil && e.cfg.Obs.Rounds != nil {
+				e.emitRound(fi, round)
+			}
+		}
+	} else {
+		if err := runRegularFrame(cams, obs, down, detectedIDs, e.breakdown, e.horizonCam, results, e.policy, e.cfg); err != nil {
+			return err
+		}
+	}
+
+	e.breakdown.EndFrame()
+	e.horizonLen++
+	e.recall.Observe(frame.VisibleObjectIDs(), detectedIDs)
+	for i := range results {
+		e.reassigned += results[i].reassigned
+		e.orphaned += results[i].orphaned
+	}
+
+	// Per-frame system latency (max across cameras) for tail stats.
+	var frameMax time.Duration
+	for i, c := range cams {
+		busy := c.exec.Stats().BusyTime
+		if d := busy - e.prevBusy[i]; d > frameMax {
+			frameMax = d
+		}
+		e.prevBusy[i] = busy
+	}
+	e.frameSeries.Add(frameMax)
+
+	// Live export: one snapshot per frame, fixed camera order, modelled
+	// fields only — the sink sees exactly what Modeled() would report
+	// for the frames so far, so attaching one cannot perturb the
+	// determinism contract.
+	if e.cfg.Obs.Sink != nil {
+		emitFrameSnapshot(e.cfg.Obs.Sink, e.label, fi, &e.recall, frameMax, cams, results,
+			e.outageFrames, e.orphaned, e.reassigned)
+	}
+	e.fi++
+	return nil
+}
+
+// emitRound records one central-stage decision (docs/STREAMING.md).
+func (e *Engine) emitRound(fi int, round *roundInfo) {
+	r := metrics.Round{
+		Source:        metrics.SourcePipeline,
+		Label:         e.label,
+		Seq:           e.roundSeq,
+		Frame:         fi,
+		Objects:       round.objects,
+		Priority:      round.priority,
+		Assigned:      round.assigned,
+		Reassignments: e.reassigned,
+		Orphaned:      e.orphaned,
+	}
+	if e.cfg.Sched.Shards != nil {
+		r.Shards = e.cfg.Sched.Shards.NumShards()
+	}
+	e.cfg.Obs.Rounds.RecordRound(r)
+	e.roundSeq++
+}
+
+// flushHorizon seals the current scheduling horizon into the Fig. 13
+// accumulator: per camera the mean per-frame latency over the horizon,
+// the slowest camera taken, summed for the cross-horizon average.
+func (e *Engine) flushHorizon() {
+	if e.horizonLen == 0 {
+		return
+	}
+	var slowest time.Duration
+	for i := range e.horizonCam {
+		mean := e.horizonCam[i] / time.Duration(e.horizonLen)
+		if mean > slowest {
+			slowest = mean
+		}
+		e.horizonCam[i] = 0
+	}
+	e.slowestSum += slowest
+	e.horizons++
+	e.horizonLen = 0
+}
+
+// Report summarizes the frames processed so far. It may be called
+// mid-stream — the pending partial horizon is folded into MeanSlowest
+// on a copy, so engine state is never mutated — and any number of
+// times. It errors until at least one frame has been processed.
+func (e *Engine) Report() (*Report, error) {
+	if e.fi == 0 {
+		return nil, fmt.Errorf("pipeline: no frames processed")
+	}
+	frames := time.Duration(e.fi)
+	perCam := make([]time.Duration, len(e.cams))
+	for i, c := range e.cams {
+		perCam[i] = c.exec.Stats().BusyTime / frames
+	}
+	rep := &Report{
+		Mode:                e.cfg.Sched.Mode,
+		Frames:              e.fi,
+		Horizon:             e.cfg.Sched.Horizon,
+		Recall:              e.recall.Recall(),
+		PerCameraMean:       perCam,
+		CentralPerFrame:     e.centralTotal / frames,
+		TrackingPerFrame:    e.breakdown.MeanOf("tracking"),
+		DistributedPerFrame: e.breakdown.MeanOf("distributed"),
+		BatchingPerFrame:    e.breakdown.MeanOf("batching"),
+	}
+	rep.TP, rep.FN = e.recall.Counts()
+	// Fold the pending partial horizon without mutating engine state.
+	slowestSum, horizons := e.slowestSum, e.horizons
+	if e.horizonLen > 0 {
+		var slowest time.Duration
+		for i := range e.horizonCam {
+			mean := e.horizonCam[i] / time.Duration(e.horizonLen)
+			if mean > slowest {
+				slowest = mean
+			}
+		}
+		slowestSum += slowest
+		horizons++
+	}
+	if horizons > 0 {
+		rep.MeanSlowest = slowestSum / time.Duration(horizons)
+	}
+	rep.MaxSlowest = e.frameSeries.Max()
+	p95, err := e.frameSeries.Percentile(95)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	rep.P95Slowest = p95
+	p99, err := e.frameSeries.Percentile(99)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	rep.P99Slowest = p99
+	rep.OutageFrames = e.outageFrames
+	rep.OrphanedObjects = e.orphaned
+	rep.Reassignments = e.reassigned
+	return rep, nil
+}

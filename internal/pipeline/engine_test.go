@@ -1,0 +1,270 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mvs/internal/metrics"
+	"mvs/internal/scene"
+)
+
+// TestEngineMatchesRun is the API-redesign acceptance test: draining an
+// Engine over a TraceSource produces a Report bit-identical (modeled
+// projection) to the batch Run wrapper, and a push-driven ChannelSource
+// fed from another goroutine matches too — streaming is a packaging
+// change, not an algorithm change.
+func TestEngineMatchesRun(t *testing.T) {
+	e := getEnv(t)
+	for _, mode := range []Mode{Full, Independent, CentralOnly, BALB, StaticPartition} {
+		batch, err := Run(e.test, e.profiles, e.model, NewConfig(mode, 5))
+		if err != nil {
+			t.Fatalf("%v batch: %v", mode, err)
+		}
+
+		eng, err := NewEngine(NewTraceSource(e.test), e.profiles, e.model, NewConfig(mode, 5))
+		if err != nil {
+			t.Fatalf("%v engine: %v", mode, err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("%v engine run: %v", mode, err)
+		}
+		streamed, err := eng.Report()
+		if err != nil {
+			t.Fatalf("%v engine report: %v", mode, err)
+		}
+		if !reflect.DeepEqual(batch.Modeled(), streamed.Modeled()) {
+			t.Fatalf("%v: streamed report diverged from batch:\nbatch:  %+v\nstream: %+v",
+				mode, batch.Modeled(), streamed.Modeled())
+		}
+
+		src := NewChannelSource(e.test.Cameras, 4)
+		go func() {
+			for i := range e.test.Frames {
+				src.Push(&e.test.Frames[i])
+			}
+			src.Close()
+		}()
+		eng2, err := NewEngine(src, e.profiles, e.model, NewConfig(mode, 5))
+		if err != nil {
+			t.Fatalf("%v channel engine: %v", mode, err)
+		}
+		if err := eng2.Run(); err != nil {
+			t.Fatalf("%v channel run: %v", mode, err)
+		}
+		pushed, err := eng2.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch.Modeled(), pushed.Modeled()) {
+			t.Fatalf("%v: channel-sourced report diverged from batch", mode)
+		}
+	}
+}
+
+// TestEngineMidStreamReport checks Report is callable mid-stream
+// without perturbing the run: stepping k frames reports exactly what a
+// batch run over the k-frame prefix reports, and the stream then
+// continues to the full-trace result.
+func TestEngineMidStreamReport(t *testing.T) {
+	e := getEnv(t)
+	const k = 25 // mid-horizon on purpose: exercises the partial-horizon fold
+
+	eng, err := NewEngine(NewTraceSource(e.test), e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Report(); err == nil {
+		t.Fatal("Report before any frame must error")
+	}
+	for i := 0; i < k; i++ {
+		ok, err := eng.Step()
+		if err != nil || !ok {
+			t.Fatalf("step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	mid, err := eng.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prefix := &scene.Trace{FPS: e.test.FPS, Cameras: e.test.Cameras, Frames: e.test.Frames[:k]}
+	want, err := Run(prefix, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Modeled(), mid.Modeled()) {
+		t.Fatalf("mid-stream report diverged from %d-frame batch run:\nbatch: %+v\nmid:   %+v",
+			k, want.Modeled(), mid.Modeled())
+	}
+
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Frames() != len(e.test.Frames) {
+		t.Fatalf("engine processed %d frames, want %d", eng.Frames(), len(e.test.Frames))
+	}
+	full, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Modeled(), got.Modeled()) {
+		t.Fatal("post-drain report diverged from batch run after a mid-stream Report call")
+	}
+}
+
+// flushFailSink records nothing and fails its Flush: the sink-error
+// propagation fixture.
+type flushFailSink struct{ err error }
+
+func (s *flushFailSink) RecordFrame(metrics.Snapshot) {}
+func (s *flushFailSink) Flush() error                 { return s.err }
+
+// TestEngineSinkErrorPropagates pins the satellite fix: a failing sink
+// flush surfaces through Engine.Err/Run and through the batch Run
+// wrapper — it is no longer silently dropped.
+func TestEngineSinkErrorPropagates(t *testing.T) {
+	e := getEnv(t)
+	sinkErr := errors.New("disk full")
+	cfg := NewConfig(BALB, 5)
+	cfg.Obs.Sink = &flushFailSink{err: sinkErr}
+
+	eng, err := NewEngine(NewTraceSource(e.test), e.profiles, e.model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); !errors.Is(err, sinkErr) {
+		t.Fatalf("engine Run returned %v, want wrapped %v", err, sinkErr)
+	}
+	if err := eng.Err(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Err() = %v, want wrapped %v", err, sinkErr)
+	}
+	// The stream still completed: the report over the processed frames
+	// stays available even though the flush failed.
+	if eng.Frames() != len(e.test.Frames) {
+		t.Fatalf("engine processed %d frames, want %d", eng.Frames(), len(e.test.Frames))
+	}
+
+	if _, err := Run(e.test, e.profiles, e.model, cfg); !errors.Is(err, sinkErr) {
+		t.Fatalf("batch Run returned %v, want wrapped %v", err, sinkErr)
+	}
+}
+
+// failSource errors after a few frames.
+type failSource struct {
+	cams []*scene.Camera
+	n    int
+}
+
+func (s *failSource) Cameras() []*scene.Camera { return s.cams }
+func (s *failSource) Next() (*scene.FrameTruth, error) {
+	if s.n <= 0 {
+		return nil, fmt.Errorf("camera link dropped")
+	}
+	s.n--
+	return &scene.FrameTruth{PerCamera: make([][]scene.Observation, len(s.cams))}, nil
+}
+
+// TestEngineSourceValidation covers the streaming-only error paths: a
+// failing source, a frame with the wrong camera count, and Step after
+// the stream ended.
+func TestEngineSourceValidation(t *testing.T) {
+	e := getEnv(t)
+
+	eng, err := NewEngine(&failSource{cams: e.test.Cameras, n: 3}, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err == nil {
+		t.Fatal("engine over a failing source must error")
+	}
+	if eng.Frames() != 3 {
+		t.Fatalf("engine processed %d frames before the source failed, want 3", eng.Frames())
+	}
+	if ok, err := eng.Step(); ok || err == nil {
+		t.Fatal("Step after a terminal error must keep returning (false, err)")
+	}
+
+	src := NewChannelSource(e.test.Cameras, 1)
+	go func() {
+		src.Push(&scene.FrameTruth{PerCamera: make([][]scene.Observation, 1)}) // wrong width
+		src.Close()
+	}()
+	eng2, err := NewEngine(src, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Run(); err == nil {
+		t.Fatal("frame with wrong per-camera width must error")
+	}
+
+	if _, err := NewEngine(NewChannelSource(nil, 1), nil, nil, NewConfig(Full, 0)); err == nil {
+		t.Fatal("source with no cameras must be rejected")
+	}
+}
+
+// roundRecorder captures emitted rounds.
+type roundRecorder struct{ rounds []metrics.Round }
+
+func (r *roundRecorder) RecordRound(round metrics.Round) { r.rounds = append(r.rounds, round) }
+
+// TestEngineEmitsRounds checks the engine's round stream: one Round per
+// key frame in model-driven modes, gap-free Seq, fleet-wide Assigned,
+// and a priority permutation of the fleet.
+func TestEngineEmitsRounds(t *testing.T) {
+	e := getEnv(t)
+	rec := &roundRecorder{}
+	cfg := NewConfig(BALB, 5)
+	cfg.Obs.Rounds = rec
+
+	rep, err := Run(e.test, e.profiles, e.model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRounds := (len(e.test.Frames) + rep.Horizon - 1) / rep.Horizon
+	if len(rec.rounds) != wantRounds {
+		t.Fatalf("got %d rounds for %d frames at horizon %d, want %d",
+			len(rec.rounds), len(e.test.Frames), rep.Horizon, wantRounds)
+	}
+	numCams := len(e.test.Cameras)
+	for i, r := range rec.rounds {
+		if r.Seq != i {
+			t.Fatalf("round %d has seq %d", i, r.Seq)
+		}
+		if r.Frame != i*rep.Horizon {
+			t.Fatalf("round %d anchored at frame %d, want %d", i, r.Frame, i*rep.Horizon)
+		}
+		if r.Source != metrics.SourcePipeline || r.Label != "BALB" {
+			t.Fatalf("round %d mislabelled: %+v", i, r)
+		}
+		if len(r.Assigned) != numCams {
+			t.Fatalf("round %d Assigned has %d entries, want %d", i, len(r.Assigned), numCams)
+		}
+		if len(r.Priority) != numCams {
+			t.Fatalf("round %d Priority has %d entries, want %d", i, len(r.Priority), numCams)
+		}
+		seen := make(map[int]bool)
+		for _, c := range r.Priority {
+			if c < 0 || c >= numCams || seen[c] {
+				t.Fatalf("round %d priority %v is not a fleet permutation", i, r.Priority)
+			}
+			seen[c] = true
+		}
+	}
+
+	// Full mode runs no central stage: no rounds.
+	rec2 := &roundRecorder{}
+	cfg2 := NewConfig(Full, 5)
+	cfg2.Obs.Rounds = rec2
+	if _, err := Run(e.test, e.profiles, nil, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.rounds) != 0 {
+		t.Fatalf("Full mode emitted %d rounds, want 0", len(rec2.rounds))
+	}
+}

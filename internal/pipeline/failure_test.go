@@ -15,9 +15,9 @@ import (
 // lower recall, no crashes, latency still far below full-frame.
 func TestDegradedDetectorStillRuns(t *testing.T) {
 	e := getEnv(t)
-	rep, err := Run(e.test, e.profiles, e.model, Options{
-		Mode: BALB, Seed: 5,
-		Detector: vision.Config{MissBase: 0.3, NoiseFrac: 0.08},
+	rep, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB},
+		Sim:   Sim{Seed: 5, Detector: vision.Config{MissBase: 0.3, NoiseFrac: 0.08}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -38,9 +38,9 @@ func TestDegradedDetectorStillRuns(t *testing.T) {
 // association quality drops but every frame must still process.
 func TestSevereNoiseDoesNotWedgeTracking(t *testing.T) {
 	e := getEnv(t)
-	rep, err := Run(e.test, e.profiles, e.model, Options{
-		Mode: BALB, Seed: 6,
-		Detector: vision.Config{NoiseFrac: 0.15},
+	rep, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB},
+		Sim:   Sim{Seed: 6, Detector: vision.Config{NoiseFrac: 0.15}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestTakeoverKeepsRecallWhenObjectsMigrate(t *testing.T) {
 // more of the shared cells and carrying more of the load.
 func TestStaticPartitionUsesCapacityWeights(t *testing.T) {
 	e := getEnv(t)
-	rep, err := Run(e.test, e.profiles, e.model, Options{Mode: StaticPartition, Seed: 5})
+	rep, err := Run(e.test, e.profiles, e.model, NewConfig(StaticPartition, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestStaticPartitionUsesCapacityWeights(t *testing.T) {
 // configuration change.
 func TestHeterogeneousVsHomogeneousFleet(t *testing.T) {
 	e := getEnv(t)
-	hetero, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5})
+	hetero, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestHeterogeneousVsHomogeneousFleet(t *testing.T) {
 		profile.Default(profile.JetsonXavier),
 		profile.Default(profile.JetsonXavier),
 	}
-	upgraded, err := Run(e.test, homo, e.model, Options{Mode: BALB, Seed: 5})
+	upgraded, err := Run(e.test, homo, e.model, NewConfig(BALB, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestEmptyScene(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := getEnv(t)
-	rep, err := Run(trace, s.Profiles(), e.model, Options{Mode: BALB, Seed: 5})
+	rep, err := Run(trace, s.Profiles(), e.model, NewConfig(BALB, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +161,13 @@ func TestRedundancyImprovesOcclusionRecall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Run(test, s.Profiles(), model, Options{Mode: BALB, Seed: 9})
+	single, err := Run(test, s.Profiles(), model, NewConfig(BALB, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	double, err := Run(test, s.Profiles(), model, Options{
-		Mode: BALB, Seed: 9, Redundancy: 2, RedundancySlack: 1.4,
+	double, err := Run(test, s.Profiles(), model, Config{
+		Sched: Sched{Mode: BALB, Redundancy: 2, RedundancySlack: 1.4},
+		Sim:   Sim{Seed: 9},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -185,12 +186,13 @@ func TestRedundancyImprovesOcclusionRecall(t *testing.T) {
 // collapse.
 func TestCameraLagDegradesRecallGracefully(t *testing.T) {
 	e := getEnv(t)
-	sync0, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5})
+	sync0, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	lagged, err := Run(e.test, e.profiles, e.model, Options{
-		Mode: BALB, Seed: 5, CameraLag: []int{0, 8},
+	lagged, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB},
+		Sim:   Sim{Seed: 5, CameraLag: []int{0, 8}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -205,8 +207,9 @@ func TestCameraLagDegradesRecallGracefully(t *testing.T) {
 
 func TestCameraLagValidation(t *testing.T) {
 	e := getEnv(t)
-	if _, err := Run(e.test, e.profiles, e.model, Options{
-		Mode: BALB, Seed: 5, CameraLag: []int{1},
+	if _, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB},
+		Sim:   Sim{Seed: 5, CameraLag: []int{1}},
 	}); err == nil {
 		t.Fatal("wrong-length CameraLag accepted")
 	}

@@ -68,12 +68,12 @@ func TestWorkersDeterministic(t *testing.T) {
 	modes := []Mode{Full, Independent, CentralOnly, BALB, StaticPartition}
 	for _, f := range fixtures {
 		for _, mode := range modes {
-			seq, err := Run(f.test, f.profiles, f.model, Options{Mode: mode, Seed: f.seed, Workers: 1})
+			seq, err := Run(f.test, f.profiles, f.model, Config{Sched: Sched{Mode: mode, Workers: 1}, Sim: Sim{Seed: f.seed}})
 			if err != nil {
 				t.Fatalf("%s/%v sequential: %v", f.name, mode, err)
 			}
 			for _, workers := range []int{2, 4, 8, 0} {
-				par, err := Run(f.test, f.profiles, f.model, Options{Mode: mode, Seed: f.seed, Workers: workers})
+				par, err := Run(f.test, f.profiles, f.model, Config{Sched: Sched{Mode: mode, Workers: workers}, Sim: Sim{Seed: f.seed}})
 				if err != nil {
 					t.Fatalf("%s/%v workers=%d: %v", f.name, mode, workers, err)
 				}
@@ -90,11 +90,11 @@ func TestWorkersDeterministic(t *testing.T) {
 // camera count is harmless (pool caps it) and still deterministic.
 func TestWorkersExceedingCameras(t *testing.T) {
 	e := getEnv(t)
-	seq, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, Workers: 1})
+	seq, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Workers: 1}, Sim: Sim{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, Workers: 64})
+	wide, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Workers: 64}, Sim: Sim{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestConcurrentRuns(t *testing.T) {
 			defer wg.Done()
 			// Fresh profiles per run: executors accumulate stats.
 			reports[i], errs[i] = Run(p.test, p.scenario.Profiles(), p.model,
-				Options{Mode: BALB, Seed: 17, Workers: 2})
+				Config{Sched: Sched{Mode: BALB, Workers: 2}, Sim: Sim{Seed: 17}})
 		}(i)
 	}
 	wg.Wait()

@@ -5,6 +5,14 @@
 // distributed BALB stage (camera masks) handling object dynamics in
 // between — plus the evaluation baselines the paper compares against.
 //
+// The package's public shape is streaming-first (docs/STREAMING.md): a
+// Source yields timestamped frames (simulator trace, test channel, or
+// the run store's deterministic replay), an Engine built from a grouped
+// Config consumes them one at a time and emits per-frame
+// metrics.Snapshot and per-round metrics.Round records, and the batch
+// Run helper is a thin wrapper — build a TraceSource, drain the engine,
+// return its Report.
+//
 // Time is two-layered, as in the paper's evaluation: GPU inference
 // latencies are *modelled* from the device profiles (the quantity the
 // scheduler optimizes, Fig. 13), while framework overheads — tracking,
@@ -13,27 +21,27 @@
 //
 // # Execution model
 //
-// The paper's cameras are independent devices, and Run mirrors that:
-// within each frame the per-camera work (detection, tracking, slicing,
-// batched GPU execution, distributed-stage decisions) fans out across a
-// bounded worker pool sized by Options.Workers (default: GOMAXPROCS,
-// capped at the camera count). Each camera's mutable state — its RNG,
-// tracker, executor, shadows — lives in its cameraState and is touched
-// by exactly one goroutine per frame; per-camera outputs are collected
-// into camFrame shards and merged in fixed camera order, so the modelled
-// results are bit-identical for every worker count (the determinism
-// contract, docs/CONCURRENCY.md). The key-frame central stage runs
-// between per-camera fan-outs, as the paper's central scheduler is a
-// single node, but is not purely sequential: its pairwise association
-// fans out per camera pair on the same Workers bound
+// The paper's cameras are independent devices, and the engine mirrors
+// that: within each frame the per-camera work (detection, tracking,
+// slicing, batched GPU execution, distributed-stage decisions) fans out
+// across a bounded worker pool sized by Config.Sched.Workers (default:
+// GOMAXPROCS, capped at the camera count). Each camera's mutable state —
+// its RNG, tracker, executor, shadows — lives in its cameraState and is
+// touched by exactly one goroutine per frame; per-camera outputs are
+// collected into camFrame shards and merged in fixed camera order, so
+// the modelled results are bit-identical for every worker count (the
+// determinism contract, docs/CONCURRENCY.md). The key-frame central
+// stage runs between per-camera fan-outs, as the paper's central
+// scheduler is a single node, but is not purely sequential: its pairwise
+// association fans out per camera pair on the same Workers bound
 // (assoc.AssociateWorkers), with the union-find merge applied in
 // deterministic pair order; only the BALB solve and the SP ownership
 // pass remain inline. Workers=1 runs everything — fan-outs included —
 // inline on the calling goroutine.
 //
-// Run itself is safe to call concurrently from multiple goroutines as
-// long as each call gets its own profiles slice (trace and model are
-// only read).
+// Run is safe to call concurrently from multiple goroutines as long as
+// each call gets its own profiles slice (trace and model are only
+// read); each call owns a private Engine.
 package pipeline
 
 import (
@@ -41,7 +49,6 @@ import (
 	"time"
 
 	"mvs/internal/assoc"
-	"mvs/internal/camfault"
 	"mvs/internal/core"
 	"mvs/internal/flow"
 	"mvs/internal/geom"
@@ -50,7 +57,6 @@ import (
 	"mvs/internal/pool"
 	"mvs/internal/profile"
 	"mvs/internal/scene"
-	"mvs/internal/shard"
 	"mvs/internal/vision"
 )
 
@@ -90,104 +96,6 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
-}
-
-// Options configures a pipeline run.
-type Options struct {
-	// Mode is the algorithm under test.
-	Mode Mode
-	// Horizon is T, the frames per scheduling horizon (default 10).
-	Horizon int
-	// Seed drives detector noise.
-	Seed int64
-	// GridCols, GridRows shape the per-camera cell grid for masks
-	// (default 16 x 9).
-	GridCols, GridRows int
-	// Detector tunes the simulated DNN.
-	Detector vision.Config
-	// AssocMinIoU is the association matching threshold (default 0.1).
-	AssocMinIoU float64
-	// Redundancy, when > 1, makes the central stage keep up to this many
-	// trackers per object (latency budget permitting) — the paper's §V
-	// occlusion-hedging extension. Only meaningful in BALB/CentralOnly
-	// modes; 0 or 1 is standard single-tracker BALB.
-	Redundancy int
-	// RedundancySlack bounds the extra trackers' latency cost as a
-	// multiple of the base system latency (default 1.2).
-	RedundancySlack float64
-	// CameraLag models imperfect synchronization (the paper's §V): when
-	// non-nil, camera i processes the scene as it was CameraLag[i] frames
-	// ago ("while some cameras are processing the 'current' scene, others
-	// might still be working on older versions"). Recall is still scored
-	// against the current frame, so lag shows up as handoff anomalies.
-	CameraLag []int
-	// Workers bounds the goroutines used for per-camera work within a
-	// frame, for the central stage's per-pair association fan-out at key
-	// frames, and for the per-cell coverage precomputation: 1 forces the
-	// sequential reference path, 0 (the default) selects GOMAXPROCS, and
-	// any value is capped at the item count of each fan-out. The
-	// modelled report fields are identical for every value (see
-	// Report.Modeled and docs/CONCURRENCY.md).
-	Workers int
-	// Sink, when non-nil, receives one metrics.Snapshot per frame —
-	// assembled in fixed camera order after the per-camera merge, from
-	// modelled fields only, so attaching a sink never perturbs the
-	// determinism contract (docs/OBSERVABILITY.md). The sink must accept
-	// concurrent RecordFrame calls if the same instance is shared by
-	// several runs. Run does not Flush the sink; the owner does.
-	Sink metrics.Sink
-	// Label tags this run's snapshots (Snapshot.Label); empty defaults
-	// to the mode name. Experiment harnesses use it to demultiplex
-	// snapshot streams from concurrent runs.
-	Label string
-	// CamFaults, when non-nil, injects the data-plane fault schedule: a
-	// camera that is down for a frame produces no observations and runs
-	// no inspection (its tracker, executor, and shadows freeze). The
-	// model must cover every roster camera and at least the trace
-	// length. nil runs fault-free — bit-identical to a build without
-	// this feature (docs/FAULTS.md, "Data-plane failure model").
-	CamFaults *camfault.Model
-	// HealthK is the health-tracker silence threshold: a camera silent
-	// for K consecutive frames is marked dead, the central stage
-	// reschedules over the healthy subset, and the distributed stage's
-	// ownership masks skip it (failover). 0 disables health tracking —
-	// faults still drop frames, but scheduling stays oblivious (the
-	// no-failover ablation). Only meaningful with CamFaults set.
-	HealthK int
-	// Shards, when non-nil, runs the central stage sharded: one
-	// association + BALB solve per shard over that shard's cameras only
-	// (on an assoc.Model.Subset), composed into a core.ShardedPolicy
-	// for the distributed stage. This is the in-process analogue of
-	// cluster.ShardedScheduler — no fleet-wide O(N²) association, no
-	// data structure spanning shards — usable at 64+ cameras without
-	// sockets. Only valid for BALB and CentralOnly modes. On a scenario
-	// with zero cross-shard coverage the modelled results are
-	// bit-identical to the unsharded run (see docs/ARCHITECTURE.md,
-	// determinism contract); with boundary traffic, ownership of
-	// straddling objects follows the lowest covering shard.
-	Shards *shard.Map
-}
-
-func (o Options) withDefaults() Options {
-	if o.Horizon <= 0 {
-		o.Horizon = 10
-	}
-	if o.GridCols <= 0 {
-		o.GridCols = 16
-	}
-	if o.GridRows <= 0 {
-		o.GridRows = 9
-	}
-	if o.AssocMinIoU <= 0 {
-		o.AssocMinIoU = 0.1
-	}
-	if o.Redundancy < 1 {
-		o.Redundancy = 1
-	}
-	if o.RedundancySlack <= 0 {
-		o.RedundancySlack = 1.2
-	}
-	return o
 }
 
 // Report is the outcome of a pipeline run.
@@ -247,9 +155,10 @@ func (r *Report) OverheadTotal() time.Duration {
 // latencies, tail statistics), with the wall-clock-measured overhead
 // fields (CentralPerFrame, TrackingPerFrame, DistributedPerFrame,
 // BatchingPerFrame) zeroed out. The determinism contract — the same
-// (trace, profiles, model, Options modulo Workers) produces identical
-// results — holds exactly for this projection; the measured overheads
-// are timings of this host and vary run to run even sequentially.
+// (source, profiles, model, Config modulo Sched.Workers) produces
+// identical results — holds exactly for this projection; the measured
+// overheads are timings of this host and vary run to run even
+// sequentially.
 func (r *Report) Modeled() Report {
 	out := *r
 	out.CentralPerFrame = 0
@@ -285,274 +194,34 @@ type cameraState struct {
 	shadows  []*shadow
 }
 
-// Run executes the pipeline over a pre-generated trace. The association
-// model may be nil for Full and Independent modes; every other mode
-// requires one trained on a disjoint (earlier) part of the deployment.
-func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, opts Options) (*Report, error) {
-	opts = opts.withDefaults()
+// Run executes the pipeline over a pre-generated trace: it builds a
+// TraceSource, drains a private Engine, and returns its Report. The
+// association model may be nil for Full and Independent modes; every
+// other mode requires one trained on a disjoint (earlier) part of the
+// deployment. Sink errors surface here even though the trace is fully
+// consumed on success — the engine flushes the sink at end of stream
+// and Run propagates the result.
+func Run(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, cfg Config) (*Report, error) {
 	if len(trace.Frames) == 0 {
 		return nil, fmt.Errorf("pipeline: empty trace")
 	}
-	if len(profiles) != len(trace.Cameras) {
-		return nil, fmt.Errorf("pipeline: %d profiles for %d cameras", len(profiles), len(trace.Cameras))
+	if cfg.Fault.CamFaults != nil && cfg.Fault.CamFaults.NumFrames() < len(trace.Frames) {
+		return nil, fmt.Errorf("pipeline: fault schedule covers %d frames, trace has %d",
+			cfg.Fault.CamFaults.NumFrames(), len(trace.Frames))
 	}
-	needsModel := opts.Mode == CentralOnly || opts.Mode == BALB || opts.Mode == StaticPartition
-	if needsModel {
-		if model == nil {
-			return nil, fmt.Errorf("pipeline: mode %v requires an association model", opts.Mode)
-		}
-		if model.NumCameras() != len(trace.Cameras) {
-			return nil, fmt.Errorf("pipeline: model trained for %d cameras, trace has %d",
-				model.NumCameras(), len(trace.Cameras))
-		}
-	}
-
-	var subModels []*assoc.Model
-	if opts.Shards != nil {
-		if opts.Mode != BALB && opts.Mode != CentralOnly {
-			return nil, fmt.Errorf("pipeline: Shards requires BALB or CentralOnly mode, got %v", opts.Mode)
-		}
-		if err := opts.Shards.Validate(); err != nil {
-			return nil, fmt.Errorf("pipeline: %w", err)
-		}
-		if opts.Shards.NumCameras() != len(trace.Cameras) {
-			return nil, fmt.Errorf("pipeline: shard map covers %d cameras, trace has %d",
-				opts.Shards.NumCameras(), len(trace.Cameras))
-		}
-		subModels = make([]*assoc.Model, opts.Shards.NumShards())
-		for s, roster := range opts.Shards.Shards {
-			sub, err := model.Subset(roster)
-			if err != nil {
-				return nil, fmt.Errorf("pipeline: shard %d model: %w", s, err)
-			}
-			subModels[s] = sub
-		}
-	}
-
-	cams, err := buildCameraStates(trace, profiles, model, opts)
+	e, err := NewEngine(NewTraceSource(trace), profiles, model, cfg)
 	if err != nil {
 		return nil, err
 	}
-	label := opts.Label
-	if label == "" {
-		label = opts.Mode.String()
+	if err := e.Run(); err != nil {
+		return nil, err
 	}
-	coreCams := make([]core.CameraSpec, len(cams))
-	for i := range cams {
-		coreCams[i] = core.CameraSpec{Index: i, Profile: profiles[i]}
-	}
-
-	var (
-		recall       metrics.RecallAccumulator
-		perCamTotal  = make([]time.Duration, len(cams))
-		horizonCam   = make([]time.Duration, len(cams))
-		horizonLen   int
-		slowestSum   time.Duration
-		horizons     int
-		centralTotal time.Duration
-		breakdown    = metrics.NewBreakdown()
-		policy       core.Policy
-		frameSeries  metrics.LatencySeries
-		prevBusy     = make([]time.Duration, len(cams))
-	)
-
-	// Default policy (before the first central stage): priority by index
-	// — sharded runs compose the same index order per shard, so the
-	// pre-key-frame decisions match the unsharded ones on single-shard
-	// coverage sets.
-	if needsModel || opts.Mode == Independent {
-		if opts.Shards != nil {
-			prios := make([][]int, opts.Shards.NumShards())
-			for s, roster := range opts.Shards.Shards {
-				prios[s] = append([]int(nil), roster...)
-			}
-			policy, err = core.NewShardedPolicy(opts.Shards.ShardOf, prios)
-		} else {
-			idx := make([]int, len(cams))
-			for i := range idx {
-				idx[i] = i
-			}
-			policy, err = core.NewDistributedPolicy(idx)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	flushHorizon := func() {
-		if horizonLen == 0 {
-			return
-		}
-		var slowest time.Duration
-		for i := range horizonCam {
-			mean := horizonCam[i] / time.Duration(horizonLen)
-			if mean > slowest {
-				slowest = mean
-			}
-			horizonCam[i] = 0
-		}
-		slowestSum += slowest
-		horizons++
-		horizonLen = 0
-	}
-
-	if opts.CameraLag != nil && len(opts.CameraLag) != len(cams) {
-		return nil, fmt.Errorf("pipeline: CameraLag has %d entries for %d cameras",
-			len(opts.CameraLag), len(cams))
-	}
-	if opts.CamFaults != nil {
-		if opts.CamFaults.NumCameras() != len(cams) {
-			return nil, fmt.Errorf("pipeline: fault schedule for %d cameras, trace has %d",
-				opts.CamFaults.NumCameras(), len(cams))
-		}
-		if opts.CamFaults.NumFrames() < len(trace.Frames) {
-			return nil, fmt.Errorf("pipeline: fault schedule covers %d frames, trace has %d",
-				opts.CamFaults.NumFrames(), len(trace.Frames))
-		}
-	}
-	// Health tracking: mark cameras dead after HealthK silent frames and
-	// feed the mask into the ownership policy so the distributed stage
-	// fails over and the central stage reschedules over the survivors.
-	var (
-		health       *camfault.Tracker
-		deadMask     []bool
-		outageFrames int
-		orphaned     int
-		reassigned   int
-	)
-	if opts.CamFaults != nil && opts.HealthK > 0 && policy != nil {
-		health = camfault.NewTracker(len(cams), opts.HealthK)
-	}
-
-	for fi := range trace.Frames {
-		frame := &trace.Frames[fi]
-		// Each camera sees the scene as of its own (possibly lagged)
-		// frame — the paper's imperfect-synchronization model. A camera
-		// down per the fault schedule sees nothing and does no work this
-		// frame; its state freezes until it recovers.
-		obs := make([][]scene.Observation, len(cams))
-		var down []bool
-		for i := range cams {
-			if opts.CamFaults.Down(i, fi) {
-				if down == nil {
-					down = make([]bool, len(cams))
-				}
-				down[i] = true
-				outageFrames++
-				continue
-			}
-			src := fi
-			if opts.CameraLag != nil && opts.CameraLag[i] > 0 {
-				src = fi - opts.CameraLag[i]
-				if src < 0 {
-					src = 0
-				}
-			}
-			obs[i] = trace.Frames[src].PerCamera[i]
-		}
-		if health != nil {
-			for i := range cams {
-				health.Observe(i, down == nil || !down[i])
-			}
-			deadMask, _ = health.DeadMask(deadMask)
-			policy.SetDead(deadMask) // all-false mask clears
-		}
-		isKey := fi%opts.Horizon == 0
-		detectedIDs := make(map[int]bool)
-		results := make([]camFrame, len(cams))
-
-		if isKey {
-			flushHorizon()
-			if err := runKeyFrame(cams, obs, down, detectedIDs, breakdown, horizonCam, results, opts); err != nil {
-				return nil, err
-			}
-			if needsModel {
-				start := time.Now()
-				newPolicy, err := centralStage(cams, coreCams, model, subModels, deadMask, opts)
-				if err != nil {
-					return nil, err
-				}
-				centralTotal += time.Since(start)
-				if newPolicy != nil {
-					policy = newPolicy
-					policy.SetDead(deadMask)
-				}
-			}
-		} else {
-			if err := runRegularFrame(cams, obs, down, detectedIDs, breakdown, horizonCam, results, policy, opts); err != nil {
-				return nil, err
-			}
-		}
-
-		breakdown.EndFrame()
-		horizonLen++
-		recall.Observe(frame.VisibleObjectIDs(), detectedIDs)
-		for i := range results {
-			reassigned += results[i].reassigned
-			orphaned += results[i].orphaned
-		}
-
-		// Per-frame system latency (max across cameras) for tail stats.
-		var frameMax time.Duration
-		for i, c := range cams {
-			busy := c.exec.Stats().BusyTime
-			if d := busy - prevBusy[i]; d > frameMax {
-				frameMax = d
-			}
-			prevBusy[i] = busy
-		}
-		frameSeries.Add(frameMax)
-
-		// Live export: one snapshot per frame, fixed camera order,
-		// modelled fields only — the sink sees exactly what Modeled()
-		// would report for the frames so far, so attaching one cannot
-		// perturb the determinism contract.
-		if opts.Sink != nil {
-			emitFrameSnapshot(opts.Sink, label, fi, &recall, frameMax, cams, results,
-				outageFrames, orphaned, reassigned)
-		}
-	}
-	flushHorizon()
-
-	for i, c := range cams {
-		perCamTotal[i] = c.exec.Stats().BusyTime / time.Duration(len(trace.Frames))
-	}
-
-	rep := &Report{
-		Mode:                opts.Mode,
-		Frames:              len(trace.Frames),
-		Horizon:             opts.Horizon,
-		Recall:              recall.Recall(),
-		PerCameraMean:       perCamTotal,
-		CentralPerFrame:     centralTotal / time.Duration(len(trace.Frames)),
-		TrackingPerFrame:    breakdown.MeanOf("tracking"),
-		DistributedPerFrame: breakdown.MeanOf("distributed"),
-		BatchingPerFrame:    breakdown.MeanOf("batching"),
-	}
-	rep.TP, rep.FN = recall.Counts()
-	if horizons > 0 {
-		rep.MeanSlowest = slowestSum / time.Duration(horizons)
-	}
-	rep.MaxSlowest = frameSeries.Max()
-	p95, err := frameSeries.Percentile(95)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: %w", err)
-	}
-	rep.P95Slowest = p95
-	p99, err := frameSeries.Percentile(99)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: %w", err)
-	}
-	rep.P99Slowest = p99
-	rep.OutageFrames = outageFrames
-	rep.OrphanedObjects = orphaned
-	rep.Reassignments = reassigned
-	return rep, nil
+	return e.Report()
 }
 
-func buildCameraStates(trace *scene.Trace, profiles []*profile.Profile, model *assoc.Model, opts Options) ([]*cameraState, error) {
-	cams := make([]*cameraState, len(trace.Cameras))
-	for i, sc := range trace.Cameras {
+func buildCameraStates(cameras []*scene.Camera, profiles []*profile.Profile, model *assoc.Model, cfg Config) ([]*cameraState, error) {
+	cams := make([]*cameraState, len(cameras))
+	for i, sc := range cameras {
 		exec, err := gpu.NewExecutor(profiles[i])
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: camera %d: %w", i, err)
@@ -565,25 +234,25 @@ func buildCameraStates(trace *scene.Trace, profiles []*profile.Profile, model *a
 			index:   i,
 			cam:     sc,
 			exec:    exec,
-			det:     vision.NewDetector(opts.Seed+int64(i)*101, opts.Detector),
+			det:     vision.NewDetector(cfg.Sim.Seed+int64(i)*101, cfg.Sim.Detector),
 			tracker: tracker,
-			grid:    geom.NewGrid(sc.Frame(), opts.GridCols, opts.GridRows),
+			grid:    geom.NewGrid(sc.Frame(), cfg.Sim.GridCols, cfg.Sim.GridRows),
 		}
 		cams[i] = cs
 	}
 
 	// Static precomputation: cell coverage sets (the cameras are
 	// statically mounted, so this happens once, as in the paper).
-	if opts.Mode == CentralOnly || opts.Mode == BALB || opts.Mode == StaticPartition {
+	if cfg.Sched.Mode == CentralOnly || cfg.Sched.Mode == BALB || cfg.Sched.Mode == StaticPartition {
 		for _, cs := range cams {
-			cover, err := model.CellCoverageWorkers(cs.index, cs.grid, opts.Workers)
+			cover, err := model.CellCoverageWorkers(cs.index, cs.grid, cfg.Sched.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: camera %d coverage: %w", cs.index, err)
 			}
 			cs.coverage = cover
 		}
 	}
-	if opts.Mode == StaticPartition {
+	if cfg.Sched.Mode == StaticPartition {
 		if err := computeStaticOwners(cams, profiles); err != nil {
 			return nil, err
 		}
@@ -691,8 +360,8 @@ func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 // non-nil down mask skips those cameras entirely (their shard stays
 // zero and their state freezes).
 func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, detected map[int]bool,
-	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame, opts Options) error {
-	err := pool.Do(opts.Workers, len(cams), func(i int) error {
+	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame, cfg Config) error {
+	err := pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
 		if down != nil && down[i] {
 			return nil
 		}
@@ -705,7 +374,7 @@ func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, de
 
 	// SP keeps only tracks in owned cells; Full/Independent/Central modes
 	// keep everything (the central stage reassigns right after).
-	if opts.Mode == StaticPartition {
+	if cfg.Sched.Mode == StaticPartition {
 		for _, cs := range cams {
 			if down != nil && down[cs.index] {
 				continue
@@ -740,16 +409,26 @@ func (cs *cameraState) keyFrame(obs []scene.Observation, out *camFrame) error {
 	return nil
 }
 
+// roundInfo is one central-stage round's decision summary, feeding the
+// metrics.Round record the engine emits (Config.Obs.Rounds): the
+// composed priority order (global camera indices), per-camera assigned
+// object counts, and the scheduled object-group count.
+type roundInfo struct {
+	objects  int
+	priority []int
+	assigned []int
+}
+
 // centralStage runs association plus the central-stage scheduler and
 // applies the assignment: unassigned members become shadows. The
 // pairwise association — the stage's O(N^2) term — fans out per camera
-// pair on opts.Workers (assoc.AssociateWorkers); the BALB solve and the
+// pair on Sched.Workers (assoc.AssociateWorkers); the BALB solve and the
 // shadow bookkeeping stay inline. For SP the association is skipped
 // (its partition is static), so the stage only reconciles track
 // ownership by cell owner, which key-frame handling already did — it
-// returns a nil policy to keep the previous one.
+// returns a nil policy (keep the previous one) and a nil round.
 //
-// With opts.Shards set the stage runs once per shard over that shard's
+// With Sched.Shards set the stage runs once per shard over that shard's
 // cameras only (subModels[s] is the model restricted to the shard's
 // roster), and the per-shard priorities compose into a
 // core.ShardedPolicy; no association pair, MVS instance, or priority
@@ -760,45 +439,51 @@ func (cs *cameraState) keyFrame(obs []scene.Observation, out *camFrame) error {
 // subset only and every orphaned object is implicitly reassigned to a
 // live covering camera by Central.
 func centralStage(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model,
-	subModels []*assoc.Model, dead []bool, opts Options) (core.Policy, error) {
-	if opts.Mode == StaticPartition {
-		return nil, nil
+	subModels []*assoc.Model, dead []bool, cfg Config) (core.Policy, *roundInfo, error) {
+	if cfg.Sched.Mode == StaticPartition {
+		return nil, nil, nil
 	}
-	if opts.Shards == nil {
-		prio, err := centralShard(cams, coreCams, model, dead, nil, opts)
+	info := &roundInfo{assigned: make([]int, len(cams))}
+	if cfg.Sched.Shards == nil {
+		prio, objects, err := centralShard(cams, coreCams, model, dead, nil, cfg, info.assigned)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		policy, err := core.NewDistributedPolicy(prio)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: %w", err)
+			return nil, nil, fmt.Errorf("pipeline: %w", err)
 		}
-		return policy, nil
+		info.priority = prio
+		info.objects = objects
+		return policy, info, nil
 	}
-	priorities := make([][]int, opts.Shards.NumShards())
-	for s, roster := range opts.Shards.Shards {
-		prio, err := centralShard(cams, coreCams, subModels[s], dead, roster, opts)
+	priorities := make([][]int, cfg.Sched.Shards.NumShards())
+	for s, roster := range cfg.Sched.Shards.Shards {
+		prio, objects, err := centralShard(cams, coreCams, subModels[s], dead, roster, cfg, info.assigned)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: shard %d: %w", s, err)
+			return nil, nil, fmt.Errorf("pipeline: shard %d: %w", s, err)
 		}
 		priorities[s] = prio
+		info.priority = append(info.priority, prio...)
+		info.objects += objects
 	}
-	policy, err := core.NewShardedPolicy(opts.Shards.ShardOf, priorities)
+	policy, err := core.NewShardedPolicy(cfg.Sched.Shards.ShardOf, priorities)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: %w", err)
+		return nil, nil, fmt.Errorf("pipeline: %w", err)
 	}
-	return policy, nil
+	return policy, info, nil
 }
 
 // centralShard runs one central-stage round over a camera roster (nil
 // = the whole fleet, with local index == global index) and returns the
-// resulting priority order in *global* camera indices. The model must
-// be scoped to the roster (assoc.Model.Subset); boxes, coverage sets,
-// and the BALB instance all use local (roster) indices internally, and
-// only the applied shadows and the returned priority are translated
-// back to global.
+// resulting priority order in *global* camera indices plus the number
+// of object groups scheduled. The model must be scoped to the roster
+// (assoc.Model.Subset); boxes, coverage sets, and the BALB instance all
+// use local (roster) indices internally, and only the applied shadows,
+// the returned priority, and the assigned counts (incremented into the
+// fleet-indexed assigned slice) are translated back to global.
 func centralShard(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.Model,
-	dead []bool, roster []int, opts Options) ([]int, error) {
+	dead []bool, roster []int, cfg Config, assigned []int) ([]int, int, error) {
 	n := len(cams)
 	if roster != nil {
 		n = len(roster)
@@ -823,9 +508,9 @@ func centralShard(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 			trackIDs[li] = append(trackIDs[li], t.ID)
 		}
 	}
-	groups, err := model.AssociateWorkers(boxes, opts.AssocMinIoU, opts.Workers)
+	groups, err := model.AssociateWorkers(boxes, cfg.Sched.AssocMinIoU, cfg.Sched.Workers)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: association: %w", err)
+		return nil, 0, fmt.Errorf("pipeline: association: %w", err)
 	}
 
 	// Build the MVS instance: one object per associated group, coverage
@@ -857,17 +542,17 @@ func centralShard(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 	}
 	var sol *core.Solution
 	extra := map[int][]int{}
-	if opts.Redundancy > 1 {
+	if cfg.Sched.Redundancy > 1 {
 		var err error
-		sol, extra, err = core.CentralRedundant(localCore, objects, opts.Redundancy, opts.RedundancySlack)
+		sol, extra, err = core.CentralRedundant(localCore, objects, cfg.Sched.Redundancy, cfg.Sched.RedundancySlack)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: redundant central BALB: %w", err)
+			return nil, 0, fmt.Errorf("pipeline: redundant central BALB: %w", err)
 		}
 	} else {
 		var err error
 		sol, err = core.Central(localCore, objects, core.CentralOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: central BALB: %w", err)
+			return nil, 0, fmt.Errorf("pipeline: central BALB: %w", err)
 		}
 	}
 
@@ -877,6 +562,10 @@ func centralShard(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 		assignedCam, ok := sol.Assign[gi+1]
 		if !ok {
 			continue // group with no live members
+		}
+		assigned[glob(assignedCam)]++
+		for _, ec := range extra[gi+1] {
+			assigned[glob(ec)]++
 		}
 		for _, ref := range g.Members {
 			if ref.Cam == assignedCam || containsCam(extra[gi+1], ref.Cam) {
@@ -903,7 +592,7 @@ func centralShard(cams []*cameraState, coreCams []core.CameraSpec, model *assoc.
 	for k, li := range sol.Priority {
 		prio[k] = glob(li)
 	}
-	return prio, nil
+	return prio, len(objects), nil
 }
 
 func containsCam(cams []int, cam int) bool {
@@ -921,10 +610,10 @@ func containsCam(cams []int, cam int) bool {
 // camFrame shard.
 func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, detected map[int]bool,
 	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame,
-	policy core.Policy, opts Options) error {
+	policy core.Policy, cfg Config) error {
 	var err error
-	if opts.Mode == Full {
-		err = pool.Do(opts.Workers, len(cams), func(i int) error {
+	if cfg.Sched.Mode == Full {
+		err = pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
 			if down != nil && down[i] {
 				return nil
 			}
@@ -932,11 +621,11 @@ func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, down []bool
 			return nil
 		})
 	} else {
-		err = pool.Do(opts.Workers, len(cams), func(i int) error {
+		err = pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
 			if down != nil && down[i] {
 				return nil
 			}
-			return cams[i].regularFrame(obs[i], policy, opts, &results[i])
+			return cams[i].regularFrame(obs[i], policy, cfg, &results[i])
 		})
 	}
 	if err != nil {
@@ -958,8 +647,8 @@ func (cs *cameraState) fullFrame(obs []scene.Observation, out *camFrame) {
 // shadow advance, slicing, new-region proposals, batched GPU execution,
 // tracking update, and the distributed-stage ownership decisions.
 func (cs *cameraState) regularFrame(obs []scene.Observation, policy core.Policy,
-	opts Options, out *camFrame) error {
-	useDistributed := opts.Mode == BALB || opts.Mode == Independent || opts.Mode == StaticPartition
+	cfg Config, out *camFrame) error {
+	useDistributed := cfg.Sched.Mode == BALB || cfg.Sched.Mode == Independent || cfg.Sched.Mode == StaticPartition
 
 	// --- Tracking: advance shadows, slice regions. ---
 	trackStart := time.Now()
@@ -1001,7 +690,7 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy core.Policy,
 			// The camera masks filter *before* inspection: a camera
 			// never spends GPU time on new regions another camera is
 			// responsible for (Fig. 8).
-			if !cs.keepNewTrack(nr.Center(), policy, opts) {
+			if !cs.keepNewTrack(nr.Center(), policy, cfg) {
 				continue
 			}
 			q, size := geom.QuantizeRect(nr, cs.cam.Frame(), nil)
@@ -1046,11 +735,11 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy core.Policy,
 		if t == nil {
 			continue
 		}
-		if !cs.keepNewTrack(t.Box.Center(), policy, opts) {
+		if !cs.keepNewTrack(t.Box.Center(), policy, cfg) {
 			cs.tracker.Remove(id)
 		}
 	}
-	if opts.Mode == BALB {
+	if cfg.Sched.Mode == BALB {
 		cs.takeoverCheck(policy, out)
 	}
 	out.sample.Observe("distributed", time.Since(distStart))
@@ -1061,8 +750,8 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy core.Policy,
 // by mode: Independent keeps all; SP keeps tracks in its owned cells;
 // BALB keeps tracks whose cell it owns under the latency-priority masks;
 // CentralOnly never spawns between key frames (no distributed stage).
-func (cs *cameraState) keepNewTrack(centre geom.Point, policy core.Policy, opts Options) bool {
-	switch opts.Mode {
+func (cs *cameraState) keepNewTrack(centre geom.Point, policy core.Policy, cfg Config) bool {
+	switch cfg.Sched.Mode {
 	case Independent:
 		return true
 	case StaticPartition:

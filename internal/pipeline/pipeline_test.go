@@ -49,7 +49,7 @@ func getEnv(t *testing.T) *testEnv {
 func runMode(t *testing.T, mode Mode) *Report {
 	t.Helper()
 	e := getEnv(t)
-	rep, err := Run(e.test, e.profiles, e.model, Options{Mode: mode, Seed: 5})
+	rep, err := Run(e.test, e.profiles, e.model, NewConfig(mode, 5))
 	if err != nil {
 		t.Fatalf("%v: %v", mode, err)
 	}
@@ -163,7 +163,7 @@ func TestPerCameraMeansPopulated(t *testing.T) {
 
 func TestHorizonOneIsAllKeyFrames(t *testing.T) {
 	e := getEnv(t)
-	rep, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Horizon: 1, Seed: 5})
+	rep, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Horizon: 1}, Sim: Sim{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +180,11 @@ func TestHorizonOneIsAllKeyFrames(t *testing.T) {
 
 func TestLongerHorizonIsFasterButLowerRecall(t *testing.T) {
 	e := getEnv(t)
-	short, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Horizon: 2, Seed: 5})
+	short, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Horizon: 2}, Sim: Sim{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	long, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Horizon: 40, Seed: 5})
+	long, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Horizon: 40}, Sim: Sim{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,16 +199,16 @@ func TestLongerHorizonIsFasterButLowerRecall(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	e := getEnv(t)
 	empty := &scene.Trace{FPS: 10, Cameras: e.test.Cameras}
-	if _, err := Run(empty, e.profiles, e.model, Options{}); err == nil {
+	if _, err := Run(empty, e.profiles, e.model, Config{}); err == nil {
 		t.Fatal("empty trace accepted")
 	}
-	if _, err := Run(e.test, e.profiles[:1], e.model, Options{}); err == nil {
+	if _, err := Run(e.test, e.profiles[:1], e.model, Config{}); err == nil {
 		t.Fatal("profile count mismatch accepted")
 	}
-	if _, err := Run(e.test, e.profiles, nil, Options{Mode: BALB}); err == nil {
+	if _, err := Run(e.test, e.profiles, nil, Config{Sched: Sched{Mode: BALB}}); err == nil {
 		t.Fatal("BALB without model accepted")
 	}
-	if _, err := Run(e.test, e.profiles, nil, Options{Mode: Full}); err != nil {
+	if _, err := Run(e.test, e.profiles, nil, Config{Sched: Sched{Mode: Full}}); err != nil {
 		t.Fatalf("Full without model rejected: %v", err)
 	}
 	// Model/camera-count mismatch.
@@ -221,7 +221,7 @@ func TestRunValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(e.test, e.profiles, m3, Options{Mode: BALB}); err == nil {
+	if _, err := Run(e.test, e.profiles, m3, Config{Sched: Sched{Mode: BALB}}); err == nil {
 		t.Fatal("camera-count mismatch accepted")
 	}
 }
@@ -229,7 +229,7 @@ func TestRunValidation(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	a := runMode(t, BALB)
 	e := getEnv(t)
-	b, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5})
+	b, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
 	if err != nil {
 		t.Fatal(err)
 	}

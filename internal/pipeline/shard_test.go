@@ -63,12 +63,12 @@ func TestShardedMatchesGlobalOnIslands(t *testing.T) {
 	m := islandShardMap(t, test, 2)
 
 	for _, mode := range []Mode{BALB, CentralOnly} {
-		opts := Options{Mode: mode, Seed: 7}
+		opts := NewConfig(mode, 7)
 		global, err := Run(test, profiles, model, opts)
 		if err != nil {
 			t.Fatalf("%v global: %v", mode, err)
 		}
-		opts.Shards = m
+		opts.Sched.Shards = m
 		sharded, err := Run(test, profiles, model, opts)
 		if err != nil {
 			t.Fatalf("%v sharded: %v", mode, err)
@@ -93,12 +93,12 @@ func TestShardedDeterministicAcrossWorkers(t *testing.T) {
 	test, model, profiles := buildScenarioEnv(t, s, 400)
 	m := islandShardMap(t, test, 2)
 
-	base, err := Run(test, profiles, model, Options{Mode: BALB, Seed: 3, Shards: m, Workers: 1})
+	base, err := Run(test, profiles, model, Config{Sched: Sched{Mode: BALB, Shards: m, Workers: 1}, Sim: Sim{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4} {
-		rep, err := Run(test, profiles, model, Options{Mode: BALB, Seed: 3, Shards: m, Workers: workers})
+		rep, err := Run(test, profiles, model, Config{Sched: Sched{Mode: BALB, Shards: m, Workers: workers}, Sim: Sim{Seed: 3}})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -138,7 +138,7 @@ func TestShardedCorridorSmoke(t *testing.T) {
 		t.Fatalf("corridor with max-shard 4 must split, got %v", m.String())
 	}
 
-	rep, err := Run(test, profiles, model, Options{Mode: BALB, Seed: 9, Shards: m})
+	rep, err := Run(test, profiles, model, Config{Sched: Sched{Mode: BALB, Shards: m}, Sim: Sim{Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestShardedOptionValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wrong mode.
-	if _, err := Run(e.test, e.profiles, e.model, Options{Mode: Independent, Seed: 1, Shards: m}); err == nil {
+	if _, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: Independent, Shards: m}, Sim: Sim{Seed: 1}}); err == nil {
 		t.Fatal("Shards with Independent mode must fail")
 	}
 	// Wrong fleet size.
@@ -173,15 +173,15 @@ func TestShardedOptionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 1, Shards: wrong}); err == nil {
+	if _, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Shards: wrong}, Sim: Sim{Seed: 1}}); err == nil {
 		t.Fatal("Shards over the wrong fleet size must fail")
 	}
 	// Single shard over the right fleet works (degenerate sharding).
-	rep, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, Shards: m})
+	rep, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Shards: m}, Sim: Sim{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5})
+	base, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 // concurrent fan-out.
 func TestSinkDeterministic(t *testing.T) {
 	e := getEnv(t)
-	base, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, Workers: 1})
+	base, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB, Workers: 1}, Sim: Sim{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,8 +33,9 @@ func TestSinkDeterministic(t *testing.T) {
 	}
 	for name, mk := range sinks {
 		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
-			rep, err := Run(e.test, e.profiles, e.model, Options{
-				Mode: BALB, Seed: 5, Workers: workers, Sink: mk(),
+			rep, err := Run(e.test, e.profiles, e.model, Config{
+				Sched: Sched{Mode: BALB, Workers: workers},
+				Sim:   Sim{Seed: 5}, Obs: Obs{Sink: mk()},
 			})
 			if err != nil {
 				t.Fatalf("%s/workers=%d: %v", name, workers, err)
@@ -55,7 +56,7 @@ func TestSinkSnapshotStream(t *testing.T) {
 	e := getEnv(t)
 	frames := len(e.test.Frames)
 	sink := metrics.NewChannelSink(1, frames+1)
-	rep, err := Run(e.test, e.profiles, e.model, Options{Mode: BALB, Seed: 5, Sink: sink})
+	rep, err := Run(e.test, e.profiles, e.model, Config{Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5}, Obs: Obs{Sink: sink}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,13 +112,14 @@ func TestSinkSnapshotStream(t *testing.T) {
 	}
 }
 
-// TestSinkLabelOverride checks Options.Label replaces the mode-name
+// TestSinkLabelOverride checks Obs.Label replaces the mode-name
 // default (the experiments layer relies on this to tag fan-out runs).
 func TestSinkLabelOverride(t *testing.T) {
 	e := getEnv(t)
 	sink := metrics.NewChannelSink(len(e.test.Frames), 4) // just the first snapshot
-	_, err := Run(e.test, e.profiles, e.model, Options{
-		Mode: BALB, Seed: 5, Sink: sink, Label: "modes/BALB",
+	_, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5},
+		Obs: Obs{Sink: sink, Label: "modes/BALB"},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -53,37 +53,134 @@ type obsJSON struct {
 	Box [4]float64 `json:"box"`
 }
 
+func toCameraJSON(c *Camera) cameraJSON {
+	return cameraJSON{
+		Name: c.Name, PosX: c.Pos.X, PosY: c.Pos.Y,
+		Height: c.Height, Yaw: c.Yaw, Pitch: c.Pitch, Focal: c.Focal,
+		ImageW: c.ImageW, ImageH: c.ImageH,
+		MaxRange: c.MaxRange, MinPixelArea: c.MinPixelArea,
+	}
+}
+
+func fromCameraJSON(c cameraJSON) (*Camera, error) {
+	cam := &Camera{
+		Name: c.Name, Pos: geom.Point{X: c.PosX, Y: c.PosY},
+		Height: c.Height, Yaw: c.Yaw, Pitch: c.Pitch, Focal: c.Focal,
+		ImageW: c.ImageW, ImageH: c.ImageH,
+		MaxRange: c.MaxRange, MinPixelArea: c.MinPixelArea,
+	}
+	if err := cam.Validate(); err != nil {
+		return nil, err
+	}
+	return cam, nil
+}
+
+func toFrameJSON(f *FrameTruth) frameJSON {
+	jf := frameJSON{Index: f.Index, PerCamera: make([][]obsJSON, len(f.PerCamera))}
+	for _, o := range f.Objects {
+		jf.Objects = append(jf.Objects, objectJSON{
+			ID: o.ID, X: o.Pos.X, Y: o.Pos.Y, Heading: o.Heading,
+			Speed: o.Speed, W: o.Dims.W, L: o.Dims.L, H: o.Dims.H,
+		})
+	}
+	for ci, obs := range f.PerCamera {
+		for _, o := range obs {
+			jf.PerCamera[ci] = append(jf.PerCamera[ci], obsJSON{
+				ID:  o.ObjectID,
+				Box: [4]float64{o.Box.MinX, o.Box.MinY, o.Box.MaxX, o.Box.MaxY},
+			})
+		}
+	}
+	return jf
+}
+
+func fromFrameJSON(jf frameJSON, numCameras int) (*FrameTruth, error) {
+	if len(jf.PerCamera) != numCameras {
+		return nil, fmt.Errorf("scene: frame %d has %d camera lists, want %d",
+			jf.Index, len(jf.PerCamera), numCameras)
+	}
+	f := &FrameTruth{Index: jf.Index, PerCamera: make([][]Observation, numCameras)}
+	for _, o := range jf.Objects {
+		f.Objects = append(f.Objects, ObjectState{
+			ID: o.ID, Pos: geom.Point{X: o.X, Y: o.Y},
+			Heading: o.Heading, Speed: o.Speed,
+			Dims: Dims{W: o.W, L: o.L, H: o.H},
+		})
+	}
+	for ci, obs := range jf.PerCamera {
+		for _, o := range obs {
+			f.PerCamera[ci] = append(f.PerCamera[ci], Observation{
+				ObjectID: o.ID,
+				Box:      geom.Rect{MinX: o.Box[0], MinY: o.Box[1], MaxX: o.Box[2], MaxY: o.Box[3]},
+			})
+		}
+	}
+	return f, nil
+}
+
+// MarshalCameras returns the wire JSON for a camera roster — the same
+// schema Save embeds in a trace — so other packages (the run store's
+// manifest) can persist cameras without coupling to runtime structs.
+func MarshalCameras(cams []*Camera) (json.RawMessage, error) {
+	out := make([]cameraJSON, 0, len(cams))
+	for _, c := range cams {
+		out = append(out, toCameraJSON(c))
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("scene: encode cameras: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalCameras parses a roster written by MarshalCameras, validating
+// each camera.
+func UnmarshalCameras(data json.RawMessage) ([]*Camera, error) {
+	var in []cameraJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("scene: decode cameras: %w", err)
+	}
+	cams := make([]*Camera, 0, len(in))
+	for _, c := range in {
+		cam, err := fromCameraJSON(c)
+		if err != nil {
+			return nil, err
+		}
+		cams = append(cams, cam)
+	}
+	return cams, nil
+}
+
+// MarshalFrame returns one frame's wire JSON (one line of a run-store
+// frame segment; the same schema Save uses inside a trace).
+func MarshalFrame(f *FrameTruth) ([]byte, error) {
+	data, err := json.Marshal(toFrameJSON(f))
+	if err != nil {
+		return nil, fmt.Errorf("scene: encode frame: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalFrame parses a frame written by MarshalFrame, checking it
+// carries exactly numCameras observation lists.
+func UnmarshalFrame(data []byte, numCameras int) (*FrameTruth, error) {
+	var jf frameJSON
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return nil, fmt.Errorf("scene: decode frame: %w", err)
+	}
+	return fromFrameJSON(jf, numCameras)
+}
+
 // Save serializes the trace as JSON, so a generated workload can be
 // archived and replayed (e.g. shipped to camera nodes instead of
 // regenerating from a seed).
 func (t *Trace) Save(w io.Writer) error {
 	out := traceJSON{FPS: int64(t.FPS * 1000)}
 	for _, c := range t.Cameras {
-		out.Cameras = append(out.Cameras, cameraJSON{
-			Name: c.Name, PosX: c.Pos.X, PosY: c.Pos.Y,
-			Height: c.Height, Yaw: c.Yaw, Pitch: c.Pitch, Focal: c.Focal,
-			ImageW: c.ImageW, ImageH: c.ImageH,
-			MaxRange: c.MaxRange, MinPixelArea: c.MinPixelArea,
-		})
+		out.Cameras = append(out.Cameras, toCameraJSON(c))
 	}
 	for fi := range t.Frames {
-		f := &t.Frames[fi]
-		jf := frameJSON{Index: f.Index, PerCamera: make([][]obsJSON, len(f.PerCamera))}
-		for _, o := range f.Objects {
-			jf.Objects = append(jf.Objects, objectJSON{
-				ID: o.ID, X: o.Pos.X, Y: o.Pos.Y, Heading: o.Heading,
-				Speed: o.Speed, W: o.Dims.W, L: o.Dims.L, H: o.Dims.H,
-			})
-		}
-		for ci, obs := range f.PerCamera {
-			for _, o := range obs {
-				jf.PerCamera[ci] = append(jf.PerCamera[ci], obsJSON{
-					ID:  o.ObjectID,
-					Box: [4]float64{o.Box.MinX, o.Box.MinY, o.Box.MaxX, o.Box.MaxY},
-				})
-			}
-		}
-		out.Frames = append(out.Frames, jf)
+		out.Frames = append(out.Frames, toFrameJSON(&t.Frames[fi]))
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(&out); err != nil {
@@ -107,39 +204,18 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	}
 	t := &Trace{FPS: float64(in.FPS) / 1000}
 	for _, c := range in.Cameras {
-		cam := &Camera{
-			Name: c.Name, Pos: geom.Point{X: c.PosX, Y: c.PosY},
-			Height: c.Height, Yaw: c.Yaw, Pitch: c.Pitch, Focal: c.Focal,
-			ImageW: c.ImageW, ImageH: c.ImageH,
-			MaxRange: c.MaxRange, MinPixelArea: c.MinPixelArea,
-		}
-		if err := cam.Validate(); err != nil {
+		cam, err := fromCameraJSON(c)
+		if err != nil {
 			return nil, err
 		}
 		t.Cameras = append(t.Cameras, cam)
 	}
 	for _, jf := range in.Frames {
-		if len(jf.PerCamera) != len(t.Cameras) {
-			return nil, fmt.Errorf("scene: frame %d has %d camera lists, want %d",
-				jf.Index, len(jf.PerCamera), len(t.Cameras))
+		f, err := fromFrameJSON(jf, len(t.Cameras))
+		if err != nil {
+			return nil, err
 		}
-		f := FrameTruth{Index: jf.Index, PerCamera: make([][]Observation, len(t.Cameras))}
-		for _, o := range jf.Objects {
-			f.Objects = append(f.Objects, ObjectState{
-				ID: o.ID, Pos: geom.Point{X: o.X, Y: o.Y},
-				Heading: o.Heading, Speed: o.Speed,
-				Dims: Dims{W: o.W, L: o.L, H: o.H},
-			})
-		}
-		for ci, obs := range jf.PerCamera {
-			for _, o := range obs {
-				f.PerCamera[ci] = append(f.PerCamera[ci], Observation{
-					ObjectID: o.ID,
-					Box:      geom.Rect{MinX: o.Box[0], MinY: o.Box[1], MaxX: o.Box[2], MaxY: o.Box[3]},
-				})
-			}
-		}
-		t.Frames = append(t.Frames, f)
+		t.Frames = append(t.Frames, *f)
 	}
 	return t, nil
 }

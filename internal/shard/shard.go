@@ -27,7 +27,7 @@
 //     the overlapping camera pairs that ended up in different shards,
 //     which is exactly where cross-shard hand-off happens.
 //
-// Consumers: pipeline.Options.Shards runs one in-process central stage
+// Consumers: pipeline.Config.Sched.Shards runs one in-process central stage
 // per shard; cluster.NewShardedScheduler runs one independent round
 // loop (barrier, leases, dead broadcast) per shard with a boundary
 // hand-off bus between them; core.NewShardedPolicy scopes the

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mvs/internal/metrics"
+	"mvs/internal/scene"
+)
+
+// Run is the reader side of a recorded run directory.
+type Run struct {
+	dir   string
+	man   Manifest
+	cams  []*scene.Camera
+	index *frameIndex // nil when the run recorded no frames (capture-only)
+}
+
+// Open reads a run directory's manifest (and frame index, when
+// present). It does not load snapshots, rounds, or frames — those
+// stream on demand.
+func Open(dir string) (*Run, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("store: decode manifest: %w", err)
+	}
+	if man.Version != Version {
+		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", man.Version, Version)
+	}
+	cams, err := scene.UnmarshalCameras(man.Cameras)
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest cameras: %w", err)
+	}
+	if len(cams) == 0 {
+		return nil, fmt.Errorf("store: manifest has no cameras")
+	}
+	r := &Run{dir: dir, man: man, cams: cams}
+	idxData, err := os.ReadFile(filepath.Join(dir, framesDir, indexFile))
+	switch {
+	case err == nil:
+		var idx frameIndex
+		if err := json.Unmarshal(idxData, &idx); err != nil {
+			return nil, fmt.Errorf("store: decode frame index: %w", err)
+		}
+		r.index = &idx
+	case os.IsNotExist(err):
+		// Capture-only run, or a writer that was never closed: no frame
+		// index means no replayable frame log.
+	default:
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return r, nil
+}
+
+// Manifest returns the recorded manifest.
+func (r *Run) Manifest() Manifest { return r.man }
+
+// Cameras returns the recorded roster (decoded once at Open).
+func (r *Run) Cameras() []*scene.Camera { return r.cams }
+
+// HasFrames reports whether the run recorded a replayable frame log.
+func (r *Run) HasFrames() bool { return r.index != nil }
+
+// NumFrames returns the recorded frame count (0 for capture-only runs).
+func (r *Run) NumFrames() int {
+	if r.index == nil {
+		return 0
+	}
+	return r.index.Frames
+}
+
+// SnapshotsRaw returns the raw bytes of the recorded snapshot log — the
+// byte-exact form mvreplay -verify compares a re-run against. Missing
+// file means the run recorded no snapshots (nil, no error).
+func (r *Run) SnapshotsRaw() ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(r.dir, snapshotsFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return data, nil
+}
+
+// Snapshots decodes the recorded per-frame snapshot log.
+func (r *Run) Snapshots() ([]metrics.Snapshot, error) {
+	data, err := r.SnapshotsRaw()
+	if err != nil || data == nil {
+		return nil, err
+	}
+	var out []metrics.Snapshot
+	if err := decodeLines(data, func(line []byte) error {
+		var s metrics.Snapshot
+		if err := json.Unmarshal(line, &s); err != nil {
+			return err
+		}
+		out = append(out, s)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("store: decode snapshots: %w", err)
+	}
+	return out, nil
+}
+
+// Rounds decodes the recorded scheduling-round log.
+func (r *Run) Rounds() ([]metrics.Round, error) {
+	data, err := os.ReadFile(filepath.Join(r.dir, roundsFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []metrics.Round
+	if err := decodeLines(data, func(line []byte) error {
+		var rd metrics.Round
+		if err := json.Unmarshal(line, &rd); err != nil {
+			return err
+		}
+		out = append(out, rd)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("store: decode rounds: %w", err)
+	}
+	return out, nil
+}
+
+func decodeLines(data []byte, fn func([]byte) error) error {
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Source opens the recorded frame log as a streaming frame source (a
+// Replay), ready to feed pipeline.NewEngine. Errors when the run is
+// capture-only.
+func (r *Run) Source() (*Replay, error) {
+	if r.index == nil {
+		return nil, fmt.Errorf("store: run in %s recorded no frames (capture-only run, not replayable)", r.dir)
+	}
+	return &Replay{dir: r.dir, cams: r.cams, segs: r.index.Segments, want: r.index.Frames}, nil
+}
+
+// Replay streams a recorded frame log segment by segment. It satisfies
+// pipeline.Source: Next returns frames in recorded order and io.EOF
+// after the last, and the frame count is checked against the index so a
+// truncated segment fails loudly instead of ending a replay early.
+type Replay struct {
+	dir  string
+	cams []*scene.Camera
+	segs []Segment
+	want int
+
+	si   int // next segment to open
+	f    *os.File
+	br   *bufio.Reader
+	left int // frames remaining in the open segment
+	read int
+}
+
+// Cameras returns the recorded roster.
+func (r *Replay) Cameras() []*scene.Camera { return r.cams }
+
+// Next returns the next recorded frame, or io.EOF after the last.
+func (r *Replay) Next() (*scene.FrameTruth, error) {
+	for r.left == 0 {
+		if r.f != nil {
+			if err := r.f.Close(); err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			r.f, r.br = nil, nil
+		}
+		if r.si >= len(r.segs) {
+			if r.read != r.want {
+				return nil, fmt.Errorf("store: frame log ended after %d frames, index promises %d", r.read, r.want)
+			}
+			return nil, io.EOF
+		}
+		seg := r.segs[r.si]
+		r.si++
+		if seg.Count == 0 {
+			continue
+		}
+		f, err := os.Open(filepath.Join(r.dir, framesDir, seg.File))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		r.f, r.br, r.left = f, bufio.NewReader(f), seg.Count
+	}
+	line, err := r.br.ReadBytes('\n')
+	if err == io.EOF && len(line) > 0 {
+		err = nil // final line without trailing newline
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: segment truncated at frame %d: %w", r.read, err)
+	}
+	frame, err := scene.UnmarshalFrame(line, len(r.cams))
+	if err != nil {
+		return nil, err
+	}
+	r.left--
+	r.read++
+	return frame, nil
+}
+
+// Close releases the open segment file, if any. Draining the replay to
+// io.EOF closes it implicitly; Close is for abandoning a replay early.
+func (r *Replay) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f, r.br = nil, nil
+	return err
+}

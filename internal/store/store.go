@@ -1,0 +1,403 @@
+// Package store is the durable half of the streaming engine: an
+// append-only, pure-Go run store that persists what a run *was* — the
+// frames it consumed, the per-frame metrics snapshots it emitted, and
+// the per-round scheduling decisions it took — so an incident can be
+// audited after the fact or re-driven under a different scheduler
+// (cmd/mvreplay, docs/STREAMING.md).
+//
+// A run is a directory:
+//
+//	manifest.json         identity + regeneration recipe (scenario, seed,
+//	                      mode, fault spec, camera roster)
+//	snapshots.jsonl       one metrics.Snapshot per frame (OBSERVABILITY.md schema)
+//	rounds.jsonl          one metrics.Round per scheduling round
+//	frames/seg-NNNNNN.jsonl  frame ground truth, SegmentSize frames per segment
+//	frames/index.json     segment directory, written on Close
+//
+// Everything is JSON Lines over plain files — no external database.
+// The layout is deliberately SQLite-shaped (docs/STREAMING.md gives the
+// equivalent schema) so a future cgo-enabled build can swap the backend
+// without changing the Store interface. Frame segments are optional: a
+// *capture* run (snapshots + rounds only) records what happened; a
+// *full* run also records frames and is replayable bit-for-bit.
+//
+// Determinism: the store never writes wall-clock timestamps or
+// host-dependent values, so a recorded run is a pure function of the
+// run that produced it, and a replayed run's snapshot log is
+// byte-identical to the recorded one (TestReplayByteIdentical).
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mvs/internal/metrics"
+	"mvs/internal/scene"
+)
+
+const (
+	manifestFile  = "manifest.json"
+	snapshotsFile = "snapshots.jsonl"
+	roundsFile    = "rounds.jsonl"
+	framesDir     = "frames"
+	indexFile     = "index.json"
+
+	// Version is the on-disk format version written to new manifests.
+	Version = 1
+	// DefaultSegmentSize is the frames-per-segment bound when the
+	// manifest does not set one.
+	DefaultSegmentSize = 256
+)
+
+// Manifest identifies a recorded run and carries the recipe for
+// regenerating everything the frame stream does not contain: the
+// scenario and seed rebuild the world (training half included), the
+// fault spec rebuilds the outage schedule, and the camera roster
+// validates that a replay is fed to the fleet it was recorded from.
+type Manifest struct {
+	// Version is the on-disk format version (currently 1).
+	Version int `json:"version"`
+	// Label tags the run (defaults to the mode name at record time).
+	Label string `json:"label,omitempty"`
+	// Scenario and Seed name the workload (workload.ByName) the run was
+	// generated from, so a replayer can regenerate the training half and
+	// re-train the association model.
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed"`
+	// TraceFrames is the full world-run length in frames (training half
+	// included); the recorded frame segments hold the evaluation half.
+	TraceFrames int `json:"trace_frames,omitempty"`
+	// Mode is the scheduling mode the run used (pipeline.Mode.String()).
+	Mode string `json:"mode"`
+	// Horizon is the scheduling horizon T.
+	Horizon int `json:"horizon,omitempty"`
+	// CamFaults is the -cam-faults spec string (camfault.ParseSpec
+	// syntax) the run injected; empty means fault-free. The spec — not
+	// the expanded schedule — is stored because camfault.Generate is
+	// deterministic in it.
+	CamFaults string `json:"cam_faults,omitempty"`
+	// HealthK is the health-tracker silence threshold the run used.
+	HealthK int `json:"health_k,omitempty"`
+	// SegmentSize is the frames-per-segment bound of this run's frame
+	// segments (0 means DefaultSegmentSize).
+	SegmentSize int `json:"segment_size,omitempty"`
+	// Cameras is the roster in scene.MarshalCameras wire form.
+	Cameras json.RawMessage `json:"cameras"`
+}
+
+// Source is the frame-stream shape the store consumes (Writer.Tee) and
+// produces (Run.Source). It structurally matches pipeline.Source, so a
+// Replay plugs into pipeline.NewEngine without either package importing
+// the other.
+type Source interface {
+	Cameras() []*scene.Camera
+	Next() (*scene.FrameTruth, error)
+}
+
+// Store is the writer side of a run: a metrics.Sink for per-frame
+// snapshots, a metrics.RoundSink for scheduling decisions, an
+// append-only frame log, and a Close that seals the directory.
+type Store interface {
+	metrics.Sink
+	metrics.RoundSink
+	// AppendFrame appends one frame to the run's frame log, making the
+	// run replayable. Capture-only runs never call it.
+	AppendFrame(*scene.FrameTruth) error
+	// Close flushes and seals the run (writes the frame index). The run
+	// must not be written to afterwards.
+	Close() error
+}
+
+// Segment locates one frame-log segment file.
+type Segment struct {
+	// File is the segment's name inside the frames/ directory.
+	File string `json:"file"`
+	// First is the stream index of the segment's first frame.
+	First int `json:"first"`
+	// Count is the number of frames in the segment.
+	Count int `json:"count"`
+}
+
+// frameIndex is the frames/index.json document.
+type frameIndex struct {
+	Frames   int       `json:"frames"`
+	Segments []Segment `json:"segments"`
+}
+
+// Writer appends a run to a directory. All record methods are safe for
+// concurrent use and follow the sink error model (docs/OBSERVABILITY.md):
+// write errors are sticky, later records are discarded, and the first
+// error is reported by Flush/Close.
+type Writer struct {
+	dir     string
+	man     Manifest
+	numCams int
+	segSize int
+
+	mu       sync.Mutex
+	err      error
+	closed   bool
+	snaps    *jsonlWriter
+	rounds   *jsonlWriter
+	seg      *os.File
+	segBuf   *bufio.Writer
+	segments []Segment
+	frames   int
+}
+
+var _ Store = (*Writer)(nil)
+
+// Create starts a new run in dir (created if needed; refused if it
+// already holds a manifest — runs are append-only, never overwritten).
+// The manifest's Version and SegmentSize are filled with defaults when
+// zero; Cameras must parse as a valid roster.
+func Create(dir string, man Manifest) (*Writer, error) {
+	cams, err := scene.UnmarshalCameras(man.Cameras)
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest cameras: %w", err)
+	}
+	if len(cams) == 0 {
+		return nil, fmt.Errorf("store: manifest has no cameras")
+	}
+	if man.Version == 0 {
+		man.Version = Version
+	}
+	if man.Version != Version {
+		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", man.Version, Version)
+	}
+	if man.SegmentSize <= 0 {
+		man.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	mpath := filepath.Join(dir, manifestFile)
+	if _, err := os.Stat(mpath); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a run (refusing to overwrite)", dir)
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encode manifest: %w", err)
+	}
+	if err := os.WriteFile(mpath, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Writer{dir: dir, man: man, numCams: len(cams), segSize: man.SegmentSize}, nil
+}
+
+// Manifest returns the manifest the run was created with (defaults
+// filled in).
+func (w *Writer) Manifest() Manifest { return w.man }
+
+// jsonlWriter is a lazily-opened buffered JSONL file.
+type jsonlWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func openJSONL(path string) (*jsonlWriter, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(f)
+	return &jsonlWriter{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+func (j *jsonlWriter) close() error {
+	err := j.bw.Flush()
+	if cerr := j.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RecordFrame appends one snapshot line (metrics.Sink).
+func (w *Writer) RecordFrame(snap metrics.Snapshot) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.closed {
+		return
+	}
+	if w.snaps == nil {
+		w.snaps, w.err = openJSONL(filepath.Join(w.dir, snapshotsFile))
+		if w.err != nil {
+			return
+		}
+	}
+	w.err = w.snaps.enc.Encode(snap)
+}
+
+// RecordRound appends one round line (metrics.RoundSink).
+func (w *Writer) RecordRound(round metrics.Round) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.closed {
+		return
+	}
+	if w.rounds == nil {
+		w.rounds, w.err = openJSONL(filepath.Join(w.dir, roundsFile))
+		if w.err != nil {
+			return
+		}
+	}
+	w.err = w.rounds.enc.Encode(round)
+}
+
+// AppendFrame appends one frame to the run's frame log, rolling to a
+// new segment every SegmentSize frames. Unlike the record methods it
+// returns its error eagerly — a frame the store cannot persist breaks
+// the replay contract, so the caller (Writer.Tee) must stop the stream.
+func (w *Writer) AppendFrame(f *scene.FrameTruth) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: AppendFrame after Close")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if len(f.PerCamera) != w.numCams {
+		w.err = fmt.Errorf("store: frame %d has %d camera lists, roster has %d",
+			f.Index, len(f.PerCamera), w.numCams)
+		return w.err
+	}
+	if w.frames%w.segSize == 0 {
+		if err := w.rollSegment(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	line, err := scene.MarshalFrame(f)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.segBuf.Write(append(line, '\n')); err != nil {
+		w.err = err
+		return err
+	}
+	w.frames++
+	w.segments[len(w.segments)-1].Count++
+	return nil
+}
+
+// rollSegment flushes the open segment (if any) and opens the next one.
+// Caller holds w.mu.
+func (w *Writer) rollSegment() error {
+	if w.seg != nil {
+		if err := w.closeSegment(); err != nil {
+			return err
+		}
+	}
+	if len(w.segments) == 0 {
+		if err := os.MkdirAll(filepath.Join(w.dir, framesDir), 0o755); err != nil {
+			return err
+		}
+	}
+	name := fmt.Sprintf("seg-%06d.jsonl", len(w.segments))
+	f, err := os.OpenFile(filepath.Join(w.dir, framesDir, name), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.seg, w.segBuf = f, bufio.NewWriter(f)
+	w.segments = append(w.segments, Segment{File: name, First: w.frames})
+	return nil
+}
+
+// closeSegment flushes and closes the open segment. Caller holds w.mu.
+func (w *Writer) closeSegment() error {
+	err := w.segBuf.Flush()
+	if cerr := w.seg.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	w.seg, w.segBuf = nil, nil
+	return err
+}
+
+// Flush persists buffered snapshots, rounds, and frame lines, and
+// reports the sticky error, if any (metrics.Sink).
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	flush := func(bw *bufio.Writer) {
+		if bw != nil {
+			if err := bw.Flush(); err != nil && w.err == nil {
+				w.err = err
+			}
+		}
+	}
+	if w.snaps != nil {
+		flush(w.snaps.bw)
+	}
+	if w.rounds != nil {
+		flush(w.rounds.bw)
+	}
+	flush(w.segBuf)
+	return w.err
+}
+
+// Close flushes everything, writes the frame index, and seals the run.
+// Idempotent; later record calls are discarded.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	firstErr := func(err error) {
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	if w.snaps != nil {
+		firstErr(w.snaps.close())
+		w.snaps = nil
+	}
+	if w.rounds != nil {
+		firstErr(w.rounds.close())
+		w.rounds = nil
+	}
+	if w.seg != nil {
+		firstErr(w.closeSegment())
+	}
+	if len(w.segments) > 0 {
+		idx := frameIndex{Frames: w.frames, Segments: w.segments}
+		data, err := json.MarshalIndent(idx, "", "  ")
+		if err == nil {
+			err = os.WriteFile(filepath.Join(w.dir, framesDir, indexFile), append(data, '\n'), 0o644)
+		}
+		firstErr(err)
+	}
+	return w.err
+}
+
+// Tee wraps a frame source so every frame flowing to the engine is also
+// appended to this run's frame log — how a live run records itself. A
+// frame the store cannot persist fails the stream (the source returns
+// the store error), keeping "recorded" and "processed" in lockstep.
+func (w *Writer) Tee(src Source) Source { return &tee{src: src, w: w} }
+
+type tee struct {
+	src Source
+	w   *Writer
+}
+
+func (t *tee) Cameras() []*scene.Camera { return t.src.Cameras() }
+
+func (t *tee) Next() (*scene.FrameTruth, error) {
+	f, err := t.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.w.AppendFrame(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
