@@ -828,6 +828,66 @@ func BenchmarkEngineStream(b *testing.B) {
 	})
 }
 
+// BenchmarkIngestSource prices the live-ingest admission path — Offer
+// into the per-camera bounded queues, min-head assembly, Next — on
+// corridor fleets of 8 and 32 cameras (docs/STREAMING.md §6). The 1x
+// sub-benches offer exactly one frame per camera per Next, so nothing
+// sheds and the number is the pure assembly cost; the 4x sub-benches
+// offer four, overflowing the default 16-part queues so every Offer
+// beyond saturation exercises the drop-oldest shed policy. Shedding
+// must not make admission slower — the shed path is a queue-head drop,
+// not a scan — so ns/frame should hold roughly flat across loads.
+func BenchmarkIngestSource(b *testing.B) {
+	for _, cams := range []int{8, 32} {
+		s, err := workload.Corridor(cams, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace, err := s.World.Run(240)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, test := trace.SplitTrain()
+		for _, load := range []int{1, 4} {
+			load := load
+			b.Run(fmt.Sprintf("cams=%d/load=%dx", cams, load), func(b *testing.B) {
+				steps := len(test.Frames) / load
+				var shed float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src, err := pipeline.NewIngestSource(test.Cameras, pipeline.IngestConfig{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					next := 0
+					for step := 0; step < steps; step++ {
+						for l := 0; l < load; l++ {
+							f := &test.Frames[next]
+							next++
+							for ci := range test.Cameras {
+								p := pipeline.FramePart{Cam: ci, Frame: f.Index, Obs: f.PerCamera[ci]}
+								if ci == 0 {
+									p.Objects = f.Objects
+								}
+								if err := src.Offer(p); err != nil {
+									b.Fatal(err)
+								}
+							}
+						}
+						if _, err := src.Next(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					shed = float64(src.Counters().Shed)
+					src.Close()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(steps*load)), "ns/frame")
+				b.ReportMetric(shed, "shed-parts")
+			})
+		}
+	}
+}
+
 // BenchmarkCentralStageScaling measures how the central stage scales
 // with object count at 8 cameras (complexity O(N log N + M N)).
 func BenchmarkCentralStageScaling(b *testing.B) {

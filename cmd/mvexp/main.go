@@ -9,10 +9,11 @@
 //	      [-cam-faults seed=7,rate=0.1] [-health-k K] [-record rundir]
 //
 // Beyond the paper's figures, -exp sweep, -exp occlusion, -exp chaos,
-// and -exp shard run the extrapolated studies (arrival-rate
+// -exp shard, and -exp shed run the extrapolated studies (arrival-rate
 // sensitivity, redundancy-2 hedging, graceful degradation under camera
-// outages, and the 64-camera shard-count scaling sweep); all four are
-// excluded from "all".
+// outages, the 64-camera shard-count scaling sweep, and the
+// ingest-overload shed-policy sweep); all five are excluded from
+// "all".
 //
 // -workers bounds the concurrency of independent experiment points
 // (modes, sweep points), the per-camera fan-out inside each pipeline
@@ -52,7 +53,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos, shard")
+		exp      = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos, shard, shed")
 		scenario = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
 		frames   = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -155,6 +156,7 @@ func run(exp, scenario string, frames int, seed int64, opts experiments.Options)
 		"fig2": true, "table1": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "table2": true,
 		"sweep": true, "occlusion": true, "chaos": true, "shard": true,
+		"shed": true,
 	}
 	if !wantAll && !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
@@ -191,6 +193,19 @@ func run(exp, scenario string, frames int, seed int64, opts experiments.Options)
 				return err
 			}
 			if err := printChaos(s, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if exp == "shed" {
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "preparing %s (%d frames, seed %d)...\n", name, frames, seed)
+			s, err := experiments.Prepare(name, seed, frames)
+			if err != nil {
+				return err
+			}
+			if err := printShedSweep(s, opts); err != nil {
 				return err
 			}
 		}
@@ -514,6 +529,30 @@ func printShardSweep(seed int64, frames int, opts experiments.Options) error {
 		"recall", "latency_us"}, csvRows)
 	fmt.Println("expected shape: central cost falls roughly linearly in the shard count")
 	fmt.Println("(k shards of N/k cameras price k·(N/k)² = N²/k pair work); recall holds")
+	return nil
+}
+
+func printShedSweep(s *experiments.Setup, opts experiments.Options) error {
+	header(fmt.Sprintf("Shed sweep (%s): recall and P99 latency vs offered load per admission policy", s.Scenario.Name))
+	points, err := experiments.ShedSweep(s, nil, opts)
+	if err != nil {
+		return err
+	}
+	var csvRows [][]string
+	for _, p := range points {
+		survived := p.Offered - p.Shed
+		fmt.Printf("%-12s load=%dx  offered=%-5d survived=%-5d shed=%-5d recall=%.3f p99=%8v\n",
+			p.Policy, p.Load, p.Offered, survived, p.Shed, p.Recall, p.P99Slowest.Round(100*1000))
+		csvRows = append(csvRows, []string{p.Policy, strconv.Itoa(p.Load),
+			strconv.Itoa(p.Offered), strconv.Itoa(survived), strconv.Itoa(p.Shed),
+			strconv.FormatFloat(p.Recall, 'f', 4, 64),
+			strconv.FormatInt(p.P99Slowest.Microseconds(), 10)})
+	}
+	writeCSV("shed_"+s.Scenario.Name, []string{"policy", "load", "offered_parts",
+		"survived_parts", "shed_parts", "recall", "p99_us"}, csvRows)
+	fmt.Println("expected shape: at load 1x nothing sheds and every policy matches the")
+	fmt.Println("offline run; past the queue bound shed grows with load while recall on")
+	fmt.Println("surviving frames holds — the policies differ in which frames survive")
 	return nil
 }
 

@@ -1,0 +1,138 @@
+// Command mvingest pushes a scenario's evaluation frames to a live
+// ingest listener (mvsim -ingest-addr, or mvnode -ingest-addr for one
+// camera) as length-prefixed frame parts over TCP. It regenerates the
+// same deterministic world the listener evaluates against — so a
+// well-paced push reproduces the in-process run — and exists to drive
+// the overload and chaos paths: -rate 0 offers frames as fast as the
+// socket accepts (forcing the listener's admission queues to shed),
+// -burst clusters frames between pacing sleeps, and -faults dials
+// through the fault injector so drops, resets, and partitions hit the
+// wire (docs/STREAMING.md §6, docs/FAULTS.md).
+//
+// Usage:
+//
+//	mvsim -ingest-addr :7100 -scenario S2 &
+//	mvingest -addr localhost:7100 -scenario S2 -seed 42 [-camera N]
+//	         [-rate 100ms] [-burst 1] [-faults seed=7,drop=0.05]
+//
+// Ground-truth object states ride on camera 0's part of each frame
+// (the listener needs them once per frame for recall scoring); with
+// -camera N only that camera's parts are pushed, and the truth rides
+// along when N is camera 0 or the push targets a single-camera
+// listener (mvnode). After the last frame mvingest sends one EOS part
+// per camera, which lets the listener finish with a clean end-of-stream
+// instead of a watchdog stall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"mvs/internal/faults"
+	"mvs/internal/pipeline"
+	"mvs/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:7100", "ingest listener address (mvsim/mvnode -ingest-addr)")
+		scenario   = flag.String("scenario", "S1", "scenario: S1, S2, or S3")
+		seed       = flag.Int64("seed", 42, "shared simulation seed")
+		frames     = flag.Int("frames", 1200, "trace length (first half is the model's training split; the second half is pushed)")
+		camera     = flag.Int("camera", -1, "push only this camera's parts (-1 = all cameras)")
+		rate       = flag.Duration("rate", 0, "pacing sleep between frame bursts (0 = push as fast as possible)")
+		burst      = flag.Int("burst", 1, "frames pushed back-to-back between pacing sleeps")
+		faultsSpec = flag.String("faults", "", "dial through the fault injector, e.g. seed=7,drop=0.05,cut=40 (see docs/FAULTS.md)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "dial timeout")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *scenario, *seed, *frames, *camera, *rate, *burst, *faultsSpec, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "mvingest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scenario string, seed int64, frames, camera int, rate time.Duration, burst int, faultsSpec string, timeout time.Duration) error {
+	if burst < 1 {
+		burst = 1
+	}
+	s, err := workload.ByName(scenario, seed)
+	if err != nil {
+		return err
+	}
+	if camera >= len(s.World.Cameras) {
+		return fmt.Errorf("camera %d out of range: %s has %d cameras", camera, scenario, len(s.World.Cameras))
+	}
+	fmt.Fprintf(os.Stderr, "regenerating %s (seed %d, %d frames)...\n", scenario, seed, frames)
+	trace, err := s.World.Run(frames)
+	if err != nil {
+		return err
+	}
+	// The listener evaluates on the test half; the training half only
+	// ever feeds the association model.
+	_, test := trace.SplitTrain()
+
+	dial := faults.DialFunc(func(addr string, timeout time.Duration) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, timeout)
+	})
+	if faultsSpec != "" {
+		fcfg, err := faults.ParseSpec(faultsSpec)
+		if err != nil {
+			return err
+		}
+		dial = faults.New(fcfg).Dialer(nil)
+		fmt.Fprintf(os.Stderr, "fault injection armed: %s\n", faultsSpec)
+	}
+	conn, err := dial(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	// Truth objects ride on the first pushed camera's part of each frame;
+	// the listener records them once per frame index, first part wins.
+	truthCam := 0
+	if camera >= 0 {
+		truthCam = camera
+	}
+	pushed, parts := 0, 0
+	for fi, frame := range test.Frames {
+		for cam, obs := range frame.PerCamera {
+			if camera >= 0 && cam != camera {
+				continue
+			}
+			p := pipeline.FramePart{Cam: cam, Frame: fi, Obs: obs}
+			if cam == truthCam {
+				p.Objects = frame.Objects
+			}
+			if camera >= 0 {
+				p.Cam = 0 // a single-camera listener's roster is just this camera
+			}
+			if err := pipeline.EncodeFramePart(conn, p); err != nil {
+				return fmt.Errorf("frame %d camera %d: %w", fi, cam, err)
+			}
+			parts++
+		}
+		pushed++
+		if rate > 0 && pushed%burst == 0 {
+			time.Sleep(rate)
+		}
+	}
+	// One EOS per pushed camera roster slot: the listener drains its
+	// queues and ends the stream cleanly.
+	numCams := len(s.World.Cameras)
+	if camera >= 0 {
+		numCams = 1
+	}
+	for cam := 0; cam < numCams; cam++ {
+		if err := pipeline.EncodeFramePart(conn, pipeline.FramePart{Cam: cam, EOS: true}); err != nil {
+			return fmt.Errorf("eos camera %d: %w", cam, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pushed %d frames (%d parts) to %s\n", pushed, parts, addr)
+	return nil
+}

@@ -31,11 +31,19 @@
 // store labelled with its camera index (capture-only; see
 // docs/STREAMING.md). -workers is accepted for flag-matrix parity with
 // the other binaries — the node's frame loop is inherently sequential.
+//
+// -ingest-addr replaces the regenerated observations with a live feed:
+// the node listens for this camera's frame parts (push with mvingest
+// -camera N), sheds under overload per -shed-policy, and degrades with
+// a typed stall error if the feed goes silent past -deadline
+// (docs/STREAMING.md §6).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -45,6 +53,7 @@ import (
 	"mvs/internal/faults"
 	"mvs/internal/metrics"
 	"mvs/internal/node"
+	"mvs/internal/pipeline"
 	"mvs/internal/scene"
 	"mvs/internal/store"
 	"mvs/internal/workload"
@@ -217,8 +226,52 @@ func run(cfg runConfig) error {
 		rt.EnterDegraded()
 	}
 
+	// -ingest-addr: this camera's observations arrive live over TCP
+	// instead of regenerating from the trace. The watchdog reuses the
+	// -deadline budget: a feed silent that long fails the run with a
+	// typed stall error rather than hanging the frame loop.
+	if cfg.shared.IngestAddr != "" && cfg.shared.CamFaults != "" {
+		return fmt.Errorf("-cam-faults schedules are trace-indexed and cannot be combined with -ingest-addr")
+	}
+	ingest, err := cfg.shared.OpenIngest([]*scene.Camera{cam}, cfg.deadline)
+	if err != nil {
+		return err
+	}
+	if ingest != nil {
+		defer ingest.Close()
+		log.Printf("listening for camera %d frame parts on %s (policy %s)",
+			cfg.camera, cfg.shared.IngestAddr, cfg.shared.ShedPolicy)
+	}
+	nextObs := func(fi int) ([]scene.Observation, bool, error) {
+		if ingest != nil {
+			frame, err := ingest.Next()
+			if err == io.EOF {
+				return nil, false, nil
+			}
+			if err != nil {
+				var stalled *pipeline.StallError
+				if errors.As(err, &stalled) {
+					return nil, false, fmt.Errorf("live feed degraded: %w", err)
+				}
+				return nil, false, err
+			}
+			return frame.PerCamera[0], true, nil
+		}
+		if fi >= len(test.Frames) {
+			return nil, false, nil
+		}
+		return test.Frames[fi].PerCamera[cfg.camera], true, nil
+	}
+
 	start := time.Now()
-	for fi := range test.Frames {
+	for fi := 0; ; fi++ {
+		obs, ok, err := nextObs(fi)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
 		if camModel != nil && camModel.Down(cfg.camera, fi) {
 			// Camera outage: no capture, no inference, no upload, no
 			// heartbeat. A lease-armed scheduler sees the silence, declares
@@ -229,7 +282,6 @@ func run(cfg runConfig) error {
 			}
 			continue
 		}
-		obs := test.Frames[fi].PerCamera[cfg.camera]
 		if fi%cfg.horizon == 0 {
 			reports, err := rt.KeyFrame(obs)
 			if err != nil {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mvreplay -run rundir [-mode full|ind|cen|balb|sp] [-verify]
+//	mvreplay -run rundir [-mode full|ind|cen|balb|sp] [-verify] [-recover]
 //	         [-workers N] [-metrics-addr :8080] [-metrics-jsonl out.jsonl]
 //
 // With no -mode the run replays under its recorded scheduler. -mode
@@ -15,7 +15,13 @@
 // offline A/B experiment. -verify replays under the recorded
 // configuration and byte-compares the replayed snapshot stream against
 // the recorded one, exiting non-zero on any divergence (the
-// determinism check CI runs); it cannot be combined with -mode.
+// determinism check CI runs); it cannot be combined with -mode, and it
+// refuses runs whose snapshots are not a pure function of the frame
+// log (live-ingest recordings, retention-windowed frame logs).
+// -recover first repairs a crashed recording via store.Recover —
+// truncating torn tails to the last CRC-valid record and rebuilding
+// the frame index — so a SIGKILLed run replays (and -verify passes) on
+// its recovered prefix (docs/STREAMING.md §5).
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 		runDir      = flag.String("run", "", "run-store directory recorded with mvsim -record (required)")
 		modeName    = flag.String("mode", "", "re-run under this scheduler instead of the recorded one: full, ind, cen, balb, sp")
 		verify      = flag.Bool("verify", false, "replay under the recorded configuration and byte-compare the snapshot stream")
+		recoverRun  = flag.Bool("recover", false, "repair a crashed recording first (store.Recover): truncate torn tails, rebuild the frame index")
 		workers     = flag.Int("workers", 0, "per-camera/training worker bound (0 = GOMAXPROCS, 1 = sequential)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
 		metricsLog  = flag.String("metrics-jsonl", "", "append the replay's metrics snapshots to this JSONL file")
@@ -62,7 +69,7 @@ func main() {
 	if *metricsAddr != "" || *metricsLog != "" {
 		sink = export.Sink
 	}
-	runErr := replay(*runDir, *modeName, *verify, *workers, sink)
+	runErr := replay(*runDir, *modeName, *verify, *recoverRun, *workers, sink)
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -72,7 +79,15 @@ func main() {
 	}
 }
 
-func replay(dir, modeName string, verify bool, workers int, sink metrics.Sink) error {
+func replay(dir, modeName string, verify, recoverRun bool, workers int, sink metrics.Sink) error {
+	if recoverRun {
+		rec, err := store.Recover(dir)
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "recovered %s: %d frames, %d snapshots, %d rounds (%d torn bytes truncated, %d unverifiable frames dropped)\n",
+			dir, rec.Frames, rec.Snapshots, rec.Rounds, rec.TruncatedBytes, rec.DroppedFrames)
+	}
 	run, err := store.Open(dir)
 	if err != nil {
 		return err
@@ -80,6 +95,17 @@ func replay(dir, modeName string, verify bool, workers int, sink metrics.Sink) e
 	man := run.Manifest()
 	if !run.HasFrames() {
 		return fmt.Errorf("%s recorded no frames (capture-only run, e.g. from mvexp or mvscheduler -record); only mvsim recordings replay", dir)
+	}
+	if verify {
+		// Byte-identity only holds when the recorded snapshots are a pure
+		// function of the frame log: live-ingest counters and retention
+		// windows break that (docs/STREAMING.md §5).
+		if man.Ingest != "" {
+			return fmt.Errorf("-verify refuses live-ingest recordings (%s was fed by -ingest-addr %s): snapshot ingest counters reflect arrival timing; replay without -verify instead", dir, man.Ingest)
+		}
+		if man.KeepSegments > 0 {
+			return fmt.Errorf("-verify refuses retention-windowed recordings (%s kept %d segments): the snapshot log spans the full run but only the window replays", dir, man.KeepSegments)
+		}
 	}
 
 	// The manifest regenerates everything the frame log does not carry:

@@ -24,13 +24,25 @@
 // log, the per-frame snapshots, the scheduling-round decisions, and a
 // manifest that pins scenario, seed, mode, and fault schedule. A
 // recorded run replays bit-identically with mvreplay — including under
-// a different scheduler (docs/STREAMING.md).
+// a different scheduler (docs/STREAMING.md). -store-fsync and
+// -store-keep-segments tune the store's durability and retention
+// (docs/STREAMING.md §5); -pace throttles the trace to one frame per
+// interval so a run spans wall time (CI's crash-injection step SIGKILLs
+// a paced recording mid-run and recovers it with mvreplay -recover).
+//
+// -ingest-addr replaces the generated trace with a live TCP listener:
+// frame parts pushed by mvingest are assembled into engine frames, with
+// per-camera bounded queues shedding under overload per -shed-policy
+// and a watchdog that turns a stalled feed into a typed error instead
+// of a hang (docs/STREAMING.md §6).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mvs/internal/cliconf"
 	"mvs/internal/experiments"
@@ -49,6 +61,8 @@ func main() {
 		horizon   = flag.Int("horizon", 10, "frames per scheduling horizon (T)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		saveTrace = flag.String("save-trace", "", "write the generated trace as JSON and exit")
+		pace      = flag.Duration("pace", 0, "throttle the trace to one frame per interval (e.g. 5ms), so the run spans wall time")
+		stall     = flag.Duration("ingest-stall", 30*time.Second, "live-ingest watchdog deadline: fail the run if no frame assembles for this long (0 disables)")
 	)
 	shared := cliconf.Register(flag.CommandLine, "per-camera")
 	flag.Parse()
@@ -65,7 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvsim:", err)
 		os.Exit(1)
 	}
-	runErr := run(*scenario, *modeName, *frames, *horizon, *seed, shared, export)
+	runErr := run(*scenario, *modeName, *frames, *horizon, *seed, *pace, *stall, shared, export)
 	if err := export.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -99,7 +113,7 @@ func dumpTrace(scenario string, frames int, seed int64, path string) error {
 	return f.Close()
 }
 
-func run(scenario, modeName string, frames, horizon int, seed int64, shared *cliconf.Shared, export *metrics.Export) error {
+func run(scenario, modeName string, frames, horizon int, seed int64, pace, stall time.Duration, shared *cliconf.Shared, export *metrics.Export) error {
 	mode, err := cliconf.ParseMode(modeName)
 	if err != nil {
 		return err
@@ -116,6 +130,9 @@ func run(scenario, modeName string, frames, horizon int, seed int64, shared *cli
 		cfg.Obs.Sink = export.Sink
 	}
 
+	if shared.IngestAddr != "" && shared.CamFaults != "" {
+		return fmt.Errorf("-cam-faults schedules are trace-indexed and cannot be combined with -ingest-addr (use mvingest -faults for live network chaos)")
+	}
 	faults, err := shared.FaultModel(len(setup.Test.Cameras), len(setup.Test.Frames))
 	if err != nil {
 		return err
@@ -127,10 +144,29 @@ func run(scenario, modeName string, frames, horizon int, seed int64, shared *cli
 			faults.DownFrames(), len(setup.Test.Cameras)*len(setup.Test.Frames), shared.HealthK)
 	}
 
+	// Source selection: the generated trace by default (optionally paced
+	// across wall time), or a live TCP ingest listener.
+	var src pipeline.Source = pipeline.NewTraceSource(setup.Test)
+	if pace > 0 {
+		src = &pacedSource{Source: src, interval: pace}
+	}
+	ingest, err := shared.OpenIngest(setup.Test.Cameras, stall)
+	if err != nil {
+		return err
+	}
+	if ingest != nil {
+		defer ingest.Close()
+		src = ingest
+		// The store tee will wrap src, hiding the concrete type from the
+		// engine's IngestMeter auto-detection — set it explicitly.
+		cfg.Obs.Ingest = ingest
+		fmt.Fprintf(os.Stderr, "listening for live frame parts on %s (policy %s, stall %v)...\n",
+			shared.IngestAddr, shared.ShedPolicy, stall)
+	}
+
 	// -record: tee the frame stream into a durable run store and persist
 	// snapshots + round decisions next to it, under a manifest that lets
 	// mvreplay regenerate the model and fault schedule.
-	var src pipeline.Source = pipeline.NewTraceSource(setup.Test)
 	var rec *store.Writer
 	if shared.Record != "" {
 		roster, err := scene.MarshalCameras(setup.Test.Cameras)
@@ -158,6 +194,10 @@ func run(scenario, modeName string, frames, horizon int, seed int64, shared *cli
 		return err
 	}
 	if err := eng.Run(); err != nil {
+		var stalled *pipeline.StallError
+		if errors.As(err, &stalled) && rec != nil {
+			rec.Close() // seal what was captured before the stall
+		}
 		return err
 	}
 	rep, err := eng.Report()
@@ -174,6 +214,11 @@ func run(scenario, modeName string, frames, horizon int, seed int64, shared *cli
 
 	fmt.Printf("scenario:          %s (%s)\n", setup.Scenario.Name, setup.Scenario.Description)
 	fmt.Printf("algorithm:         %v\n", rep.Mode)
+	if ingest != nil {
+		c := ingest.Counters()
+		fmt.Printf("live ingest:       %d parts admitted, %d shed (%s policy)\n",
+			c.Ingested, c.Shed, shared.ShedPolicy)
+	}
 	fmt.Printf("frames evaluated:  %d (horizon T=%d)\n", rep.Frames, rep.Horizon)
 	fmt.Printf("object recall:     %.3f (tp=%d fn=%d)\n", rep.Recall, rep.TP, rep.FN)
 	fmt.Printf("slowest-camera latency: %v (p95 %v, max %v per frame)\n",
@@ -190,7 +235,7 @@ func run(scenario, modeName string, frames, horizon int, seed int64, shared *cli
 			rep.OutageFrames, rep.Reassignments, rep.OrphanedObjects, rep.P99Slowest.Round(100_000))
 	}
 
-	if mode != pipeline.Full {
+	if mode != pipeline.Full && ingest == nil {
 		fullCfg := pipeline.NewConfig(pipeline.Full, seed)
 		fullCfg.Sched.Horizon = horizon
 		fullCfg.Sched.Workers = shared.Workers
@@ -205,4 +250,18 @@ func run(scenario, modeName string, frames, horizon int, seed int64, shared *cli
 		fmt.Printf("speedup vs full-frame: %.2fx\n", speedup)
 	}
 	return nil
+}
+
+// pacedSource throttles a frame source to one frame per interval of
+// wall time, so an otherwise-instant simulated run spans long enough to
+// be interrupted (CI's crash-injection step kills a paced recording
+// mid-run).
+type pacedSource struct {
+	pipeline.Source
+	interval time.Duration
+}
+
+func (p *pacedSource) Next() (*scene.FrameTruth, error) {
+	time.Sleep(p.interval)
+	return p.Source.Next()
 }

@@ -12,10 +12,13 @@ package cliconf
 import (
 	"flag"
 	"fmt"
+	"net"
+	"time"
 
 	"mvs/internal/camfault"
 	"mvs/internal/metrics"
 	"mvs/internal/pipeline"
+	"mvs/internal/scene"
 	"mvs/internal/store"
 )
 
@@ -39,6 +42,16 @@ type Shared struct {
 	// Record is the run-store directory (docs/STREAMING.md); empty
 	// disables recording.
 	Record string
+	// StoreFsync and StoreKeep tune the -record store's durability and
+	// retention (store.Options; docs/STREAMING.md §5).
+	StoreFsync string
+	StoreKeep  int
+	// IngestAddr, when set, makes the binary listen for live frame
+	// parts (pipeline.IngestSource) instead of generating a trace;
+	// ShedPolicy picks what its admission queues drop under overload
+	// (docs/STREAMING.md §6).
+	IngestAddr string
+	ShedPolicy string
 }
 
 // Register installs the shared matrix on fs. workersHelp tailors the
@@ -52,6 +65,10 @@ func Register(fs *flag.FlagSet, workersHelp string) *Shared {
 	fs.StringVar(&s.CamFaults, "cam-faults", "", "camera-fault schedule, e.g. seed=7,rate=0.1,mean=20 (see docs/FAULTS.md)")
 	fs.IntVar(&s.HealthK, "health-k", 3, "frames of silence before a camera is declared dead (0 disables failover)")
 	fs.StringVar(&s.Record, "record", "", "record this run into a run-store directory (see docs/STREAMING.md)")
+	fs.StringVar(&s.StoreFsync, "store-fsync", "never", "-record durability policy: never, interval, every-record")
+	fs.IntVar(&s.StoreKeep, "store-keep-segments", 0, "-record frame-log retention: keep only the newest N segments (0 = unlimited)")
+	fs.StringVar(&s.IngestAddr, "ingest-addr", "", "listen for live length-prefixed frame parts on this address instead of generating a trace (e.g. :7100; push with mvingest)")
+	fs.StringVar(&s.ShedPolicy, "shed-policy", "drop-oldest", "ingest overload shedding: drop-oldest, freshest, stale")
 	return s
 }
 
@@ -81,10 +98,24 @@ func (s *Shared) FaultModel(numCams, numFrames int) (*camfault.Model, error) {
 	return camfault.Generate(cfg, numCams, numFrames)
 }
 
-// OpenRecorder creates the -record run store, stamping the fault flags
-// into the manifest so a replay can regenerate the identical schedule.
-// It returns (nil, nil) when -record is unset; callers own the
-// writer's Close.
+// StoreOptions materialises the -store-fsync / -store-keep-segments
+// flags as store.Options.
+func (s *Shared) StoreOptions() (store.Options, error) {
+	fsync, err := store.ParseFsync(s.StoreFsync)
+	if err != nil {
+		return store.Options{}, err
+	}
+	if s.StoreKeep < 0 {
+		return store.Options{}, fmt.Errorf("-store-keep-segments must be >= 0, got %d", s.StoreKeep)
+	}
+	return store.Options{Fsync: fsync, KeepSegments: s.StoreKeep}, nil
+}
+
+// OpenRecorder creates the -record run store under the -store-* options,
+// stamping the fault and ingest flags into the manifest so a replay can
+// regenerate the identical schedule (and -verify can refuse runs whose
+// snapshots are not a pure function of the frame log). It returns
+// (nil, nil) when -record is unset; callers own the writer's Close.
 func (s *Shared) OpenRecorder(man store.Manifest) (*store.Writer, error) {
 	if s.Record == "" {
 		return nil, nil
@@ -93,7 +124,39 @@ func (s *Shared) OpenRecorder(man store.Manifest) (*store.Writer, error) {
 		man.CamFaults = s.CamFaults
 		man.HealthK = s.HealthK
 	}
-	return store.Create(s.Record, man)
+	if man.Ingest == "" && s.IngestAddr != "" {
+		man.Ingest = s.IngestAddr
+	}
+	opts, err := s.StoreOptions()
+	if err != nil {
+		return nil, err
+	}
+	return store.CreateWith(s.Record, man, opts)
+}
+
+// OpenIngest builds and serves the -ingest-addr live source for a fixed
+// roster, under the -shed-policy admission policy and a watchdog with
+// the given stall deadline. It returns (nil, nil) when -ingest-addr is
+// unset; callers own the source's Close.
+func (s *Shared) OpenIngest(cams []*scene.Camera, stall time.Duration) (*pipeline.IngestSource, error) {
+	if s.IngestAddr == "" {
+		return nil, nil
+	}
+	policy, err := pipeline.ParseShedPolicy(s.ShedPolicy)
+	if err != nil {
+		return nil, err
+	}
+	src, err := pipeline.NewIngestSource(cams, pipeline.IngestConfig{Policy: policy, Stall: stall})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", s.IngestAddr)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	src.Serve(ln)
+	return src, nil
 }
 
 // ParseMode maps a mode name to its pipeline mode. It accepts both the

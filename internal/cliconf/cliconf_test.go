@@ -18,6 +18,8 @@ func TestRegisterMatrix(t *testing.T) {
 		"-workers", "4", "-metrics-jsonl", "run.jsonl",
 		"-cam-faults", "seed=7,rate=0.1", "-health-k", "5",
 		"-record", "/tmp/rec",
+		"-store-fsync", "interval", "-store-keep-segments", "3",
+		"-ingest-addr", "localhost:7100", "-shed-policy", "freshest",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -25,9 +27,22 @@ func TestRegisterMatrix(t *testing.T) {
 	want := Shared{
 		Workers: 4, MetricsJSONL: "run.jsonl",
 		CamFaults: "seed=7,rate=0.1", HealthK: 5, Record: "/tmp/rec",
+		StoreFsync: "interval", StoreKeep: 3,
+		IngestAddr: "localhost:7100", ShedPolicy: "freshest",
 	}
 	if *s != want {
 		t.Fatalf("parsed %+v, want %+v", *s, want)
+	}
+
+	// Unset flags keep the documented defaults (durability off, ingest
+	// off, drop-oldest shedding).
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	d := Register(fs2, "per-camera")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.StoreFsync != "never" || d.StoreKeep != 0 || d.IngestAddr != "" || d.ShedPolicy != "drop-oldest" {
+		t.Fatalf("defaults: %+v", *d)
 	}
 	if !s.ExportEnabled() {
 		t.Fatal("-metrics-jsonl must enable the export")
@@ -86,6 +101,47 @@ func TestOpenRecorderStampsFaults(t *testing.T) {
 	man := run.Manifest()
 	if man.CamFaults != "seed=7,rate=0.1" || man.HealthK != 2 {
 		t.Fatalf("fault flags not stamped into manifest: %+v", man)
+	}
+}
+
+func TestStoreOptions(t *testing.T) {
+	s := &Shared{StoreFsync: "never"}
+	opts, err := s.StoreOptions()
+	if err != nil || opts.Fsync != store.FsyncNever || opts.KeepSegments != 0 {
+		t.Fatalf("defaults: %+v, %v", opts, err)
+	}
+	s = &Shared{StoreFsync: "every-record", StoreKeep: 2}
+	opts, err = s.StoreOptions()
+	if err != nil || opts.Fsync != store.FsyncEveryRecord || opts.KeepSegments != 2 {
+		t.Fatalf("every-record: %+v, %v", opts, err)
+	}
+	if _, err := (&Shared{StoreFsync: "sometimes"}).StoreOptions(); err == nil {
+		t.Fatal("bad -store-fsync must error")
+	}
+	if _, err := (&Shared{StoreFsync: "never", StoreKeep: -1}).StoreOptions(); err == nil {
+		t.Fatal("negative -store-keep-segments must error")
+	}
+}
+
+func TestOpenIngest(t *testing.T) {
+	sc, err := workload.ByName("S1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src, err := (&Shared{}).OpenIngest(sc.World.Cameras, 0); src != nil || err != nil {
+		t.Fatalf("unset -ingest-addr: %v %v", src, err)
+	}
+	if _, err := (&Shared{IngestAddr: "localhost:0", ShedPolicy: "banana"}).OpenIngest(sc.World.Cameras, 0); err == nil {
+		t.Fatal("bad -shed-policy must error")
+	}
+	s := &Shared{IngestAddr: "127.0.0.1:0", ShedPolicy: "stale"}
+	src, err := s.OpenIngest(sc.World.Cameras, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := len(src.Cameras()); got != len(sc.World.Cameras) {
+		t.Fatalf("roster: %d cameras, want %d", got, len(sc.World.Cameras))
 	}
 }
 

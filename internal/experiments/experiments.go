@@ -627,6 +627,111 @@ func ShardSweep(cams int, seed int64, frames int, maxShards []int, opts Options)
 	return out, nil
 }
 
+// ShedPoint is one point of the ingest-overload shed sweep: one
+// admission policy at one offered-load multiple.
+type ShedPoint struct {
+	// Policy is the admission policy's name (pipeline.ShedPolicy).
+	Policy string
+	// Load is the offered-load multiple: frames pushed per camera per
+	// engine step. 1 is real time (no overload); L > 1 offers L× what
+	// the engine drains, forcing the bounded queues to shed.
+	Load int
+	// Offered is the pushed part count (frames x cameras). Ingested and
+	// Shed are the source's cumulative admission counters: a part
+	// admitted then evicted by a later overflow counts in both, so
+	// Offered - Shed parts survived to assembly.
+	Offered  int
+	Ingested int
+	Shed     int
+	// Recall and P99Slowest score the frames that survived admission —
+	// the quality/latency trade each policy makes under overload.
+	Recall     float64
+	P99Slowest time.Duration
+}
+
+// ShedSweep measures what each ingest admission policy preserves under
+// overload: the prepared scenario's evaluation frames are offered to a
+// pipeline.IngestSource at a multiple of the engine's drain rate —
+// lockstep, in process, no sockets — and the BALB pipeline consumes
+// whatever survives the bounded per-camera queues. Every admission
+// decision is a pure function of queue state (docs/STREAMING.md §6),
+// so the sweep is deterministic for every Workers value. loads nil
+// defaults to {1, 2, 4, 8}; all three policies run at every load.
+// Snapshots are labelled "shed/<policy>/load=<L>".
+func ShedSweep(setup *Setup, loads []int, opts Options) ([]ShedPoint, error) {
+	if len(loads) == 0 {
+		loads = []int{1, 2, 4, 8}
+	}
+	policies := []pipeline.ShedPolicy{pipeline.ShedDropOldest, pipeline.ShedFreshest, pipeline.ShedStale}
+	out := make([]ShedPoint, len(policies)*len(loads))
+	err := pool.Do(opts.Workers, len(out), func(i int) error {
+		policy, load := policies[i/len(loads)], loads[i%len(loads)]
+		label := fmt.Sprintf("shed/%s/load=%d", policy, load)
+		src, err := pipeline.NewIngestSource(setup.Test.Cameras, pipeline.IngestConfig{Policy: policy})
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", label, err)
+		}
+		defer src.Close()
+		cfg := pipeline.NewConfig(pipeline.BALB, setup.Seed)
+		cfg.Sched.Workers = opts.Workers
+		cfg.Obs.Sink = opts.Sink
+		cfg.Obs.Label = label
+		eng, err := pipeline.NewEngine(src, setup.Scenario.Profiles(), setup.Model, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", label, err)
+		}
+		// Lockstep overload: offer `load` frames' parts per camera, then
+		// let the engine drain exactly one assembled frame. Ground-truth
+		// objects ride on camera 0's part, as over the wire.
+		fi, eos := 0, false
+		for {
+			for b := 0; b < load && fi < len(setup.Test.Frames); b++ {
+				frame := setup.Test.Frames[fi]
+				for cam, obs := range frame.PerCamera {
+					p := pipeline.FramePart{Cam: cam, Frame: fi, Obs: obs}
+					if cam == 0 {
+						p.Objects = frame.Objects
+					}
+					if err := src.Offer(p); err != nil {
+						return fmt.Errorf("experiments: %s: %w", label, err)
+					}
+				}
+				fi++
+			}
+			if fi >= len(setup.Test.Frames) && !eos {
+				eos = true
+				for cam := range setup.Test.Cameras {
+					if err := src.Offer(pipeline.FramePart{Cam: cam, EOS: true}); err != nil {
+						return fmt.Errorf("experiments: %s: %w", label, err)
+					}
+				}
+			}
+			more, err := eng.Step()
+			if err != nil {
+				return fmt.Errorf("experiments: %s: %w", label, err)
+			}
+			if !more {
+				break
+			}
+		}
+		rep, err := eng.Report()
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", label, err)
+		}
+		c := src.Counters()
+		out[i] = ShedPoint{
+			Policy: policy.String(), Load: load,
+			Offered: len(setup.Test.Frames) * len(setup.Test.Cameras), Ingested: c.Ingested, Shed: c.Shed,
+			Recall: rep.Recall, P99Slowest: rep.P99Slowest,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ChaosPoint is one point of the camera-fault chaos sweep: the same
 // deterministic outage schedule run twice — once with health tracking
 // and failover on, once with the feature off — so the gap quantifies

@@ -117,6 +117,16 @@ type Snapshot struct {
 	// (pipeline/node), or objects re-scheduled away from lease-expired
 	// cameras (scheduler).
 	Reassignments int `json:"reassignments,omitempty"`
+	// IngestedFrames, ShedFrames, and QueueDepth describe a live ingest
+	// front-end feeding the engine (pipeline source driven by a
+	// pipeline.IngestSource; docs/STREAMING.md §6): the cumulative
+	// per-camera frame parts admitted into the bounded queues, the
+	// cumulative parts the shed policy dropped, and the total parts still
+	// queued after this frame. Zero — and absent on the wire — for trace
+	// and replay sources, so recorded fault-free output is unchanged.
+	IngestedFrames int `json:"ingested_frames,omitempty"`
+	ShedFrames     int `json:"shed_frames,omitempty"`
+	QueueDepth     int `json:"queue_depth,omitempty"`
 	// FrameLatency is the frame's modelled system latency: the slowest
 	// camera this frame (pipeline/node), or the assignment's scheduled
 	// system latency L = max_i L_i (scheduler).

@@ -243,6 +243,56 @@ func TestJSONLSchemaGoldenCamFaults(t *testing.T) {
 	}
 }
 
+// TestJSONLSchemaGoldenIngest pins the live-ingest counters
+// (docs/STREAMING.md §6): omitempty, so trace- and replay-driven runs —
+// including every golden line in the tests above — stay bit-identical,
+// and these exact names appear when an IngestSource feeds the engine.
+func TestJSONLSchemaGoldenIngest(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.RecordFrame(Snapshot{
+		Source:         SourcePipeline,
+		Label:          "ingest/drop-oldest",
+		Seq:            5,
+		Frame:          20,
+		TP:             8,
+		FN:             2,
+		Recall:         0.8,
+		IngestedFrames: 64,
+		ShedFrames:     16,
+		QueueDepth:     4,
+		FrameLatency:   2 * time.Millisecond,
+		Cameras: []CameraSnapshot{
+			{Camera: 0, Latency: 2 * time.Millisecond, Tracks: 2},
+		},
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"source":"pipeline","label":"ingest/drop-oldest","seq":5,"frame":20,"tp":8,"fn":2,"recall":0.8,"ingested_frames":64,"shed_frames":16,"queue_depth":4,"frame_latency_ns":2000000,"cameras":[{"camera":0,"latency_ns":2000000,"tracks":2}]}`
+	if got := strings.TrimSpace(buf.String()); got != want {
+		t.Fatalf("schema drifted:\ngot  %s\nwant %s", got, want)
+	}
+
+	// Non-ingest (trace/replay) runs must emit none of the ingest keys:
+	// re-encode a representative fault-free pipeline snapshot and scan.
+	buf.Reset()
+	s2 := NewJSONLSink(&buf)
+	s2.RecordFrame(Snapshot{
+		Source: SourcePipeline, Label: "balb", Seq: 1, Frame: 1,
+		TP: 4, FN: 1, Recall: 0.8, FrameLatency: 2 * time.Millisecond,
+		Cameras: []CameraSnapshot{{Camera: 0, Latency: 2 * time.Millisecond}},
+	})
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ingested_frames", "shed_frames", "queue_depth"} {
+		if strings.Contains(buf.String(), key) {
+			t.Fatalf("non-ingest snapshot leaked %q:\n%s", key, buf.String())
+		}
+	}
+}
+
 func TestJSONLOpenAppendClose(t *testing.T) {
 	path := t.TempDir() + "/snaps.jsonl"
 	for round := 0; round < 2; round++ {

@@ -131,6 +131,15 @@ type Obs struct {
 	// mode name. Experiment harnesses use it to demultiplex streams
 	// from concurrent runs.
 	Label string
+	// Ingest, when non-nil, is read once per frame to stamp the live
+	// admission counters (ingested/shed/queue depth) into each snapshot.
+	// NewEngine fills it automatically when the source itself is an
+	// IngestMeter; set it explicitly when the meter is hidden behind a
+	// wrapper (e.g. a store.Writer.Tee around an IngestSource). Counters
+	// reflect live arrival timing, so they are exempt from the
+	// determinism contract — trace and replay runs leave this nil and
+	// their snapshots carry none of the ingest keys.
+	Ingest IngestMeter
 }
 
 func (c Config) withDefaults() Config {

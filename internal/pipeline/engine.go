@@ -182,6 +182,15 @@ func NewEngine(src Source, profiles []*profile.Profile, model *assoc.Model, cfg 
 		}
 	}
 
+	// A live ingest source meters its own admissions; pick the meter up
+	// so every snapshot carries the shed/queued/ingested counters
+	// (Config.Obs.Ingest overrides for wrapped sources).
+	if e.cfg.Obs.Ingest == nil {
+		if m, ok := src.(IngestMeter); ok {
+			e.cfg.Obs.Ingest = m
+		}
+	}
+
 	// Health tracking: mark cameras dead after HealthK silent frames and
 	// feed the mask into the ownership policy so the distributed stage
 	// fails over and the central stage reschedules over the survivors.
@@ -350,7 +359,7 @@ func (e *Engine) process(frame *scene.FrameTruth) error {
 	// determinism contract.
 	if e.cfg.Obs.Sink != nil {
 		emitFrameSnapshot(e.cfg.Obs.Sink, e.label, fi, &e.recall, frameMax, cams, results,
-			e.outageFrames, e.orphaned, e.reassigned)
+			e.outageFrames, e.orphaned, e.reassigned, e.cfg.Obs.Ingest)
 	}
 	e.fi++
 	return nil

@@ -1,0 +1,533 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mvs/internal/clock"
+	"mvs/internal/scene"
+)
+
+// This file is the live ingest front-end (docs/STREAMING.md §6): an
+// IngestSource accepts per-camera frame parts — over TCP in
+// length-prefixed JSON, or in-process through Offer — admits them into
+// bounded per-camera queues under a deterministic shed policy, and
+// assembles them into the scene.FrameTruth stream the Engine consumes
+// through the ordinary Source interface.
+//
+// The shedding determinism contract: every admission decision is a pure
+// function of (the incoming part's frame index, the frame indices
+// already queued for that camera, the queue capacity, the policy). No
+// wall-clock time, no consumer state, no randomness — so the same
+// offered sequence sheds the same set of parts at every worker count
+// and on every host, and a recorded shed run replays bit-identically.
+// The watchdog is the one wall-clock element, and it only ever turns a
+// hang into a typed error; it never influences which frames are shed.
+
+// ShedPolicy selects what an over-offered admission queue drops.
+type ShedPolicy int
+
+const (
+	// ShedDropOldest evicts the queue head (the oldest waiting frame)
+	// when a new part arrives at a full queue: bounded delay, FIFO bias.
+	ShedDropOldest ShedPolicy = iota
+	// ShedFreshest clears the whole queue when a new part arrives at a
+	// full queue, keeping only the newest frame: minimal staleness at
+	// maximal drop cost (freshest-frame-wins).
+	ShedFreshest
+	// ShedStale prunes, on every offer, queued parts more than the
+	// staleness cutoff behind the incoming frame, then falls back to
+	// drop-oldest if the queue is still full.
+	ShedStale
+)
+
+// String returns the -shed-policy flag name of the policy.
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedDropOldest:
+		return "drop-oldest"
+	case ShedFreshest:
+		return "freshest"
+	case ShedStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("ShedPolicy(%d)", int(p))
+	}
+}
+
+// ParseShedPolicy maps a -shed-policy flag name to its policy.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "drop-oldest", "":
+		return ShedDropOldest, nil
+	case "freshest":
+		return ShedFreshest, nil
+	case "stale":
+		return ShedStale, nil
+	default:
+		return 0, fmt.Errorf("unknown shed policy %q (want drop-oldest, freshest, stale)", s)
+	}
+}
+
+// FramePart is one camera's contribution to one stream frame — the unit
+// a live producer pushes. Frame indices must be strictly ascending per
+// camera (an out-of-order or duplicate part is shed). Objects optionally
+// carries the frame's ground-truth object list for recall scoring; the
+// first part to deliver it for a frame wins, so producers send it on one
+// camera only. EOS marks the end of this camera's stream: once every
+// camera has sent EOS and the queues drain, Next reports io.EOF.
+type FramePart struct {
+	Cam     int
+	Frame   int
+	Obs     []scene.Observation
+	Objects []scene.ObjectState
+	EOS     bool
+}
+
+// StallError is the typed degraded state the watchdog surfaces when the
+// producer side goes quiet past the deadline while the engine is
+// waiting in Next: instead of hanging forever on a half-dead source,
+// Next returns this (wrapped by the engine, so errors.As sees it
+// through Engine.Err).
+type StallError struct {
+	// Idle is how long the source had made no progress when the watchdog
+	// fired.
+	Idle time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("ingest stalled: no frame assembled for %v (producer gone quiet?)", e.Idle)
+}
+
+// IngestCounters is a point-in-time reading of an IngestSource's
+// admission counters. Ingested and Shed are cumulative part counts;
+// QueueDepth is the total parts currently queued across cameras.
+type IngestCounters struct {
+	Ingested   int
+	Shed       int
+	QueueDepth int
+}
+
+// IngestMeter exposes live admission counters for per-frame snapshot
+// stamping (Config.Obs.Ingest).
+type IngestMeter interface {
+	Counters() IngestCounters
+}
+
+// IngestConfig tunes an IngestSource. The zero value is usable:
+// drop-oldest shedding, default queue capacity, watchdog disabled.
+type IngestConfig struct {
+	// Queue is the per-camera admission queue capacity in frame parts
+	// (<= 0 defaults to 16).
+	Queue int
+	// Policy selects the overflow shed policy.
+	Policy ShedPolicy
+	// Staleness is the ShedStale cutoff in frames (<= 0 defaults to
+	// 2 x Queue): a queued part more than this far behind the incoming
+	// frame is pruned.
+	Staleness int
+	// Stall arms the watchdog: when > 0 and a Next call has been waiting
+	// with no frame assembled for at least this long, Next returns a
+	// *StallError instead of blocking forever. 0 disables.
+	Stall time.Duration
+	// Clock is the watchdog's time source (nil = system). Tests inject
+	// clock.Fake to drive the deadline without real sleeps.
+	Clock clock.Clock
+}
+
+// IngestSource is a live, push-driven Source: producers Offer per-camera
+// FrameParts (directly, or over TCP via Serve), a bounded per-camera
+// admission queue sheds overload deterministically, and Next assembles
+// the queued parts into whole frames for the engine. Offer never blocks
+// the producer; Next blocks until a frame is assemblable, the stream
+// ends, or the watchdog declares a stall.
+type IngestSource struct {
+	cams      []*scene.Camera
+	queueCap  int
+	policy    ShedPolicy
+	staleness int
+	stall     time.Duration
+	clk       clock.Clock
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [][]queuedPart
+	eos      []bool
+	objects  map[int][]scene.ObjectState
+	closed   bool
+	waiting  int
+	stallErr error
+	last     time.Time // last assembly progress (watchdog reference)
+
+	ingested int
+	shed     int
+
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+}
+
+type queuedPart struct {
+	frame int
+	obs   []scene.Observation
+}
+
+// NewIngestSource builds an in-process ingest source for a fixed roster.
+// Call Serve to additionally accept TCP producers. The watchdog
+// goroutine (when cfg.Stall > 0) runs until Close or the first stall.
+func NewIngestSource(cams []*scene.Camera, cfg IngestConfig) (*IngestSource, error) {
+	if len(cams) == 0 {
+		return nil, fmt.Errorf("pipeline: ingest: no cameras")
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	if cfg.Staleness <= 0 {
+		cfg.Staleness = 2 * cfg.Queue
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	s := &IngestSource{
+		cams:      cams,
+		queueCap:  cfg.Queue,
+		policy:    cfg.Policy,
+		staleness: cfg.Staleness,
+		stall:     cfg.Stall,
+		clk:       cfg.Clock,
+		queues:    make([][]queuedPart, len(cams)),
+		eos:       make([]bool, len(cams)),
+		objects:   make(map[int][]scene.ObjectState),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.last = s.clk.Now()
+	if s.stall > 0 {
+		go s.watchdog()
+	}
+	return s, nil
+}
+
+// Cameras returns the roster given at construction.
+func (s *IngestSource) Cameras() []*scene.Camera { return s.cams }
+
+// Counters returns a point-in-time reading of the admission counters.
+func (s *IngestSource) Counters() IngestCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := IngestCounters{Ingested: s.ingested, Shed: s.shed}
+	for _, q := range s.queues {
+		c.QueueDepth += len(q)
+	}
+	return c
+}
+
+// Offer admits one frame part (or records a camera's EOS). It never
+// blocks: when the camera's queue is full the shed policy decides what
+// drops, deterministically in the queue contents and the part's frame
+// index alone. Errors are reserved for misuse (bad camera index, offer
+// after Close) — a shed part is not an error.
+func (s *IngestSource) Offer(p FramePart) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("pipeline: ingest: Offer after Close")
+	}
+	if p.Cam < 0 || p.Cam >= len(s.queues) {
+		return fmt.Errorf("pipeline: ingest: camera %d out of range [0,%d)", p.Cam, len(s.queues))
+	}
+	if p.EOS {
+		if !s.eos[p.Cam] {
+			s.eos[p.Cam] = true
+			s.cond.Broadcast()
+		}
+		return nil
+	}
+	if s.eos[p.Cam] {
+		s.shed++ // a part after the camera's own EOS can never be emitted
+		return nil
+	}
+	q := s.queues[p.Cam]
+	// Per-camera frames must ascend strictly; duplicates and reordered
+	// stragglers are shed rather than corrupting assembly order.
+	if n := len(q); n > 0 && p.Frame <= q[n-1].frame {
+		s.shed++
+		return nil
+	}
+	if s.policy == ShedStale {
+		cut := p.Frame - s.staleness
+		for len(q) > 0 && q[0].frame < cut {
+			q = q[1:]
+			s.shed++
+		}
+	}
+	if len(q) >= s.queueCap {
+		if s.policy == ShedFreshest {
+			s.shed += len(q)
+			q = q[:0]
+		} else {
+			q = q[1:]
+			s.shed++
+		}
+	}
+	s.queues[p.Cam] = append(q, queuedPart{frame: p.Frame, obs: p.Obs})
+	s.ingested++
+	if p.Objects != nil {
+		if _, ok := s.objects[p.Frame]; !ok {
+			s.objects[p.Frame] = p.Objects
+		}
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// Next assembles and returns the next frame: once every camera is ready
+// (has a queued part, sent EOS, or the source is closed), the lowest
+// queued frame index is emitted — cameras holding exactly that frame
+// contribute their observations, cameras already past it contribute
+// none (they shed it, an outage-shaped gap). Next blocks while any
+// camera is silent, returns io.EOF once every stream ended and the
+// queues drained, and returns a *StallError when the watchdog deadline
+// passes with no assembly progress.
+func (s *IngestSource) Next() (*scene.FrameTruth, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stallErr != nil {
+			return nil, s.stallErr
+		}
+		if s.readyLocked() {
+			if !s.anyQueuedLocked() {
+				return nil, io.EOF
+			}
+			return s.assembleLocked(), nil
+		}
+		s.waiting++
+		s.cond.Wait()
+		s.waiting--
+	}
+}
+
+// readyLocked reports whether every camera can contribute a decision:
+// a queued part, its EOS, or a closed source.
+func (s *IngestSource) readyLocked() bool {
+	for i, q := range s.queues {
+		if len(q) == 0 && !s.eos[i] && !s.closed {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *IngestSource) anyQueuedLocked() bool {
+	for _, q := range s.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// assembleLocked pops the lowest queued frame index into a FrameTruth.
+func (s *IngestSource) assembleLocked() *scene.FrameTruth {
+	next := -1
+	for _, q := range s.queues {
+		if len(q) > 0 && (next < 0 || q[0].frame < next) {
+			next = q[0].frame
+		}
+	}
+	per := make([][]scene.Observation, len(s.queues))
+	for i, q := range s.queues {
+		if len(q) > 0 && q[0].frame == next {
+			per[i] = q[0].obs
+			s.queues[i] = q[1:]
+		}
+	}
+	f := &scene.FrameTruth{Index: next, Objects: s.objects[next], PerCamera: per}
+	for k := range s.objects {
+		if k <= next {
+			delete(s.objects, k)
+		}
+	}
+	s.last = s.clk.Now()
+	return f
+}
+
+// watchdog turns a producer that went quiet into a typed error: it
+// wakes periodically on the injected clock and, when a Next call has
+// been waiting past the stall deadline with no assembly progress and
+// the stream has not legitimately ended, fails the source.
+func (s *IngestSource) watchdog() {
+	interval := s.stall / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for {
+		s.clk.Sleep(interval)
+		s.mu.Lock()
+		if s.closed || s.stallErr != nil {
+			s.mu.Unlock()
+			return
+		}
+		if s.waiting > 0 {
+			if idle := s.clk.Now().Sub(s.last); idle >= s.stall {
+				s.stallErr = &StallError{Idle: idle}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Serve starts accepting TCP producers on ln (pass it through
+// faults.Injector.Listener to put the ingest path under chaos). Each
+// connection carries a stream of length-prefixed FramePart messages;
+// decode errors close that connection only. Serve returns immediately;
+// Close stops the accept loop and open connections.
+func (s *IngestSource) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			go s.serveConn(conn)
+		}
+	}()
+}
+
+func (s *IngestSource) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		p, err := DecodeFramePart(conn)
+		if err != nil {
+			return
+		}
+		if err := s.Offer(p); err != nil {
+			return
+		}
+	}
+}
+
+// Close ends the stream: the listener and open connections shut down,
+// later Offers error, and Next drains what is queued before reporting
+// io.EOF. Idempotent.
+func (s *IngestSource) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln, conns := s.ln, s.conns
+	s.conns = map[net.Conn]struct{}{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// The wire protocol: each message is a 4-byte big-endian length followed
+// by that many bytes of JSON — one FramePart, observation and object
+// lists in the scene wire schema (exact float64 round-trip).
+type wirePart struct {
+	Cam     int             `json:"cam"`
+	Frame   int             `json:"frame"`
+	Obs     json.RawMessage `json:"obs,omitempty"`
+	Objects json.RawMessage `json:"objects,omitempty"`
+	EOS     bool            `json:"eos,omitempty"`
+}
+
+// maxWirePart bounds a single message so a corrupt length prefix cannot
+// force an absurd allocation.
+const maxWirePart = 16 << 20
+
+// EncodeFramePart writes one length-prefixed FramePart message.
+func EncodeFramePart(w io.Writer, p FramePart) error {
+	wp := wirePart{Cam: p.Cam, Frame: p.Frame, EOS: p.EOS}
+	var err error
+	if !p.EOS {
+		if wp.Obs, err = scene.MarshalObservations(p.Obs); err != nil {
+			return err
+		}
+	}
+	if len(p.Objects) > 0 {
+		if wp.Objects, err = scene.MarshalObjects(p.Objects); err != nil {
+			return err
+		}
+	}
+	body, err := json.Marshal(wp)
+	if err != nil {
+		return fmt.Errorf("pipeline: encode frame part: %w", err)
+	}
+	if len(body) > maxWirePart {
+		return fmt.Errorf("pipeline: frame part message is %d bytes (max %d)", len(body), maxWirePart)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// DecodeFramePart reads one length-prefixed FramePart message.
+func DecodeFramePart(r io.Reader) (FramePart, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return FramePart{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxWirePart {
+		return FramePart{}, fmt.Errorf("pipeline: frame part length %d out of range (0,%d]", n, maxWirePart)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return FramePart{}, err
+	}
+	var wp wirePart
+	if err := json.Unmarshal(body, &wp); err != nil {
+		return FramePart{}, fmt.Errorf("pipeline: decode frame part: %w", err)
+	}
+	p := FramePart{Cam: wp.Cam, Frame: wp.Frame, EOS: wp.EOS}
+	var err error
+	if wp.Obs != nil {
+		if p.Obs, err = scene.UnmarshalObservations(wp.Obs); err != nil {
+			return FramePart{}, err
+		}
+	}
+	if wp.Objects != nil {
+		if p.Objects, err = scene.UnmarshalObjects(wp.Objects); err != nil {
+			return FramePart{}, err
+		}
+	}
+	return p, nil
+}

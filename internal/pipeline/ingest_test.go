@@ -1,0 +1,472 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mvs/internal/clock"
+	"mvs/internal/faults"
+	"mvs/internal/scene"
+)
+
+// offerFrame pushes one trace frame's parts (truth objects on camera 0,
+// as over the wire).
+func offerFrame(t *testing.T, src *IngestSource, fi int, f *scene.FrameTruth) {
+	t.Helper()
+	for cam, obs := range f.PerCamera {
+		p := FramePart{Cam: cam, Frame: fi, Obs: obs}
+		if cam == 0 {
+			p.Objects = f.Objects
+		}
+		if err := src.Offer(p); err != nil {
+			t.Fatalf("offer frame %d cam %d: %v", fi, cam, err)
+		}
+	}
+}
+
+// TestIngestMatchesTraceSource checks the no-overload baseline: parts
+// offered in lockstep with the engine (one frame per step) produce the
+// identical modeled report a TraceSource run does — live ingest is a
+// packaging change, not an algorithm change.
+func TestIngestMatchesTraceSource(t *testing.T) {
+	e := getEnv(t)
+	batch, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := NewIngestSource(e.test.Cameras, IngestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	eng, err := NewEngine(src, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, eos := 0, false
+	for {
+		if fi < len(e.test.Frames) {
+			offerFrame(t, src, fi, &e.test.Frames[fi])
+			fi++
+		} else if !eos {
+			eos = true
+			for cam := range e.test.Cameras {
+				if err := src.Offer(FramePart{Cam: cam, EOS: true}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		more, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	live, err := eng.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch.Modeled(), live.Modeled()) {
+		t.Fatalf("paced live ingest diverged from batch:\nbatch: %+v\nlive:  %+v",
+			batch.Modeled(), live.Modeled())
+	}
+	c := src.Counters()
+	if c.Shed != 0 || c.Ingested != len(e.test.Frames)*len(e.test.Cameras) {
+		t.Fatalf("paced run counters: %+v (want 0 shed, all parts ingested)", c)
+	}
+}
+
+// TestIngestShedDeterminism is the overload acceptance criterion: the
+// same over-offered part sequence sheds the same set at every engine
+// worker count, and repeats bit-identically. Load 3x with queue 4
+// forces constant shedding.
+func TestIngestShedDeterminism(t *testing.T) {
+	e := getEnv(t)
+	type result struct {
+		counters IngestCounters
+		modeled  interface{}
+	}
+	runOnce := func(workers int, policy ShedPolicy) result {
+		src, err := NewIngestSource(e.test.Cameras, IngestConfig{Queue: 4, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		cfg := NewConfig(BALB, 5)
+		cfg.Sched.Workers = workers
+		eng, err := NewEngine(src, e.profiles, e.model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, eos := 0, false
+		for {
+			for b := 0; b < 3 && fi < len(e.test.Frames); b++ {
+				offerFrame(t, src, fi, &e.test.Frames[fi])
+				fi++
+			}
+			if fi >= len(e.test.Frames) && !eos {
+				eos = true
+				for cam := range e.test.Cameras {
+					if err := src.Offer(FramePart{Cam: cam, EOS: true}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			more, err := eng.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !more {
+				break
+			}
+		}
+		rep, err := eng.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{counters: src.Counters(), modeled: rep.Modeled()}
+	}
+	for _, policy := range []ShedPolicy{ShedDropOldest, ShedFreshest, ShedStale} {
+		base := runOnce(1, policy)
+		if base.counters.Shed == 0 {
+			t.Fatalf("%v: 3x load shed nothing — overload not reached", policy)
+		}
+		for _, workers := range []int{1, 4, 0} {
+			got := runOnce(workers, policy)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("%v: workers=%d diverged from workers=1:\nbase: %+v\ngot:  %+v",
+					policy, workers, base, got)
+			}
+		}
+	}
+}
+
+// TestIngestShedPolicies pins each policy's admission decisions on a
+// hand-checkable single-camera sequence.
+func TestIngestShedPolicies(t *testing.T) {
+	cams := getEnv(t).test.Cameras[:1]
+	offer := func(src *IngestSource, frames ...int) {
+		for _, fi := range frames {
+			if err := src.Offer(FramePart{Cam: 0, Frame: fi}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drain := func(src *IngestSource) []int {
+		if err := src.Offer(FramePart{Cam: 0, EOS: true}); err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for {
+			f, err := src.Next()
+			if err == io.EOF {
+				return got
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, f.Index)
+		}
+	}
+	cases := []struct {
+		name     string
+		cfg      IngestConfig
+		frames   []int
+		want     []int
+		wantShed int
+	}{
+		// Queue 4, frames 0..5: head drops twice.
+		{"drop-oldest", IngestConfig{Queue: 4}, []int{0, 1, 2, 3, 4, 5}, []int{2, 3, 4, 5}, 2},
+		// Queue 4: frame 4 finds the queue full and clears it, 5 joins.
+		{"freshest", IngestConfig{Queue: 4, Policy: ShedFreshest}, []int{0, 1, 2, 3, 4, 5}, []int{4, 5}, 4},
+		// Staleness 3: offering 5 prunes queued frames < 2 (0 and 1).
+		{"stale", IngestConfig{Queue: 8, Policy: ShedStale, Staleness: 3}, []int{0, 1, 2, 5}, []int{2, 5}, 2},
+		// Duplicates and reordered stragglers shed at admission.
+		{"monotonic", IngestConfig{Queue: 8}, []int{0, 2, 2, 1, 3}, []int{0, 2, 3}, 2},
+	}
+	for _, tc := range cases {
+		src, err := NewIngestSource(cams, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offer(src, tc.frames...)
+		got := drain(src)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: emitted %v, want %v", tc.name, got, tc.want)
+		}
+		if c := src.Counters(); c.Shed != tc.wantShed {
+			t.Errorf("%s: shed %d, want %d", tc.name, c.Shed, tc.wantShed)
+		}
+		src.Close()
+	}
+}
+
+// TestIngestOfferNeverBlocks pins the producer-side guarantee: a
+// producer can offer far past the queue bound with no consumer at all,
+// synchronously, and the bounded queue sheds the overflow.
+func TestIngestOfferNeverBlocks(t *testing.T) {
+	cams := getEnv(t).test.Cameras[:1]
+	src, err := NewIngestSource(cams, IngestConfig{Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for fi := 0; fi < 1000; fi++ {
+		if err := src.Offer(FramePart{Cam: 0, Frame: fi}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := src.Counters()
+	if c.QueueDepth != 2 || c.Shed != 998 || c.Ingested != 1000 {
+		t.Fatalf("counters after 1000 unconsumed offers: %+v", c)
+	}
+}
+
+// TestIngestWatchdogStall drives the watchdog on a fake clock: a Next
+// call with no producer progress past the deadline returns a typed
+// *StallError — directly, and wrapped through the engine so errors.As
+// sees it via Engine.Run.
+func TestIngestWatchdogStall(t *testing.T) {
+	e := getEnv(t)
+	fake := clock.NewFake(time.Unix(0, 0))
+	src, err := NewIngestSource(e.test.Cameras, IngestConfig{Stall: time.Minute, Clock: fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// One camera offers; the others stay silent, so Next must wait — and
+	// then fail typed instead of hanging forever.
+	if err := src.Offer(FramePart{Cam: 0, Frame: 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = src.Next()
+	var stalled *StallError
+	if !errors.As(err, &stalled) {
+		t.Fatalf("Next returned %v, want *StallError", err)
+	}
+	if stalled.Idle < time.Minute {
+		t.Fatalf("stall fired after %v, before the %v deadline", stalled.Idle, time.Minute)
+	}
+	// The degraded state is sticky.
+	if _, err := src.Next(); !errors.As(err, &stalled) {
+		t.Fatalf("second Next returned %v, want the sticky *StallError", err)
+	}
+
+	// Through the engine: Run wraps the source error, errors.As still
+	// finds the typed state.
+	src2, err := NewIngestSource(e.test.Cameras, IngestConfig{Stall: time.Minute, Clock: clock.NewFake(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	eng, err := NewEngine(src2, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); !errors.As(err, &stalled) {
+		t.Fatalf("Engine.Run returned %v, want a wrapped *StallError", err)
+	}
+}
+
+// TestIngestTCPRoundTrip pushes frame parts through the real wire
+// protocol and checks the assembled stream matches the trace, truth
+// objects included.
+func TestIngestTCPRoundTrip(t *testing.T) {
+	e := getEnv(t)
+	const n = 8
+	src, err := NewIngestSource(e.test.Cameras, IngestConfig{Queue: n + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for fi := 0; fi < n; fi++ {
+		f := &e.test.Frames[fi]
+		for cam, obs := range f.PerCamera {
+			p := FramePart{Cam: cam, Frame: fi, Obs: obs}
+			if cam == 0 {
+				p.Objects = f.Objects
+			}
+			if err := EncodeFramePart(conn, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for cam := range e.test.Cameras {
+		if err := EncodeFramePart(conn, FramePart{Cam: cam, EOS: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for fi := 0; fi < n; fi++ {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", fi, err)
+		}
+		want := &e.test.Frames[fi]
+		if got.Index != fi {
+			t.Fatalf("frame %d assembled with index %d", fi, got.Index)
+		}
+		if !reflect.DeepEqual(got.PerCamera, want.PerCamera) {
+			t.Fatalf("frame %d observations diverged over the wire", fi)
+		}
+		if !reflect.DeepEqual(got.Objects, want.Objects) {
+			t.Fatalf("frame %d truth objects diverged over the wire", fi)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after EOS: %v, want io.EOF", err)
+	}
+}
+
+// TestIngestChaosListener serves ingest through the fault injector's
+// listener: connections die mid-stream, the producer redials and
+// resumes (parts in flight are lost — an outage-shaped gap, not an
+// error), and the source keeps assembling a strictly ascending frame
+// stream without ever blocking the producer or wedging Next.
+func TestIngestChaosListener(t *testing.T) {
+	e := getEnv(t)
+	const n = 40
+	src, err := NewIngestSource(e.test.Cameras, IngestConfig{Queue: n + 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reset kills server-side reads (the only operation an ingest server
+	// performs); at 8% per read most connections die within a few frames.
+	spec, err := faults.ParseSpec("seed=7,reset=0.08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Serve(faults.New(spec).Listener(ln))
+
+	// One connection per 4-frame batch: a reset loses that batch's tail
+	// (at-most-once delivery — the producer cannot know what the server
+	// read before the kill), the next batch redials fresh.
+	const batch = 4
+	dials := 0
+	for start := 0; start < n; start += batch {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dials++
+	push:
+		for fi := start; fi < start+batch && fi < n; fi++ {
+			f := &e.test.Frames[fi]
+			for cam, obs := range f.PerCamera {
+				if err := EncodeFramePart(conn, FramePart{Cam: cam, Frame: fi, Obs: obs}); err != nil {
+					break push // connection killed; the batch tail is lost
+				}
+			}
+		}
+		conn.Close()
+	}
+	// Wait for the server side to drain what it will get, then end the
+	// stream in-process (reliable EOS; the wire parts raced it are shed).
+	prev := IngestCounters{}
+	for stable := 0; stable < 3; {
+		c := src.Counters()
+		if c == prev {
+			stable++
+		} else {
+			stable, prev = 0, c
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for cam := range e.test.Cameras {
+		if err := src.Offer(FramePart{Cam: cam, EOS: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	last, emitted := -1, 0
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Index <= last || f.Index >= n {
+			t.Fatalf("emitted frame %d after %d (must ascend strictly within [0,%d))", f.Index, last, n)
+		}
+		last = f.Index
+		emitted++
+	}
+	if emitted == 0 {
+		t.Fatal("no frames survived the chaos run")
+	}
+	t.Logf("chaos: %d/%d frames assembled over %d dials, counters %+v", emitted, n, dials, src.Counters())
+}
+
+// TestChannelSourceProducerSurvivesShutdown is the satellite acceptance
+// test: a producer feeding a ChannelSource through PushCtx/TryPush
+// outlives an engine that stopped consuming, instead of blocking
+// forever in Push.
+func TestChannelSourceProducerSurvivesShutdown(t *testing.T) {
+	e := getEnv(t)
+	src := NewChannelSource(e.test.Cameras, 1)
+
+	// Fill the buffer with no consumer: TryPush must shed, not block.
+	if !src.TryPush(&e.test.Frames[0]) {
+		t.Fatal("TryPush into an empty buffer failed")
+	}
+	if src.TryPush(&e.test.Frames[1]) {
+		t.Fatal("TryPush into a full buffer succeeded")
+	}
+
+	// A producer blocked in PushCtx unblocks when the consumer's context
+	// ends — the "engine shut down mid-stream" shape.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	pushErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < len(e.test.Frames); i++ {
+			if err := src.PushCtx(ctx, &e.test.Frames[i]); err != nil {
+				pushErr <- err
+				return
+			}
+		}
+		pushErr <- nil
+	}()
+
+	// Consume two frames, then stop consuming and cancel — as an engine
+	// torn down mid-run would.
+	for i := 0; i < 2; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	wg.Wait()
+	if err := <-pushErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("producer exited with %v, want context.Canceled", err)
+	}
+}

@@ -324,7 +324,7 @@ func mergeCamFrames(results []camFrame, detected map[int]bool,
 func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 	recall *metrics.RecallAccumulator, frameMax time.Duration,
 	cams []*cameraState, results []camFrame,
-	outageFrames, orphaned, reassigned int) {
+	outageFrames, orphaned, reassigned int, ingest IngestMeter) {
 	tp, fn := recall.Counts()
 	snap := metrics.Snapshot{
 		Source:          metrics.SourcePipeline,
@@ -339,6 +339,12 @@ func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 		Reassignments:   reassigned,
 		FrameLatency:    frameMax,
 		Cameras:         make([]metrics.CameraSnapshot, len(cams)),
+	}
+	if ingest != nil {
+		c := ingest.Counters()
+		snap.IngestedFrames = c.Ingested
+		snap.ShedFrames = c.Shed
+		snap.QueueDepth = c.QueueDepth
 	}
 	for i, cs := range cams {
 		snap.Cameras[i] = metrics.CameraSnapshot{

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -76,8 +77,36 @@ func NewChannelSource(cams []*scene.Camera, buffer int) *ChannelSource {
 func (s *ChannelSource) Cameras() []*scene.Camera { return s.cams }
 
 // Push appends one frame to the stream, blocking while the buffer is
-// full. Push must not be called after Close.
+// full. A producer that must survive a consumer that has stopped
+// draining (an engine that hit an error, or was never started) should
+// use TryPush or PushCtx instead — Push blocks forever in that case.
+// Push must not be called after Close.
 func (s *ChannelSource) Push(f *scene.FrameTruth) { s.ch <- f }
+
+// TryPush appends one frame if the buffer has room and reports whether
+// it did. It never blocks, so a producer can shed instead of stalling
+// when the engine has stopped consuming. TryPush must not be called
+// after Close.
+func (s *ChannelSource) TryPush(f *scene.FrameTruth) bool {
+	select {
+	case s.ch <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// PushCtx appends one frame, blocking while the buffer is full until
+// ctx is done; it returns ctx.Err() when the wait was abandoned and nil
+// when the frame was accepted. PushCtx must not be called after Close.
+func (s *ChannelSource) PushCtx(ctx context.Context, f *scene.FrameTruth) error {
+	select {
+	case s.ch <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Close ends the stream: after the buffer drains, Next reports io.EOF.
 // Close is idempotent.

@@ -171,6 +171,76 @@ func UnmarshalFrame(data []byte, numCameras int) (*FrameTruth, error) {
 	return fromFrameJSON(jf, numCameras)
 }
 
+// MarshalObservations returns the wire JSON for one camera's
+// observation list — the per-camera element of MarshalFrame's schema —
+// so a live ingest protocol can ship a frame camera by camera without
+// coupling to runtime structs. The float64 round-trip is exact, like
+// the whole-frame codec's.
+func MarshalObservations(obs []Observation) (json.RawMessage, error) {
+	out := make([]obsJSON, 0, len(obs))
+	for _, o := range obs {
+		out = append(out, obsJSON{
+			ID:  o.ObjectID,
+			Box: [4]float64{o.Box.MinX, o.Box.MinY, o.Box.MaxX, o.Box.MaxY},
+		})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("scene: encode observations: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalObservations parses a list written by MarshalObservations.
+func UnmarshalObservations(data json.RawMessage) ([]Observation, error) {
+	var in []obsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("scene: decode observations: %w", err)
+	}
+	obs := make([]Observation, 0, len(in))
+	for _, o := range in {
+		obs = append(obs, Observation{
+			ObjectID: o.ID,
+			Box:      geom.Rect{MinX: o.Box[0], MinY: o.Box[1], MaxX: o.Box[2], MaxY: o.Box[3]},
+		})
+	}
+	return obs, nil
+}
+
+// MarshalObjects returns the wire JSON for a ground-truth object list —
+// the objects element of MarshalFrame's schema.
+func MarshalObjects(objs []ObjectState) (json.RawMessage, error) {
+	out := make([]objectJSON, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, objectJSON{
+			ID: o.ID, X: o.Pos.X, Y: o.Pos.Y, Heading: o.Heading,
+			Speed: o.Speed, W: o.Dims.W, L: o.Dims.L, H: o.Dims.H,
+		})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("scene: encode objects: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalObjects parses a list written by MarshalObjects.
+func UnmarshalObjects(data json.RawMessage) ([]ObjectState, error) {
+	var in []objectJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("scene: decode objects: %w", err)
+	}
+	objs := make([]ObjectState, 0, len(in))
+	for _, o := range in {
+		objs = append(objs, ObjectState{
+			ID: o.ID, Pos: geom.Point{X: o.X, Y: o.Y},
+			Heading: o.Heading, Speed: o.Speed,
+			Dims: Dims{W: o.W, L: o.L, H: o.H},
+		})
+	}
+	return objs, nil
+}
+
 // Save serializes the trace as JSON, so a generated workload can be
 // archived and replayed (e.g. shipped to camera nodes instead of
 // regenerating from a seed).

@@ -33,8 +33,8 @@ func Open(dir string) (*Run, error) {
 	if err := json.Unmarshal(data, &man); err != nil {
 		return nil, fmt.Errorf("store: decode manifest: %w", err)
 	}
-	if man.Version != Version {
-		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", man.Version, Version)
+	if man.Version < legacyVersion || man.Version > Version {
+		return nil, fmt.Errorf("store: unsupported format version %d (want %d..%d)", man.Version, legacyVersion, Version)
 	}
 	cams, err := scene.UnmarshalCameras(man.Cameras)
 	if err != nil {
@@ -78,9 +78,12 @@ func (r *Run) NumFrames() int {
 	return r.index.Frames
 }
 
-// SnapshotsRaw returns the raw bytes of the recorded snapshot log — the
-// byte-exact form mvreplay -verify compares a re-run against. Missing
-// file means the run recorded no snapshots (nil, no error).
+// SnapshotsRaw returns the recorded snapshot log as plain JSONL — the
+// byte-exact form mvreplay -verify compares a re-run's JSONL sink
+// output against. Version-2 checksum prefixes are verified and
+// stripped, so the result is checksum-free regardless of format
+// version. Missing file means the run recorded no snapshots (nil, no
+// error).
 func (r *Run) SnapshotsRaw() ([]byte, error) {
 	data, err := os.ReadFile(filepath.Join(r.dir, snapshotsFile))
 	if os.IsNotExist(err) {
@@ -89,17 +92,29 @@ func (r *Run) SnapshotsRaw() ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return data, nil
+	var out bytes.Buffer
+	out.Grow(len(data))
+	if err := decodeLines(data, r.man.Version, func(line []byte) error {
+		out.Write(line)
+		out.WriteByte('\n')
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("store: snapshots: %w", err)
+	}
+	return out.Bytes(), nil
 }
 
 // Snapshots decodes the recorded per-frame snapshot log.
 func (r *Run) Snapshots() ([]metrics.Snapshot, error) {
-	data, err := r.SnapshotsRaw()
-	if err != nil || data == nil {
-		return nil, err
+	data, err := os.ReadFile(filepath.Join(r.dir, snapshotsFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	var out []metrics.Snapshot
-	if err := decodeLines(data, func(line []byte) error {
+	if err := decodeLines(data, r.man.Version, func(line []byte) error {
 		var s metrics.Snapshot
 		if err := json.Unmarshal(line, &s); err != nil {
 			return err
@@ -122,7 +137,7 @@ func (r *Run) Rounds() ([]metrics.Round, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var out []metrics.Round
-	if err := decodeLines(data, func(line []byte) error {
+	if err := decodeLines(data, r.man.Version, func(line []byte) error {
 		var rd metrics.Round
 		if err := json.Unmarshal(line, &rd); err != nil {
 			return err
@@ -135,12 +150,18 @@ func (r *Run) Rounds() ([]metrics.Round, error) {
 	return out, nil
 }
 
-func decodeLines(data []byte, fn func([]byte) error) error {
+// decodeLines walks a log's records, validating and stripping each
+// line's checksum per the format version before handing it to fn.
+func decodeLines(data []byte, version int, fn func([]byte) error) error {
 	for _, line := range bytes.Split(data, []byte("\n")) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		if err := fn(line); err != nil {
+		body, err := parseLine(line, version)
+		if err != nil {
+			return err
+		}
+		if err := fn(body); err != nil {
 			return err
 		}
 	}
@@ -154,7 +175,14 @@ func (r *Run) Source() (*Replay, error) {
 	if r.index == nil {
 		return nil, fmt.Errorf("store: run in %s recorded no frames (capture-only run, not replayable)", r.dir)
 	}
-	return &Replay{dir: r.dir, cams: r.cams, segs: r.index.Segments, want: r.index.Frames}, nil
+	// The readable frame count is the sum of the surviving segments'
+	// counts: equal to index.Frames unless retention deleted old
+	// segments, in which case only the window replays.
+	want := 0
+	for _, seg := range r.index.Segments {
+		want += seg.Count
+	}
+	return &Replay{dir: r.dir, cams: r.cams, ver: r.man.Version, segs: r.index.Segments, want: want}, nil
 }
 
 // Replay streams a recorded frame log segment by segment. It satisfies
@@ -164,6 +192,7 @@ func (r *Run) Source() (*Replay, error) {
 type Replay struct {
 	dir  string
 	cams []*scene.Camera
+	ver  int
 	segs []Segment
 	want int
 
@@ -210,7 +239,11 @@ func (r *Replay) Next() (*scene.FrameTruth, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: segment truncated at frame %d: %w", r.read, err)
 	}
-	frame, err := scene.UnmarshalFrame(line, len(r.cams))
+	body, err := parseLine(line, r.ver)
+	if err != nil {
+		return nil, fmt.Errorf("store: frame %d: %w", r.read, err)
+	}
+	frame, err := scene.UnmarshalFrame(body, len(r.cams))
 	if err != nil {
 		return nil, err
 	}

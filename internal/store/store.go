@@ -29,10 +29,13 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 
 	"mvs/internal/metrics"
@@ -47,11 +50,109 @@ const (
 	indexFile     = "index.json"
 
 	// Version is the on-disk format version written to new manifests.
-	Version = 1
+	// Version 2 prefixes every JSONL record (snapshots, rounds, frame
+	// segments) with a CRC32 checksum so a torn or corrupted tail is
+	// detectable byte-for-byte (docs/STREAMING.md §5); version 1 runs
+	// (no checksums) remain readable.
+	Version = 2
+	// legacyVersion is the oldest on-disk format Open still reads.
+	legacyVersion = 1
 	// DefaultSegmentSize is the frames-per-segment bound when the
 	// manifest does not set one.
 	DefaultSegmentSize = 256
 )
+
+// FsyncPolicy controls when the writer forces records to stable storage
+// — the durability/throughput dial for -record under crash risk
+// (docs/STREAMING.md §5).
+type FsyncPolicy int
+
+const (
+	// FsyncNever (the default) leaves durability to the OS page cache:
+	// fastest, and a crash can lose everything since the last flush.
+	FsyncNever FsyncPolicy = iota
+	// FsyncInterval syncs each log file every FsyncEvery records:
+	// bounded loss at bounded cost.
+	FsyncInterval
+	// FsyncEveryRecord syncs after every record: at most one torn line
+	// lost, at full fsync cost per record.
+	FsyncEveryRecord
+)
+
+// String returns the -store-fsync flag name of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncNever:
+		return "never"
+	case FsyncInterval:
+		return "interval"
+	case FsyncEveryRecord:
+		return "every-record"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsync maps a -store-fsync flag name to its policy.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "never", "":
+		return FsyncNever, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "every-record":
+		return FsyncEveryRecord, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync policy %q (want never, interval, every-record)", s)
+	}
+}
+
+// Options tunes a Writer beyond the manifest (CreateWith). The zero
+// value matches Create: no fsync, unlimited retention.
+type Options struct {
+	// Fsync is the durability policy for all three logs.
+	Fsync FsyncPolicy
+	// FsyncEvery is the records-per-sync interval for FsyncInterval
+	// (<= 0 defaults to 64).
+	FsyncEvery int
+	// KeepSegments, when > 0, bounds the frame log to the newest N
+	// segments: each roll past the bound deletes the oldest segment
+	// file (retention for long-running recordings). A retained run
+	// replays only its surviving window, so mvreplay -verify refuses it.
+	KeepSegments int
+}
+
+// checksumLine returns the version-2 wire form of one JSONL record:
+// an 8-hex-digit CRC32 (IEEE) of the JSON bytes, a space, the JSON,
+// a newline.
+func checksumLine(body []byte) []byte {
+	out := make([]byte, 0, len(body)+10)
+	out = fmt.Appendf(out, "%08x ", crc32.ChecksumIEEE(body))
+	out = append(out, body...)
+	return append(out, '\n')
+}
+
+// parseLine validates and strips one record line (trailing newline
+// removed) according to the format version: version 2 checks and strips
+// the checksum prefix, version 1 lines pass through.
+func parseLine(line []byte, version int) ([]byte, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	if version < 2 {
+		return line, nil
+	}
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("store: record missing checksum prefix")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("store: bad checksum prefix: %w", err)
+	}
+	body := line[9:]
+	if got := crc32.ChecksumIEEE(body); got != uint32(want) {
+		return nil, fmt.Errorf("store: checksum mismatch (record says %08x, bytes hash to %08x)", uint32(want), got)
+	}
+	return body, nil
+}
 
 // Manifest identifies a recorded run and carries the recipe for
 // regenerating everything the frame stream does not contain: the
@@ -59,7 +160,7 @@ const (
 // fault spec rebuilds the outage schedule, and the camera roster
 // validates that a replay is fed to the fleet it was recorded from.
 type Manifest struct {
-	// Version is the on-disk format version (currently 1).
+	// Version is the on-disk format version (see the Version constant).
 	Version int `json:"version"`
 	// Label tags the run (defaults to the mode name at record time).
 	Label string `json:"label,omitempty"`
@@ -85,6 +186,21 @@ type Manifest struct {
 	// SegmentSize is the frames-per-segment bound of this run's frame
 	// segments (0 means DefaultSegmentSize).
 	SegmentSize int `json:"segment_size,omitempty"`
+	// Fsync records the durability policy the run was written under
+	// (FsyncPolicy.String; empty means never).
+	Fsync string `json:"fsync,omitempty"`
+	// KeepSegments records the frame-log retention bound (0 = unlimited).
+	// A retained run replays only its surviving window, so -verify
+	// refuses it.
+	KeepSegments int `json:"keep_segments,omitempty"`
+	// Ingest, when set, is the -ingest-addr the run's frames arrived on.
+	// Live arrivals shed by wall-clock load, so an ingest-recorded run's
+	// snapshot counters are not a pure function of its frame log and
+	// -verify refuses it; the frame log itself still replays.
+	Ingest string `json:"ingest,omitempty"`
+	// Recovered marks a run rewritten by Recover after a crash: the logs
+	// are the validated prefix of the original run (docs/STREAMING.md §5).
+	Recovered bool `json:"recovered,omitempty"`
 	// Cameras is the roster in scene.MarshalCameras wire form.
 	Cameras json.RawMessage `json:"cameras"`
 }
@@ -135,6 +251,7 @@ type frameIndex struct {
 type Writer struct {
 	dir     string
 	man     Manifest
+	opts    Options
 	numCams int
 	segSize int
 
@@ -143,19 +260,26 @@ type Writer struct {
 	closed   bool
 	snaps    *jsonlWriter
 	rounds   *jsonlWriter
-	seg      *os.File
-	segBuf   *bufio.Writer
+	seg      *jsonlWriter
 	segments []Segment
+	segSeq   int // next segment file ordinal (monotonic under retention)
 	frames   int
 }
 
 var _ Store = (*Writer)(nil)
 
-// Create starts a new run in dir (created if needed; refused if it
+// Create starts a new run in dir with default Options (no fsync,
+// unlimited retention). See CreateWith.
+func Create(dir string, man Manifest) (*Writer, error) {
+	return CreateWith(dir, man, Options{})
+}
+
+// CreateWith starts a new run in dir (created if needed; refused if it
 // already holds a manifest — runs are append-only, never overwritten).
 // The manifest's Version and SegmentSize are filled with defaults when
-// zero; Cameras must parse as a valid roster.
-func Create(dir string, man Manifest) (*Writer, error) {
+// zero and its Fsync/KeepSegments fields are stamped from opts; Cameras
+// must parse as a valid roster.
+func CreateWith(dir string, man Manifest, opts Options) (*Writer, error) {
 	cams, err := scene.UnmarshalCameras(man.Cameras)
 	if err != nil {
 		return nil, fmt.Errorf("store: manifest cameras: %w", err)
@@ -172,6 +296,15 @@ func Create(dir string, man Manifest) (*Writer, error) {
 	if man.SegmentSize <= 0 {
 		man.SegmentSize = DefaultSegmentSize
 	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 64
+	}
+	if opts.Fsync != FsyncNever {
+		man.Fsync = opts.Fsync.String()
+	}
+	if opts.KeepSegments > 0 {
+		man.KeepSegments = opts.KeepSegments
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -186,31 +319,62 @@ func Create(dir string, man Manifest) (*Writer, error) {
 	if err := os.WriteFile(mpath, append(data, '\n'), 0o644); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Writer{dir: dir, man: man, numCams: len(cams), segSize: man.SegmentSize}, nil
+	return &Writer{dir: dir, man: man, opts: opts, numCams: len(cams), segSize: man.SegmentSize}, nil
 }
 
 // Manifest returns the manifest the run was created with (defaults
 // filled in).
 func (w *Writer) Manifest() Manifest { return w.man }
 
-// jsonlWriter is a lazily-opened buffered JSONL file.
+// jsonlWriter is a lazily-opened buffered JSONL file writing
+// checksummed records under the writer's fsync policy.
 type jsonlWriter struct {
-	f   *os.File
-	bw  *bufio.Writer
-	enc *json.Encoder
+	f     *os.File
+	bw    *bufio.Writer
+	fsync FsyncPolicy
+	every int
+	n     int // records since the last sync
 }
 
-func openJSONL(path string) (*jsonlWriter, error) {
+func openJSONL(path string, opts Options) (*jsonlWriter, error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	bw := bufio.NewWriter(f)
-	return &jsonlWriter{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+	return &jsonlWriter{f: f, bw: bufio.NewWriter(f), fsync: opts.Fsync, every: opts.FsyncEvery}, nil
+}
+
+// record appends one checksummed line and applies the fsync policy.
+func (j *jsonlWriter) record(body []byte) error {
+	if _, err := j.bw.Write(checksumLine(body)); err != nil {
+		return err
+	}
+	j.n++
+	switch j.fsync {
+	case FsyncEveryRecord:
+		return j.sync()
+	case FsyncInterval:
+		if j.n >= j.every {
+			return j.sync()
+		}
+	}
+	return nil
+}
+
+// sync flushes the buffer and forces the file to stable storage.
+func (j *jsonlWriter) sync() error {
+	if err := j.bw.Flush(); err != nil {
+		return err
+	}
+	j.n = 0
+	return j.f.Sync()
 }
 
 func (j *jsonlWriter) close() error {
 	err := j.bw.Flush()
+	if err == nil && j.fsync != FsyncNever {
+		err = j.f.Sync()
+	}
 	if cerr := j.f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -225,12 +389,15 @@ func (w *Writer) RecordFrame(snap metrics.Snapshot) {
 		return
 	}
 	if w.snaps == nil {
-		w.snaps, w.err = openJSONL(filepath.Join(w.dir, snapshotsFile))
+		w.snaps, w.err = openJSONL(filepath.Join(w.dir, snapshotsFile), w.opts)
 		if w.err != nil {
 			return
 		}
 	}
-	w.err = w.snaps.enc.Encode(snap)
+	var body []byte
+	if body, w.err = json.Marshal(snap); w.err == nil {
+		w.err = w.snaps.record(body)
+	}
 }
 
 // RecordRound appends one round line (metrics.RoundSink).
@@ -241,12 +408,15 @@ func (w *Writer) RecordRound(round metrics.Round) {
 		return
 	}
 	if w.rounds == nil {
-		w.rounds, w.err = openJSONL(filepath.Join(w.dir, roundsFile))
+		w.rounds, w.err = openJSONL(filepath.Join(w.dir, roundsFile), w.opts)
 		if w.err != nil {
 			return
 		}
 	}
-	w.err = w.rounds.enc.Encode(round)
+	var body []byte
+	if body, w.err = json.Marshal(round); w.err == nil {
+		w.err = w.rounds.record(body)
+	}
 }
 
 // AppendFrame appends one frame to the run's frame log, rolling to a
@@ -278,7 +448,7 @@ func (w *Writer) AppendFrame(f *scene.FrameTruth) error {
 		w.err = err
 		return err
 	}
-	if _, err := w.segBuf.Write(append(line, '\n')); err != nil {
+	if err := w.seg.record(line); err != nil {
 		w.err = err
 		return err
 	}
@@ -287,36 +457,40 @@ func (w *Writer) AppendFrame(f *scene.FrameTruth) error {
 	return nil
 }
 
-// rollSegment flushes the open segment (if any) and opens the next one.
-// Caller holds w.mu.
+// rollSegment flushes the open segment (if any), opens the next one,
+// and applies the retention bound. Caller holds w.mu.
 func (w *Writer) rollSegment() error {
 	if w.seg != nil {
 		if err := w.closeSegment(); err != nil {
 			return err
 		}
 	}
-	if len(w.segments) == 0 {
+	if w.segSeq == 0 {
 		if err := os.MkdirAll(filepath.Join(w.dir, framesDir), 0o755); err != nil {
 			return err
 		}
 	}
-	name := fmt.Sprintf("seg-%06d.jsonl", len(w.segments))
-	f, err := os.OpenFile(filepath.Join(w.dir, framesDir, name), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	name := fmt.Sprintf("seg-%06d.jsonl", w.segSeq)
+	w.segSeq++
+	seg, err := openJSONL(filepath.Join(w.dir, framesDir, name), w.opts)
 	if err != nil {
 		return err
 	}
-	w.seg, w.segBuf = f, bufio.NewWriter(f)
+	w.seg = seg
 	w.segments = append(w.segments, Segment{File: name, First: w.frames})
+	if keep := w.opts.KeepSegments; keep > 0 && len(w.segments) > keep {
+		if err := os.Remove(filepath.Join(w.dir, framesDir, w.segments[0].File)); err != nil {
+			return err
+		}
+		w.segments = append(w.segments[:0], w.segments[1:]...)
+	}
 	return nil
 }
 
 // closeSegment flushes and closes the open segment. Caller holds w.mu.
 func (w *Writer) closeSegment() error {
-	err := w.segBuf.Flush()
-	if cerr := w.seg.Close(); cerr != nil && err == nil {
-		err = cerr
-	}
-	w.seg, w.segBuf = nil, nil
+	err := w.seg.close()
+	w.seg = nil
 	return err
 }
 
@@ -325,20 +499,16 @@ func (w *Writer) closeSegment() error {
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	flush := func(bw *bufio.Writer) {
-		if bw != nil {
-			if err := bw.Flush(); err != nil && w.err == nil {
+	flush := func(j *jsonlWriter) {
+		if j != nil {
+			if err := j.bw.Flush(); err != nil && w.err == nil {
 				w.err = err
 			}
 		}
 	}
-	if w.snaps != nil {
-		flush(w.snaps.bw)
-	}
-	if w.rounds != nil {
-		flush(w.rounds.bw)
-	}
-	flush(w.segBuf)
+	flush(w.snaps)
+	flush(w.rounds)
+	flush(w.seg)
 	return w.err
 }
 
