@@ -238,7 +238,7 @@ func randomInstance(rng *rand.Rand, m, n int) ([]core.CameraSpec, []core.ObjectS
 	classes := []profile.DeviceClass{profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier}
 	cams := make([]core.CameraSpec, m)
 	for i := range cams {
-		cams[i] = core.CameraSpec{Index: i, Profile: profile.Default(classes[i%3])}
+		cams[i] = core.CameraSpec{Index: i, Profile: profile.Derived(classes[i%3])}
 	}
 	sizes := []int{64, 128, 256, 512}
 	objects := make([]core.ObjectSpec, n)
@@ -261,9 +261,9 @@ func BenchmarkAblationBatchAwareness(b *testing.B) {
 	// Batch-heavy instance: many same-size objects in a shared region,
 	// where the incomplete-batch rule does its work.
 	cams := []core.CameraSpec{
-		{Index: 0, Profile: profile.Default(profile.JetsonXavier)},
-		{Index: 1, Profile: profile.Default(profile.JetsonTX2)},
-		{Index: 2, Profile: profile.Default(profile.JetsonNano)},
+		{Index: 0, Profile: profile.Derived(profile.JetsonXavier)},
+		{Index: 1, Profile: profile.Derived(profile.JetsonTX2)},
+		{Index: 2, Profile: profile.Derived(profile.JetsonNano)},
 	}
 	objects := make([]core.ObjectSpec, 60)
 	for i := range objects {

@@ -9,11 +9,13 @@
 //	      [-cam-faults seed=7,rate=0.1] [-health-k K] [-record rundir]
 //
 // Beyond the paper's figures, -exp sweep, -exp occlusion, -exp chaos,
-// -exp shard, and -exp shed run the extrapolated studies (arrival-rate
-// sensitivity, redundancy-2 hedging, graceful degradation under camera
-// outages, the 64-camera shard-count scaling sweep, and the
-// ingest-overload shed-policy sweep); all five are excluded from
-// "all".
+// -exp shard, -exp shed, and -exp adapt run the extrapolated studies
+// (arrival-rate sensitivity, redundancy-2 hedging, graceful degradation
+// under camera outages, the 64-camera shard-count scaling sweep, the
+// ingest-overload shed-policy sweep, and the degradation-control-loop
+// sweep — controller on vs shed-only across offered loads, on the
+// eight-camera S4 by default, tunable with -adapt); all six are
+// excluded from "all".
 //
 // -workers bounds the concurrency of independent experiment points
 // (modes, sweep points), the per-camera fan-out inside each pipeline
@@ -42,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mvs/internal/adapt"
 	"mvs/internal/cliconf"
 	"mvs/internal/experiments"
 	"mvs/internal/metrics"
@@ -53,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos, shard, shed")
+		exp      = flag.String("exp", "all", "experiment: all, fig2, table1, fig10, fig11, fig12, fig13, fig14, table2, sweep, occlusion, chaos, shard, shed, adapt")
 		scenario = flag.String("scenario", "all", "scenario: S1, S2, S3, or all")
 		frames   = flag.Int("frames", 1200, "trace length in frames (10 FPS)")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -94,7 +97,13 @@ func main() {
 		}
 		opts.Rounds = rec
 	}
-	runErr := run(*exp, *scenario, *frames, *seed, opts)
+	adaptPol, err := shared.AdaptPolicy()
+	if err != nil {
+		_ = export.Close()
+		fmt.Fprintln(os.Stderr, "mvexp:", err)
+		os.Exit(1)
+	}
+	runErr := run(*exp, *scenario, *frames, *seed, adaptPol, opts)
 	if rec != nil {
 		if err := rec.Close(); err != nil && runErr == nil {
 			runErr = err
@@ -144,7 +153,28 @@ func scenarioNames(scenario string) ([]string, error) {
 	}
 }
 
-func run(exp, scenario string, frames int, seed int64, opts experiments.Options) error {
+func run(exp, scenario string, frames int, seed int64, adaptPol adapt.Policy, opts experiments.Options) error {
+	// The adapt sweep targets the eight-camera S4 scale scenario by
+	// default (the others run if named explicitly), so it resolves its
+	// scenario before the S1-S3 name check.
+	if exp == "adapt" {
+		names := []string{"S4"}
+		if scenario != "all" {
+			names = []string{scenario}
+		}
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "preparing %s (%d frames, seed %d)...\n", name, frames, seed)
+			s, err := experiments.Prepare(name, seed, frames)
+			if err != nil {
+				return err
+			}
+			if err := printAdaptSweep(s, adaptPol, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	names, err := scenarioNames(scenario)
 	if err != nil {
 		return err
@@ -156,7 +186,7 @@ func run(exp, scenario string, frames int, seed int64, opts experiments.Options)
 		"fig2": true, "table1": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "table2": true,
 		"sweep": true, "occlusion": true, "chaos": true, "shard": true,
-		"shed": true,
+		"shed": true, "adapt": true,
 	}
 	if !wantAll && !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
@@ -553,6 +583,47 @@ func printShedSweep(s *experiments.Setup, opts experiments.Options) error {
 	fmt.Println("expected shape: at load 1x nothing sheds and every policy matches the")
 	fmt.Println("offline run; past the queue bound shed grows with load while recall on")
 	fmt.Println("surviving frames holds — the policies differ in which frames survive")
+	return nil
+}
+
+func printAdaptSweep(s *experiments.Setup, pol adapt.Policy, opts experiments.Options) error {
+	header(fmt.Sprintf("Adapt sweep (%s): degradation control loop vs shed-only under offered load", s.Scenario.Name))
+	points, err := experiments.AdaptSweep(s, pol, nil, opts)
+	if err != nil {
+		return err
+	}
+	total := len(s.Test.Frames)
+	var csvRows [][]string
+	for _, p := range points {
+		// Effective recall scores the whole offered trace: a shed frame
+		// is a total miss, so recall is scaled by assembly coverage.
+		onEff := p.OnRecall * float64(p.OnFrames) / float64(total)
+		offEff := p.OffRecall * float64(p.OffFrames) / float64(total)
+		fmt.Printf("load=%dx  eff_recall on=%.3f off=%.3f (gap %+.3f)  frames on=%-4d off=%-4d  p99 on=%8v off=%8v  shed on=%-5d off=%-5d  level=%d transitions=%d slo_viol=%d\n",
+			p.Load, onEff, offEff, onEff-offEff,
+			p.OnFrames, p.OffFrames,
+			p.OnP99.Round(100*1000), p.OffP99.Round(100*1000),
+			p.OnShed, p.OffShed, p.FinalLevel, p.Transitions, p.SLOViolations)
+		csvRows = append(csvRows, []string{s.Scenario.Name, strconv.Itoa(p.Load),
+			strconv.FormatFloat(onEff, 'f', 4, 64),
+			strconv.FormatFloat(offEff, 'f', 4, 64),
+			strconv.FormatFloat(p.OnRecall, 'f', 4, 64),
+			strconv.FormatFloat(p.OffRecall, 'f', 4, 64),
+			strconv.Itoa(p.OnFrames), strconv.Itoa(p.OffFrames),
+			strconv.FormatInt(p.OnP99.Microseconds(), 10),
+			strconv.FormatInt(p.OffP99.Microseconds(), 10),
+			strconv.Itoa(p.OnShed), strconv.Itoa(p.OffShed),
+			strconv.Itoa(p.FinalLevel), strconv.Itoa(p.Transitions),
+			strconv.Itoa(p.SLOViolations)})
+	}
+	writeCSV("adapt_"+s.Scenario.Name, []string{"scenario", "load",
+		"on_eff_recall", "off_eff_recall", "on_recall", "off_recall",
+		"on_frames", "off_frames", "on_p99_us", "off_p99_us",
+		"on_shed", "off_shed", "final_level", "transitions", "slo_violations"}, csvRows)
+	fmt.Println("expected shape: at load 1x the arms are identical (the controller never")
+	fmt.Println("engages); under overload the ladder outruns the offered load — fewer")
+	fmt.Println("shed frames, higher effective recall than shed-only — with P99 inside")
+	fmt.Println("the SLO")
 	return nil
 }
 

@@ -19,7 +19,10 @@
 // connection faults for chaos runs; -cam-faults injects data-plane
 // camera outages (the node skips the frame loop while "down", which a
 // lease-armed scheduler observes as silence and reports as a dead
-// camera to the surviving nodes).
+// camera to the surviving nodes). When the scheduler runs -adapt, its
+// assignments carry a degradation level: the node caps its inspection
+// input sizes at adapt.SizeCapFor(level) and stretches its key-frame
+// cadence by adapt.StretchFor(level) (docs/FAULTS.md §10).
 //
 // Sharded deployments (mvscheduler -shard-max / -shards) need no node
 // flag: the scheduler routes the node to its shard's round loop at the
@@ -48,6 +51,7 @@ import (
 	"os"
 	"time"
 
+	"mvs/internal/adapt"
 	"mvs/internal/cliconf"
 	"mvs/internal/cluster"
 	"mvs/internal/faults"
@@ -282,7 +286,16 @@ func run(cfg runConfig) error {
 			}
 			continue
 		}
-		if fi%cfg.horizon == 0 {
+		// The adapt level from the last assignment stretches the key-frame
+		// cadence to horizon*StretchFor(level) frames, staying on the
+		// horizon grid so the node re-syncs with the scheduler's rounds
+		// (level 0 — and always without mvscheduler -adapt — keeps the
+		// plain every-horizon cadence).
+		isKey := fi%cfg.horizon == 0
+		if stretch := adapt.StretchFor(rt.AdaptLevel()); isKey && stretch > 1 {
+			isKey = (fi/cfg.horizon)%stretch == 0
+		}
+		if isKey {
 			reports, err := rt.KeyFrame(obs)
 			if err != nil {
 				return err

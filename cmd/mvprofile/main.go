@@ -32,7 +32,7 @@ func main() {
 	for _, class := range classes {
 		var p *profile.Profile
 		if *exact {
-			p = profile.Default(class)
+			p = profile.Derived(class)
 		} else {
 			var err error
 			p, err = profiler.Measure(class, nil)

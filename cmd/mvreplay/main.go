@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"mvs/internal/adapt"
 	"mvs/internal/assoc"
 	"mvs/internal/camfault"
 	"mvs/internal/cliconf"
@@ -106,6 +107,9 @@ func replay(dir, modeName string, verify, recoverRun bool, workers int, sink met
 		if man.KeepSegments > 0 {
 			return fmt.Errorf("-verify refuses retention-windowed recordings (%s kept %d segments): the snapshot log spans the full run but only the window replays", dir, man.KeepSegments)
 		}
+		if man.KeepDuration != "" {
+			return fmt.Errorf("-verify refuses retention-windowed recordings (%s kept %s of segments): the snapshot log spans the full run but only the window replays", dir, man.KeepDuration)
+		}
 	}
 
 	// The manifest regenerates everything the frame log does not carry:
@@ -155,6 +159,16 @@ func replay(dir, modeName string, verify, recoverRun bool, workers int, sink met
 		}
 		cfg.Fault.CamFaults = faults
 		cfg.Fault.HealthK = man.HealthK
+	}
+	if man.Adapt != "" {
+		// Regenerate the adapt controller from its recorded spec: the
+		// controller is a pure function of the modeled window state, so
+		// the replay walks the identical degradation ladder.
+		pol, err := adapt.ParseSpec(man.Adapt)
+		if err != nil {
+			return fmt.Errorf("manifest adapt spec: %w", err)
+		}
+		cfg.Adapt.Policy = pol
 	}
 
 	var verifyLog bytes.Buffer

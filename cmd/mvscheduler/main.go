@@ -25,7 +25,11 @@
 // waits for stragglers before scheduling with the reports received so
 // far; -lease stops silent cameras from blocking the barrier (pair with
 // mvnode -heartbeat-every); -faults wraps the listener in a
-// deterministic fault injector for chaos runs.
+// deterministic fault injector for chaos runs; -adapt arms the
+// degradation control loop (docs/FAULTS.md §10) — when scheduled round
+// latency breaches the SLO or leases declare cameras dead, assignments
+// carry a degradation level that nodes translate into capped
+// inspection sizes and a stretched key-frame cadence.
 //
 // Scaling (docs/SCALING.md §3): -shard-max N partitions the fleet into
 // overlap groups of at most N cameras from the trained model's coverage
@@ -166,6 +170,20 @@ func run(listen, scenario string, seed int64, frames int, roundTimeout, lease ti
 	}
 	if rec != nil {
 		opts = append(opts, cluster.WithRounds(rec))
+	}
+	adaptPol, err := shared.AdaptPolicy()
+	if err != nil {
+		if rec != nil {
+			_ = rec.Close()
+		}
+		_ = export.Close()
+		return err
+	}
+	if adaptPol.Enabled() {
+		// Under a ShardedScheduler every option applies per shard, so
+		// each shard gets its own independent controller.
+		opts = append(opts, cluster.WithAdapt(adaptPol))
+		log.Printf("degradation control loop armed: %s", adaptPol.Spec())
 	}
 	closeAll := func(serveErr error) error {
 		if rec != nil {

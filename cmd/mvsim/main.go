@@ -24,11 +24,20 @@
 // log, the per-frame snapshots, the scheduling-round decisions, and a
 // manifest that pins scenario, seed, mode, and fault schedule. A
 // recorded run replays bit-identically with mvreplay — including under
-// a different scheduler (docs/STREAMING.md). -store-fsync and
-// -store-keep-segments tune the store's durability and retention
+// a different scheduler (docs/STREAMING.md). -store-fsync,
+// -store-keep-segments, and -store-keep-duration tune the store's
+// durability and retention
 // (docs/STREAMING.md §5); -pace throttles the trace to one frame per
 // interval so a run spans wall time (CI's crash-injection step SIGKILLs
 // a paced recording mid-run and recovers it with mvreplay -recover).
+//
+// -adapt arms the degradation control loop (docs/FAULTS.md §10): under
+// modeled-latency overload, queue pressure, or camera outages the
+// engine climbs a degradation ladder — stretching the key-frame
+// cadence and capping inspection input sizes — and recovers with
+// hysteresis when the pressure clears. The controller is deterministic
+// in the modeled state, so a recorded adapt run still verifies
+// byte-identically under mvreplay -verify.
 //
 // -ingest-addr replaces the generated trace with a live TCP listener:
 // frame parts pushed by mvingest are assembled into engine frames, with
@@ -128,6 +137,14 @@ func run(scenario, modeName string, frames, horizon int, seed int64, pace, stall
 	cfg.Sched.Workers = shared.Workers
 	if shared.ExportEnabled() {
 		cfg.Obs.Sink = export.Sink
+	}
+	adaptPol, err := shared.AdaptPolicy()
+	if err != nil {
+		return err
+	}
+	if adaptPol.Enabled() {
+		cfg.Adapt.Policy = adaptPol
+		fmt.Fprintf(os.Stderr, "degradation control loop armed: %s\n", adaptPol.Spec())
 	}
 
 	if shared.IngestAddr != "" && shared.CamFaults != "" {

@@ -31,7 +31,7 @@ func main() {
 	}
 	fleet := make([]core.CameraSpec, len(classes))
 	for i, c := range classes {
-		fleet[i] = core.CameraSpec{Index: i, Profile: profile.Default(c)}
+		fleet[i] = core.CameraSpec{Index: i, Profile: profile.Derived(c)}
 	}
 
 	rng := rand.New(rand.NewSource(11))

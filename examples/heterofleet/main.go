@@ -29,7 +29,7 @@ func makeFleet() []core.CameraSpec {
 	}
 	fleet := make([]core.CameraSpec, len(classes))
 	for i, c := range classes {
-		fleet[i] = core.CameraSpec{Index: i, Profile: profile.Default(c)}
+		fleet[i] = core.CameraSpec{Index: i, Profile: profile.Derived(c)}
 	}
 	return fleet
 }

@@ -52,8 +52,8 @@ func main() {
 
 	// 3. A heterogeneous pair of edge devices.
 	profiles := []*profile.Profile{
-		profile.Default(profile.JetsonXavier),
-		profile.Default(profile.JetsonNano),
+		profile.Derived(profile.JetsonXavier),
+		profile.Derived(profile.JetsonNano),
 	}
 
 	// 4. Run full-frame processing and BALB, compare.

@@ -15,6 +15,7 @@ import (
 	"net"
 	"time"
 
+	"mvs/internal/adapt"
 	"mvs/internal/camfault"
 	"mvs/internal/metrics"
 	"mvs/internal/pipeline"
@@ -42,10 +43,16 @@ type Shared struct {
 	// Record is the run-store directory (docs/STREAMING.md); empty
 	// disables recording.
 	Record string
-	// StoreFsync and StoreKeep tune the -record store's durability and
-	// retention (store.Options; docs/STREAMING.md §5).
-	StoreFsync string
-	StoreKeep  int
+	// StoreFsync, StoreKeep, and StoreKeepDur tune the -record store's
+	// durability and retention (store.Options; docs/STREAMING.md §5).
+	// Count and age bounds share one pruning path; both apply when both
+	// are set.
+	StoreFsync   string
+	StoreKeep    int
+	StoreKeepDur time.Duration
+	// Adapt is the degradation-control-loop spec (adapt.ParseSpec
+	// syntax, docs/FAULTS.md §10); empty disables the controller.
+	Adapt string
 	// IngestAddr, when set, makes the binary listen for live frame
 	// parts (pipeline.IngestSource) instead of generating a trace;
 	// ShedPolicy picks what its admission queues drop under overload
@@ -67,6 +74,8 @@ func Register(fs *flag.FlagSet, workersHelp string) *Shared {
 	fs.StringVar(&s.Record, "record", "", "record this run into a run-store directory (see docs/STREAMING.md)")
 	fs.StringVar(&s.StoreFsync, "store-fsync", "never", "-record durability policy: never, interval, every-record")
 	fs.IntVar(&s.StoreKeep, "store-keep-segments", 0, "-record frame-log retention: keep only the newest N segments (0 = unlimited)")
+	fs.DurationVar(&s.StoreKeepDur, "store-keep-duration", 0, "-record frame-log retention by age: drop segments older than this (0 = unlimited)")
+	fs.StringVar(&s.Adapt, "adapt", "", "degradation control loop, e.g. slo=500ms,window=40,cooldown=2,max=3 (see docs/FAULTS.md)")
 	fs.StringVar(&s.IngestAddr, "ingest-addr", "", "listen for live length-prefixed frame parts on this address instead of generating a trace (e.g. :7100; push with mvingest)")
 	fs.StringVar(&s.ShedPolicy, "shed-policy", "drop-oldest", "ingest overload shedding: drop-oldest, freshest, stale")
 	return s
@@ -98,8 +107,8 @@ func (s *Shared) FaultModel(numCams, numFrames int) (*camfault.Model, error) {
 	return camfault.Generate(cfg, numCams, numFrames)
 }
 
-// StoreOptions materialises the -store-fsync / -store-keep-segments
-// flags as store.Options.
+// StoreOptions materialises the -store-fsync / -store-keep-segments /
+// -store-keep-duration flags as store.Options.
 func (s *Shared) StoreOptions() (store.Options, error) {
 	fsync, err := store.ParseFsync(s.StoreFsync)
 	if err != nil {
@@ -108,7 +117,19 @@ func (s *Shared) StoreOptions() (store.Options, error) {
 	if s.StoreKeep < 0 {
 		return store.Options{}, fmt.Errorf("-store-keep-segments must be >= 0, got %d", s.StoreKeep)
 	}
-	return store.Options{Fsync: fsync, KeepSegments: s.StoreKeep}, nil
+	if s.StoreKeepDur < 0 {
+		return store.Options{}, fmt.Errorf("-store-keep-duration must be >= 0, got %v", s.StoreKeepDur)
+	}
+	return store.Options{Fsync: fsync, KeepSegments: s.StoreKeep, KeepDuration: s.StoreKeepDur}, nil
+}
+
+// AdaptPolicy materialises the -adapt spec as an adapt.Policy. The zero
+// policy (flag unset) leaves the controller disabled.
+func (s *Shared) AdaptPolicy() (adapt.Policy, error) {
+	if s.Adapt == "" {
+		return adapt.Policy{}, nil
+	}
+	return adapt.ParseSpec(s.Adapt)
 }
 
 // OpenRecorder creates the -record run store under the -store-* options,
@@ -126,6 +147,15 @@ func (s *Shared) OpenRecorder(man store.Manifest) (*store.Writer, error) {
 	}
 	if man.Ingest == "" && s.IngestAddr != "" {
 		man.Ingest = s.IngestAddr
+	}
+	if man.Adapt == "" && s.Adapt != "" {
+		// Store the canonical spec so a replay regenerates the identical
+		// controller (adapt.Policy.Spec round-trips through ParseSpec).
+		pol, err := s.AdaptPolicy()
+		if err != nil {
+			return nil, err
+		}
+		man.Adapt = pol.Spec()
 	}
 	opts, err := s.StoreOptions()
 	if err != nil {

@@ -86,8 +86,8 @@ func testModel(t *testing.T) (*assoc.Model, []*profile.Profile) {
 		t.Fatal(err)
 	}
 	return model, []*profile.Profile{
-		profile.Default(profile.JetsonXavier),
-		profile.Default(profile.JetsonNano),
+		profile.Derived(profile.JetsonXavier),
+		profile.Derived(profile.JetsonNano),
 	}
 }
 

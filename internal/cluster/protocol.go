@@ -135,6 +135,13 @@ type Assignment struct {
 	// foreign-shard cameras in coverage sets. Omitted by the global
 	// scheduler, keeping the legacy wire format unchanged.
 	Roster []int `json:"roster,omitempty"`
+	// AdaptLevel is the degradation-ladder rung the scheduler's adapt
+	// controller (WithAdapt) holds this horizon: nodes cap their
+	// inspection input sizes at adapt.SizeCapFor(level) and stretch
+	// their key-frame cadence by adapt.StretchFor(level). Omitted at
+	// level 0 — and always without WithAdapt — so the legacy wire format
+	// is unchanged for undegraded deployments (docs/FAULTS.md §10).
+	AdaptLevel int `json:"adapt_level,omitempty"`
 }
 
 // Envelope is the wire message union: Type names which single payload

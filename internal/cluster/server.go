@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"mvs/internal/adapt"
 	"mvs/internal/assoc"
 	"mvs/internal/core"
 	"mvs/internal/geom"
@@ -44,6 +45,14 @@ type Scheduler struct {
 	roundSink    metrics.RoundSink
 	roundTimeout time.Duration
 	lease        time.Duration
+	// adaptPol arms the per-scheduler degradation controller
+	// (WithAdapt); adaptCtrl is built at construction when enabled and
+	// driven under mu (rounds may complete concurrently).
+	// lastAdaptDrift remembers the cumulative reassignment count at the
+	// previous round so each adapt sample carries the per-round delta.
+	adaptPol       adapt.Policy
+	adaptCtrl      *adapt.Controller
+	lastAdaptDrift int
 	// handoffTTL is the boundary hand-off claim lifetime in frames
 	// (WithHandoffTTL); only consulted when building a
 	// ShardedScheduler's bus.
@@ -188,6 +197,26 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithAdapt arms the graceful-degradation control loop
+// (docs/FAULTS.md §10): an adapt.Controller observes every completed
+// round — the solution's scheduled system latency, the round's
+// dead-camera count, and its reassignment drift — and ticks once per
+// round (rounds are the cluster's horizon boundaries). The rung in
+// force rides every Assignment (AdaptLevel): nodes cap their inspection
+// sizes and stretch their key-frame cadence accordingly, and the
+// round's snapshot carries the level, transition count, and SLO
+// violations. Under a ShardedScheduler the option applies per shard:
+// each shard runs its own controller over its own rounds, so one
+// overloaded shard degrades without dragging its neighbours down. A
+// disabled policy (SLO == 0) is a no-op.
+func WithAdapt(pol adapt.Policy) Option {
+	return func(s *Scheduler) {
+		if pol.Enabled() {
+			s.adaptPol = pol
+		}
+	}
+}
+
 // WithLease sets the camera liveness lease: a connected camera whose
 // last message (report or heartbeat ping) is older than d no longer
 // blocks round barriers — its TCP connection may be half-dead without
@@ -234,6 +263,9 @@ func NewScheduler(model *assoc.Model, profiles []*profile.Profile, minIoU float6
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.adaptPol.Enabled() {
+		s.adaptCtrl = adapt.NewController(s.adaptPol)
 	}
 	return s, nil
 }
@@ -686,6 +718,36 @@ func (s *Scheduler) noteFaults(snap *metrics.Snapshot, dead []int) {
 	snap.Reassignments = s.reassignments
 }
 
+// noteAdapt drives the per-scheduler degradation controller (WithAdapt)
+// one round: it observes the round's scheduled system latency, dead
+// count, and reassignment drift, ticks the ladder (a round is a horizon
+// boundary), stamps the rung onto the snapshot, and carries it to every
+// node on the assignment replies. No-op without WithAdapt, leaving the
+// snapshot and wire format byte-identical.
+func (s *Scheduler) noteAdapt(snap *metrics.Snapshot, replies map[int]*Assignment, dead int) {
+	if s.adaptCtrl == nil {
+		return
+	}
+	s.mu.Lock()
+	drift := s.reassignments - s.lastAdaptDrift
+	s.lastAdaptDrift = s.reassignments
+	s.adaptCtrl.Observe(adapt.Sample{
+		Latency:     snap.FrameLatency,
+		DeadCameras: dead,
+		Drift:       drift,
+	})
+	level, _ := s.adaptCtrl.Tick()
+	snap.AdaptLevel = level
+	snap.AdaptTransitions = s.adaptCtrl.Transitions()
+	snap.SLOViolations = s.adaptCtrl.SLOViolations()
+	s.mu.Unlock()
+	for _, reply := range replies {
+		if reply != nil {
+			reply.AdaptLevel = level
+		}
+	}
+}
+
 // completeRound schedules a finished round, distributes the replies,
 // and emits the round's observability snapshot.
 func (s *Scheduler) completeRound(r *round, frame int) {
@@ -712,6 +774,7 @@ func (s *Scheduler) completeRound(r *round, frame int) {
 		}
 	}
 	s.noteFaults(&snap, dead)
+	s.noteAdapt(&snap, replies, len(dead))
 	snap.RoundLatency = time.Since(start)
 	s.emit(snap)
 	s.emitRound(snap, prio)

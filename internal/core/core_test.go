@@ -12,7 +12,7 @@ import (
 func cams(classes ...profile.DeviceClass) []CameraSpec {
 	out := make([]CameraSpec, len(classes))
 	for i, c := range classes {
-		out[i] = CameraSpec{Index: i, Profile: profile.Default(c)}
+		out[i] = CameraSpec{Index: i, Profile: profile.Derived(c)}
 	}
 	return out
 }
@@ -259,7 +259,7 @@ func TestCentralFeasibilityProperty(t *testing.T) {
 		m := 2 + rng.Intn(4)
 		cs := make([]CameraSpec, m)
 		for i := range cs {
-			cs[i] = CameraSpec{Index: i, Profile: profile.Default(classes[rng.Intn(3)])}
+			cs[i] = CameraSpec{Index: i, Profile: profile.Derived(classes[rng.Intn(3)])}
 		}
 		n := rng.Intn(25)
 		sizes := []int{64, 128, 256, 512}
@@ -308,7 +308,7 @@ func TestCentralNearOptimalOnSmallInstances(t *testing.T) {
 		classes := []profile.DeviceClass{profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier}
 		cs := make([]CameraSpec, m)
 		for i := range cs {
-			cs[i] = CameraSpec{Index: i, Profile: profile.Default(classes[rng.Intn(3)])}
+			cs[i] = CameraSpec{Index: i, Profile: profile.Derived(classes[rng.Intn(3)])}
 		}
 		n := 1 + rng.Intn(7)
 		objects := make([]ObjectSpec, n)
@@ -629,7 +629,7 @@ func BenchmarkCentral100Objects5Cams(b *testing.B) {
 	classes := []profile.DeviceClass{profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier}
 	cs := make([]CameraSpec, 5)
 	for i := range cs {
-		cs[i] = CameraSpec{Index: i, Profile: profile.Default(classes[i%3])}
+		cs[i] = CameraSpec{Index: i, Profile: profile.Derived(classes[i%3])}
 	}
 	sizes := []int{64, 128, 256, 512}
 	objects := make([]ObjectSpec, 100)

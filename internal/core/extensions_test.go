@@ -293,7 +293,7 @@ func TestMinUploadCoverCoversEverythingProperty(t *testing.T) {
 		classes := []profile.DeviceClass{profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier}
 		cs := make([]CameraSpec, m)
 		for i := range cs {
-			cs[i] = CameraSpec{Index: i, Profile: profile.Default(classes[rng.Intn(3)])}
+			cs[i] = CameraSpec{Index: i, Profile: profile.Derived(classes[rng.Intn(3)])}
 		}
 		n := 1 + rng.Intn(15)
 		objects := make([]ObjectSpec, n)

@@ -118,7 +118,7 @@ func FuzzValidateInstance(f *testing.F) {
 		cams := make([]CameraSpec, numCams)
 		classes := []profile.DeviceClass{profile.JetsonNano, profile.JetsonTX2, profile.JetsonXavier}
 		for i := range cams {
-			cams[i] = CameraSpec{Index: i, Profile: profile.Default(classes[i%len(classes)])}
+			cams[i] = CameraSpec{Index: i, Profile: profile.Derived(classes[i%len(classes)])}
 		}
 		if nilProfile && numCams > 0 {
 			cams[numCams-1].Profile = nil

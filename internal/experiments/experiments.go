@@ -40,6 +40,7 @@ import (
 	"sort"
 	"time"
 
+	"mvs/internal/adapt"
 	"mvs/internal/assoc"
 	"mvs/internal/camfault"
 	"mvs/internal/geom"
@@ -723,6 +724,202 @@ func ShedSweep(setup *Setup, loads []int, opts Options) ([]ShedPoint, error) {
 			Policy: policy.String(), Load: load,
 			Offered: len(setup.Test.Frames) * len(setup.Test.Cameras), Ingested: c.Ingested, Shed: c.Shed,
 			Recall: rep.Recall, P99Slowest: rep.P99Slowest,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AdaptPoint is one point of the degradation-control-loop sweep: the
+// same offered-load multiple run twice — once with the adapt controller
+// armed, once shed-only — so the gap quantifies what the ladder buys
+// under overload (docs/FAULTS.md §10).
+type AdaptPoint struct {
+	// Load is the offered-load multiple (ShedPoint.Load semantics).
+	Load int
+	// Offered is the pushed part count (frames x cameras), identical in
+	// both arms.
+	Offered int
+	// OffRecall/OffP99/OffShed/OffFrames score the shed-only baseline:
+	// the bounded queues drop parts, the pipeline runs undegraded.
+	// Frames counts the frames that survived to assembly, so
+	// Recall*Frames/trace-frames is the effective recall over the whole
+	// offered trace (shed frames are total misses).
+	OffRecall float64
+	OffP99    time.Duration
+	OffShed   int
+	OffFrames int
+	// OnRecall/OnP99/OnShed/OnFrames score the controller arm: the
+	// ladder caps inspection sizes and stretches the key-frame cadence,
+	// cutting modeled per-frame latency — and arrivals accrue per unit
+	// of modeled processing time, so a degraded pipeline outruns the
+	// offered load and sheds less.
+	OnRecall float64
+	OnP99    time.Duration
+	OnShed   int
+	OnFrames int
+	// FinalLevel, Transitions, and SLOViolations are the controller
+	// arm's ladder telemetry (pipeline.Report fields).
+	FinalLevel    int
+	Transitions   int
+	SLOViolations int
+}
+
+// adaptFramePeriod is the camera frame period the adapt sweep's arrival
+// model assumes (10 FPS, as everywhere in the testbed).
+const adaptFramePeriod = 100 * time.Millisecond
+
+// latestLatency captures the most recent frame's modeled latency from
+// the snapshot stream — the adapt sweep's arrival model reads it after
+// every engine step. The engine emits snapshots synchronously inside
+// Step, so no locking is needed in the single-threaded drive loop.
+type latestLatency struct {
+	lat time.Duration
+}
+
+func (l *latestLatency) RecordFrame(snap metrics.Snapshot) { l.lat = snap.FrameLatency }
+func (l *latestLatency) Flush() error                      { return nil }
+
+// runAdaptArm drives one latency-coupled overload pipeline run with the
+// given adapt policy (zero = disabled) and returns its report plus the
+// ingest counters. Unlike ShedSweep's fixed offer/drain lockstep, the
+// arrival model here accrues load*latency/framePeriod new frames per
+// engine step — arrivals pile up while the modeled pipeline is busy —
+// so a controller that cuts modeled latency genuinely drains faster and
+// sheds less. Everything is a pure function of modeled state, so the
+// arm is deterministic for every Workers value.
+func runAdaptArm(setup *Setup, pol adapt.Policy, load int, label string, opts Options) (*pipeline.Report, pipeline.IngestCounters, error) {
+	var zero pipeline.IngestCounters
+	src, err := pipeline.NewIngestSource(setup.Test.Cameras, pipeline.IngestConfig{Policy: pipeline.ShedDropOldest})
+	if err != nil {
+		return nil, zero, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	defer src.Close()
+	lat := &latestLatency{lat: adaptFramePeriod}
+	cfg := pipeline.NewConfig(pipeline.BALB, setup.Seed)
+	cfg.Sched.Workers = opts.Workers
+	cfg.Obs.Sink = metrics.Sink(lat)
+	if opts.Sink != nil {
+		cfg.Obs.Sink = metrics.Multi(opts.Sink, lat)
+	}
+	cfg.Obs.Label = label
+	cfg.Adapt.Policy = pol
+	eng, err := pipeline.NewEngine(src, setup.Scenario.Profiles(), setup.Model, cfg)
+	if err != nil {
+		return nil, zero, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	offer := func(fi int) error {
+		frame := setup.Test.Frames[fi]
+		for cam, obs := range frame.PerCamera {
+			p := pipeline.FramePart{Cam: cam, Frame: fi, Obs: obs}
+			if cam == 0 {
+				p.Objects = frame.Objects
+			}
+			if err := src.Offer(p); err != nil {
+				return fmt.Errorf("experiments: %s: %w", label, err)
+			}
+		}
+		return nil
+	}
+	fi, eos, backlog := 0, false, 0.0
+	for {
+		// New arrivals since the last drain: load frames per frame
+		// period of modeled processing time.
+		backlog += float64(load) * float64(lat.lat) / float64(adaptFramePeriod)
+		n := int(backlog)
+		if n == 0 && src.Counters().QueueDepth == 0 {
+			// Queue empty and nothing due: the engine is outrunning the
+			// feed, so it waits for the next arrival (arrival-paced).
+			n = 1
+		}
+		backlog -= float64(n)
+		if backlog < 0 {
+			backlog = 0
+		}
+		for b := 0; b < n && fi < len(setup.Test.Frames); b++ {
+			if err := offer(fi); err != nil {
+				return nil, zero, err
+			}
+			fi++
+		}
+		if fi >= len(setup.Test.Frames) && !eos {
+			eos = true
+			for cam := range setup.Test.Cameras {
+				if err := src.Offer(pipeline.FramePart{Cam: cam, EOS: true}); err != nil {
+					return nil, zero, fmt.Errorf("experiments: %s: %w", label, err)
+				}
+			}
+		}
+		more, err := eng.Step()
+		if err != nil {
+			return nil, zero, fmt.Errorf("experiments: %s: %w", label, err)
+		}
+		if !more {
+			break
+		}
+	}
+	rep, err := eng.Report()
+	if err != nil {
+		return nil, zero, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	return rep, src.Counters(), nil
+}
+
+// AdaptSweep measures what the degradation control loop buys under
+// ingest overload: the evaluation frames arrive at a multiple of real
+// time against a drain rate set by the engine's own modeled per-frame
+// latency (runAdaptArm; drop-oldest admission), with the adapt
+// controller on and off. All admission and ladder decisions are pure
+// functions of queue and modeled window state, so the sweep is
+// deterministic for every Workers value. pol's
+// zero value defaults to slo=500ms, window=20, cooldown=2, max=3 with
+// QueueHigh at half the fleet's total queue capacity; loads nil
+// defaults to {1, 2, 4, 8}. Snapshots are labelled
+// "adapt/<on|off>/load=<L>".
+func AdaptSweep(setup *Setup, pol adapt.Policy, loads []int, opts Options) ([]AdaptPoint, error) {
+	if len(loads) == 0 {
+		loads = []int{1, 2, 4, 8}
+	}
+	if !pol.Enabled() {
+		pol = adapt.Policy{
+			SLO: 500 * time.Millisecond, Window: 20, Cooldown: 2, MaxLevel: 3,
+			QueueHigh: 8 * len(setup.Test.Cameras),
+		}
+	}
+	out := make([]AdaptPoint, len(loads))
+	// Both arms of point i write disjoint fields of out[i], so the
+	// fan-out is race-free.
+	err := pool.Do(opts.Workers, 2*len(loads), func(k int) error {
+		i, arm := k/2, k%2
+		load := loads[i]
+		armPol, armName := adapt.Policy{}, "off"
+		if arm == 0 {
+			armPol, armName = pol, "on"
+		}
+		label := fmt.Sprintf("adapt/%s/load=%d", armName, load)
+		rep, c, err := runAdaptArm(setup, armPol, load, label, opts)
+		if err != nil {
+			return err
+		}
+		p := &out[i]
+		if arm == 0 {
+			p.Load = load
+			p.Offered = len(setup.Test.Frames) * len(setup.Test.Cameras)
+			p.OnRecall = rep.Recall
+			p.OnP99 = rep.P99Slowest
+			p.OnShed = c.Shed
+			p.OnFrames = rep.Frames
+			p.FinalLevel = rep.AdaptLevel
+			p.Transitions = rep.AdaptTransitions
+			p.SLOViolations = rep.SLOViolations
+		} else {
+			p.OffRecall = rep.Recall
+			p.OffP99 = rep.P99Slowest
+			p.OffShed = c.Shed
+			p.OffFrames = rep.Frames
 		}
 		return nil
 	})

@@ -81,10 +81,11 @@ func (c Config) withDefaults() Config {
 // Tracker maintains the track set of one camera. Not safe for concurrent
 // use.
 type Tracker struct {
-	cfg    Config
-	frame  geom.Rect
-	nextID int
-	tracks map[int]*Track
+	cfg      Config
+	allSizes []int // the full configured size set; cfg.Sizes is the capped view
+	frame    geom.Rect
+	nextID   int
+	tracks   map[int]*Track
 }
 
 // NewTracker builds a tracker over the camera's pixel frame.
@@ -92,13 +93,45 @@ func NewTracker(frame geom.Rect, cfg Config) (*Tracker, error) {
 	if frame.Empty() {
 		return nil, fmt.Errorf("flow: empty camera frame")
 	}
+	cfg = cfg.withDefaults()
 	return &Tracker{
-		cfg:    cfg.withDefaults(),
-		frame:  frame,
-		nextID: 1,
-		tracks: make(map[int]*Track),
+		cfg:      cfg,
+		allSizes: cfg.Sizes,
+		frame:    frame,
+		nextID:   1,
+		tracks:   make(map[int]*Track),
 	}, nil
 }
+
+// SetSizeCap caps the quantized target sizes at capPx pixels: Spawn and
+// RefreshSizes quantize against the filtered size set until the cap
+// changes. 0 (or any cap at or above the largest size) restores the full
+// configured set; a cap below the smallest size keeps just the smallest,
+// so the set is never empty. Existing tracks keep their QuantSize until
+// the next RefreshSizes — the degradation ladder applies caps at key
+// frames, where every track is re-quantized anyway.
+func (tr *Tracker) SetSizeCap(capPx int) {
+	if capPx <= 0 {
+		tr.cfg.Sizes = tr.allSizes
+		return
+	}
+	capped := tr.allSizes[:0:0]
+	for _, s := range tr.allSizes {
+		if s <= capPx {
+			capped = append(capped, s)
+		}
+	}
+	if len(capped) == 0 {
+		capped = tr.allSizes[:1]
+	}
+	tr.cfg.Sizes = capped
+}
+
+// Sizes returns the size set currently in force (the configured set,
+// filtered by any SetSizeCap). Callers must not mutate it; the pipeline
+// quantizes new-region proposals against it so proposals and tracks
+// degrade together.
+func (tr *Tracker) Sizes() []int { return tr.cfg.Sizes }
 
 // Tracks returns the live tracks sorted by ID (deterministic order).
 func (tr *Tracker) Tracks() []*Track {

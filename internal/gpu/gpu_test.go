@@ -9,8 +9,8 @@ import (
 	"mvs/internal/profile"
 )
 
-func xavier() *profile.Profile { return profile.Default(profile.JetsonXavier) }
-func nano() *profile.Profile   { return profile.Default(profile.JetsonNano) }
+func xavier() *profile.Profile { return profile.Derived(profile.JetsonXavier) }
+func nano() *profile.Profile   { return profile.Derived(profile.JetsonNano) }
 
 func makeTasks(sizes ...int) []Task {
 	tasks := make([]Task, len(sizes))

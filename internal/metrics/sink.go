@@ -127,6 +127,15 @@ type Snapshot struct {
 	IngestedFrames int `json:"ingested_frames,omitempty"`
 	ShedFrames     int `json:"shed_frames,omitempty"`
 	QueueDepth     int `json:"queue_depth,omitempty"`
+	// AdaptLevel is the degradation-ladder rung in force after this
+	// frame or round, AdaptTransitions the cumulative level changes, and
+	// SLOViolations the cumulative frames whose modelled latency
+	// exceeded the configured SLO (docs/FAULTS.md §10). All zero — and
+	// absent on the wire — when the adapt controller is disabled or
+	// never engaged, so pre-adapt recorded output is unchanged.
+	AdaptLevel       int `json:"adapt_level,omitempty"`
+	AdaptTransitions int `json:"adapt_transitions,omitempty"`
+	SLOViolations    int `json:"slo_violations,omitempty"`
 	// FrameLatency is the frame's modelled system latency: the slowest
 	// camera this frame (pipeline/node), or the assignment's scheduled
 	// system latency L = max_i L_i (scheduler).

@@ -293,6 +293,58 @@ func TestJSONLSchemaGoldenIngest(t *testing.T) {
 	}
 }
 
+// TestJSONLSchemaGoldenAdapt pins the degradation-control-loop fields
+// (docs/FAULTS.md §10): omitempty, so runs with the controller disabled
+// or never engaged — including every golden line in the tests above —
+// stay bit-identical, and these exact names appear once the ladder
+// moves off level 0.
+func TestJSONLSchemaGoldenAdapt(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.RecordFrame(Snapshot{
+		Source:           SourcePipeline,
+		Label:            "adapt/on/load=4",
+		Seq:              9,
+		Frame:            50,
+		TP:               6,
+		FN:               2,
+		Recall:           0.75,
+		QueueDepth:       72,
+		AdaptLevel:       2,
+		AdaptTransitions: 3,
+		SLOViolations:    5,
+		FrameLatency:     6 * time.Millisecond,
+		Cameras: []CameraSnapshot{
+			{Camera: 0, Latency: 6 * time.Millisecond, Tracks: 2},
+		},
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"source":"pipeline","label":"adapt/on/load=4","seq":9,"frame":50,"tp":6,"fn":2,"recall":0.75,"queue_depth":72,"adapt_level":2,"adapt_transitions":3,"slo_violations":5,"frame_latency_ns":6000000,"cameras":[{"camera":0,"latency_ns":6000000,"tracks":2}]}`
+	if got := strings.TrimSpace(buf.String()); got != want {
+		t.Fatalf("schema drifted:\ngot  %s\nwant %s", got, want)
+	}
+
+	// Undegraded runs must emit none of the adapt keys: re-encode a
+	// representative level-0 pipeline snapshot and scan.
+	buf.Reset()
+	s2 := NewJSONLSink(&buf)
+	s2.RecordFrame(Snapshot{
+		Source: SourcePipeline, Label: "balb", Seq: 1, Frame: 1,
+		TP: 4, FN: 1, Recall: 0.8, FrameLatency: 2 * time.Millisecond,
+		Cameras: []CameraSnapshot{{Camera: 0, Latency: 2 * time.Millisecond}},
+	})
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"adapt_level", "adapt_transitions", "slo_violations"} {
+		if strings.Contains(buf.String(), key) {
+			t.Fatalf("undegraded snapshot leaked %q:\n%s", key, buf.String())
+		}
+	}
+}
+
 func TestJSONLOpenAppendClose(t *testing.T) {
 	path := t.TempDir() + "/snaps.jsonl"
 	for round := 0; round < 2; round++ {

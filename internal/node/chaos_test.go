@@ -108,8 +108,8 @@ func TestChaosDegradedRejoinEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	profiles := []*profile.Profile{
-		profile.Default(profile.JetsonXavier),
-		profile.Default(profile.JetsonNano),
+		profile.Derived(profile.JetsonXavier),
+		profile.Derived(profile.JetsonNano),
 	}
 	sched, err := cluster.NewScheduler(model, profiles, 0,
 		cluster.WithRoundTimeout(250*time.Millisecond),

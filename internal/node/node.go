@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"mvs/internal/adapt"
 	"mvs/internal/cluster"
 	"mvs/internal/core"
 	"mvs/internal/flow"
@@ -51,6 +52,14 @@ type Runtime struct {
 	// Degraded mode: true while the node operates without scheduler
 	// guidance (see EnterDegraded).
 	degraded bool
+
+	// adaptLevel is the degradation-ladder rung carried by the last
+	// applied assignment (scheduler-side WithAdapt): the tracker's size
+	// cap follows it, and the node's drive loop stretches its key-frame
+	// cadence by adapt.StretchFor(adaptLevel). adaptTransitions counts
+	// the level changes this node has applied.
+	adaptLevel       int
+	adaptTransitions int
 
 	// Stats.
 	frames         int
@@ -140,16 +149,18 @@ func (r *Runtime) emit(latency time.Duration, batches, images int, occupancy flo
 	}
 	fi := r.frames - 1
 	r.sink.RecordFrame(metrics.Snapshot{
-		Source:         metrics.SourceNode,
-		Label:          r.label,
-		Seq:            fi,
-		Frame:          fi,
-		Detected:       len(r.detected),
-		DegradedFrames: r.degradedFrames,
-		Reconnects:     r.reconnects,
-		OutageFrames:   r.outageFrames,
-		Reassignments:  r.reassignments,
-		FrameLatency:   latency,
+		Source:           metrics.SourceNode,
+		Label:            r.label,
+		Seq:              fi,
+		Frame:            fi,
+		Detected:         len(r.detected),
+		DegradedFrames:   r.degradedFrames,
+		Reconnects:       r.reconnects,
+		OutageFrames:     r.outageFrames,
+		Reassignments:    r.reassignments,
+		AdaptLevel:       r.adaptLevel,
+		AdaptTransitions: r.adaptTransitions,
+		FrameLatency:     latency,
 		Cameras: []metrics.CameraSnapshot{{
 			Camera:         r.camera,
 			Latency:        latency,
@@ -209,6 +220,13 @@ func (r *Runtime) EnterDegraded() { r.degraded = true }
 
 // Degraded reports whether the runtime is currently in degraded mode.
 func (r *Runtime) Degraded() bool { return r.degraded }
+
+// AdaptLevel returns the degradation-ladder rung the last applied
+// assignment carried (0 when the scheduler runs no adapt controller).
+// The drive loop stretches its key-frame cadence by
+// adapt.StretchFor(AdaptLevel()); the tracker's size cap is already
+// applied by ApplyAssignment.
+func (r *Runtime) AdaptLevel() int { return r.adaptLevel }
 
 // NoteReconnects records the client's cumulative reconnect count so it
 // flows into this node's snapshots and stats. Monotone: lower values
@@ -271,6 +289,14 @@ func (r *Runtime) ApplyAssignment(a *cluster.Assignment) error {
 	}
 	r.policy = policy
 	r.degraded = false
+	// Apply the scheduler's degradation rung: cap the sizes future
+	// spawns and key-frame refreshes quantize to. Level 0 (or an
+	// assignment from a pre-adapt scheduler) restores the full set.
+	if a.AdaptLevel != r.adaptLevel {
+		r.adaptLevel = a.AdaptLevel
+		r.adaptTransitions++
+		r.tracker.SetSizeCap(adapt.SizeCapFor(r.adaptLevel))
+	}
 	for _, sh := range a.Shadows {
 		t := r.tracker.Get(sh.TrackID)
 		if t == nil {
@@ -438,19 +464,25 @@ type Stats struct {
 	// Reassignments counts shadow promotions because the scheduler
 	// declared the owning camera dead.
 	Reassignments int
+	// AdaptLevel is the degradation rung currently applied;
+	// AdaptTransitions counts the level changes applied so far.
+	AdaptLevel       int
+	AdaptTransitions int
 }
 
 // Stats returns the node's running counters.
 func (r *Runtime) Stats() Stats {
 	s := Stats{
-		Frames:          r.frames,
-		ActiveTracks:    r.tracker.Len(),
-		Shadows:         len(r.shadows),
-		DetectedObjects: len(r.detected),
-		DegradedFrames:  r.degradedFrames,
-		Reconnects:      r.reconnects,
-		OutageFrames:    r.outageFrames,
-		Reassignments:   r.reassignments,
+		Frames:           r.frames,
+		ActiveTracks:     r.tracker.Len(),
+		Shadows:          len(r.shadows),
+		DetectedObjects:  len(r.detected),
+		DegradedFrames:   r.degradedFrames,
+		Reconnects:       r.reconnects,
+		OutageFrames:     r.outageFrames,
+		Reassignments:    r.reassignments,
+		AdaptLevel:       r.adaptLevel,
+		AdaptTransitions: r.adaptTransitions,
 	}
 	if r.frames > 0 {
 		s.MeanLatency = r.latencySum / time.Duration(r.frames)

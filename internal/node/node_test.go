@@ -35,7 +35,7 @@ func baseConfig(cam int) Config {
 	return Config{
 		Camera:     cam,
 		Frame:      geom.Rect{MaxX: 1280, MaxY: 704},
-		Profile:    profile.Default(profile.JetsonXavier),
+		Profile:    profile.Derived(profile.JetsonXavier),
 		GridCols:   16,
 		GridRows:   9,
 		NumCameras: 2,
@@ -177,8 +177,8 @@ func TestDistributedMatchesSchedulerEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	profiles := []*profile.Profile{
-		profile.Default(profile.JetsonXavier),
-		profile.Default(profile.JetsonNano),
+		profile.Derived(profile.JetsonXavier),
+		profile.Derived(profile.JetsonNano),
 	}
 	sched, err := cluster.NewScheduler(model, profiles, 0)
 	if err != nil {

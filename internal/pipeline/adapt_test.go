@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mvs/internal/adapt"
+	"mvs/internal/metrics"
+)
+
+// TestAdaptNeverEngagedBitIdentical pins the zero-overhead guarantee of
+// the degradation control loop: a run with the controller armed but
+// never triggered (an unreachable SLO, no queue bound, no faults) is
+// bit-identical to a controller-disabled run, and emits no adapt key on
+// the JSONL wire.
+func TestAdaptNeverEngagedBitIdentical(t *testing.T) {
+	e := getEnv(t)
+	base, err := Run(e.test, e.profiles, e.model, NewConfig(BALB, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := metrics.NewJSONLSink(&buf)
+	cfg := NewConfig(BALB, 5)
+	cfg.Adapt.Policy = adapt.Policy{SLO: time.Hour}
+	cfg.Obs.Sink = sink
+	armed, err := Run(e.test, e.profiles, e.model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Modeled(), armed.Modeled()) {
+		t.Fatalf("idle controller perturbed the run:\nbase %+v\nwith %+v",
+			base.Modeled(), armed.Modeled())
+	}
+	if armed.AdaptLevel != 0 || armed.AdaptTransitions != 0 || armed.SLOViolations != 0 {
+		t.Fatalf("idle controller reported activity: level=%d transitions=%d violations=%d",
+			armed.AdaptLevel, armed.AdaptTransitions, armed.SLOViolations)
+	}
+	for _, key := range []string{"adapt_level", "adapt_transitions", "slo_violations"} {
+		if strings.Contains(buf.String(), key) {
+			t.Fatalf("idle controller leaked %q on the wire", key)
+		}
+	}
+}
+
+// TestChaosAdaptDegradesWhileCameraDeadAndRecovers drives the full
+// ladder cycle through the data plane: a camera-outage schedule with
+// health-tracked failover forces the controller onto rung >= 1 while a
+// camera is dead, and once the fleet is healthy again the controller
+// walks back to level 0. The Chaos name opts this test into CI's
+// race-enabled chaos step.
+func TestChaosAdaptDegradesWhileCameraDeadAndRecovers(t *testing.T) {
+	e, faults := chaosEnv(t)
+	sink := metrics.NewChannelSink(1, len(e.test.Frames))
+	rep, err := Run(e.test, e.profiles, e.model, Config{
+		Sched: Sched{Mode: BALB}, Sim: Sim{Seed: 5},
+		Fault: Fault{CamFaults: faults, HealthK: 3},
+		// An unreachable SLO isolates the dead-camera rung: every level
+		// change in this run is attributable to camera health.
+		Adapt: Adapt{Policy: adapt.Policy{SLO: time.Hour, Cooldown: 1}},
+		Obs:   Obs{Sink: sink},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	degraded, recovered := false, false
+	for snap := range sink.Snapshots() {
+		if snap.AdaptLevel >= 1 {
+			degraded = true
+		} else if degraded {
+			recovered = true
+		}
+	}
+	if !degraded {
+		t.Fatal("no snapshot showed adapt level >= 1 despite dead cameras")
+	}
+	if !recovered {
+		t.Fatal("controller never recovered to level 0 after outages cleared")
+	}
+	if rep.AdaptTransitions < 2 {
+		t.Fatalf("expected a full degrade+recover cycle, got %d transitions", rep.AdaptTransitions)
+	}
+	t.Logf("outage=%d frames, transitions=%d, final level=%d",
+		rep.OutageFrames, rep.AdaptTransitions, rep.AdaptLevel)
+}
+
+// TestAdaptDeterministicAcrossWorkers extends the determinism contract
+// to actively degrading runs: with an SLO tight enough that the ladder
+// climbs, the modelled report is bit-identical at every worker count.
+func TestAdaptDeterministicAcrossWorkers(t *testing.T) {
+	e := getEnv(t)
+	pol := adapt.Policy{SLO: 10 * time.Millisecond, Window: 10, Cooldown: 1}
+	var base *Report
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := Run(e.test, e.profiles, e.model, Config{
+			Sched: Sched{Mode: BALB, Workers: workers}, Sim: Sim{Seed: 5},
+			Adapt: Adapt{Policy: pol},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.AdaptLevel == 0 && rep.AdaptTransitions == 0 {
+			t.Fatal("10ms SLO did not engage the controller — the test is vacuous")
+		}
+		if base == nil {
+			base = rep
+			continue
+		}
+		got, want := rep.Modeled(), base.Modeled()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged:\ngot  %+v\nwant %+v", workers, got, want)
+		}
+	}
+	if base.SLOViolations == 0 {
+		t.Fatal("10ms SLO counted no violations")
+	}
+}
+
+// TestAdaptStretchedCadenceStillSchedules checks a degraded run keeps
+// scheduling: with the ladder pinned high by an impossible SLO, key
+// frames thin out to every Horizon*stretch frames but never stop, and
+// the run completes with sane outputs.
+func TestAdaptStretchedCadenceStillSchedules(t *testing.T) {
+	e := getEnv(t)
+	cfg := NewConfig(BALB, 5)
+	cfg.Adapt.Policy = adapt.Policy{SLO: time.Nanosecond, Window: 5, Cooldown: 1, MaxLevel: 3}
+	rep, err := Run(e.test, e.profiles, e.model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AdaptLevel != 3 {
+		t.Fatalf("impossible SLO should pin the ladder at max level 3, got %d", rep.AdaptLevel)
+	}
+	if rep.Frames != len(e.test.Frames) {
+		t.Fatalf("degraded run processed %d/%d frames", rep.Frames, len(e.test.Frames))
+	}
+	if rep.Recall <= 0.5 {
+		t.Fatalf("degraded run collapsed: recall %.3f", rep.Recall)
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"mvs/internal/adapt"
 	"mvs/internal/camfault"
 	"mvs/internal/metrics"
 	"mvs/internal/shard"
@@ -10,7 +11,8 @@ import (
 // Config configures an Engine (and the batch Run wrapper around it),
 // grouped by concern: Sim shapes the simulated world and sensing, Sched
 // selects and tunes the scheduling algorithm, Fault arms the data-plane
-// failure model, and Obs attaches observability. The zero value is a
+// failure model, Adapt arms the graceful-degradation control loop, and
+// Obs attaches observability. The zero value is a
 // valid fault-free Full-mode run; NewConfig fills the two knobs every
 // caller sets. Defaults (Horizon 10, 16x9 grid, IoU 0.1, redundancy 1,
 // slack 1.2) are applied when the engine is built.
@@ -23,6 +25,7 @@ type Config struct {
 	Sim   Sim
 	Sched Sched
 	Fault Fault
+	Adapt Adapt
 	Obs   Obs
 }
 
@@ -107,6 +110,28 @@ type Fault struct {
 	// faults still drop frames, but scheduling stays oblivious (the
 	// no-failover ablation). Only meaningful with CamFaults set.
 	HealthK int
+}
+
+// Adapt arms the graceful-degradation control loop (docs/FAULTS.md §10):
+// an adapt.Controller ticking between association horizons, degrading the
+// key-frame interval and per-object inspection sizes to hold the SLO
+// under overload or fault pressure, and recovering when it clears.
+type Adapt struct {
+	// Policy configures the controller; a disabled policy (SLO == 0, the
+	// zero value) runs no controller at all — the frame stream, the
+	// snapshots, and the report are bit-identical to a build without this
+	// feature. With the controller enabled but never provoked (no rung
+	// ever engaged), the modelled output is likewise bit-identical to a
+	// disabled run: level 0 applies no cap and no stretch.
+	//
+	// The controller is part of the determinism contract: its decisions
+	// are a pure function of modelled window state (frame latency,
+	// dead-camera count, association drift) plus the policy. The one
+	// exception mirrors Obs.Ingest: live queue-depth samples reflect
+	// arrival timing, so a queue-provoked degradation is only as
+	// reproducible as the arrivals — trace and replay runs observe
+	// queue depth 0.
+	Policy adapt.Policy
 }
 
 // Obs attaches observability to a run. Sinks observe without

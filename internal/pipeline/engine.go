@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"mvs/internal/adapt"
 	"mvs/internal/assoc"
 	"mvs/internal/camfault"
 	"mvs/internal/core"
@@ -63,6 +64,18 @@ type Engine struct {
 	outageFrames int
 	orphaned     int
 	reassigned   int
+
+	// Degradation control loop (Config.Adapt): the controller observes
+	// every frame and ticks at key frames, before the key frame runs, so
+	// a new rung's size cap applies to that frame's RefreshSizes and its
+	// stretch to the following interval. nextKey replaces the fixed
+	// fi%Horizon == 0 cadence — with no controller (or at level 0) it
+	// advances by exactly Horizon, reproducing the fixed cadence
+	// bit-identically. lastDrift remembers the orphan+reassignment total
+	// at the previous frame so each Sample carries the per-frame delta.
+	ctrl      *adapt.Controller
+	nextKey   int
+	lastDrift int
 
 	// hist is the bounded ring buffer serving lagged camera views
 	// (Sim.CameraLag): slot fi % (maxLag+1) holds frame fi, so the last
@@ -197,6 +210,9 @@ func NewEngine(src Source, profiles []*profile.Profile, model *assoc.Model, cfg 
 	if cfg.Fault.CamFaults != nil && cfg.Fault.HealthK > 0 && e.policy != nil {
 		e.health = camfault.NewTracker(len(cams), cfg.Fault.HealthK)
 	}
+	if cfg.Adapt.Policy.Enabled() {
+		e.ctrl = adapt.NewController(cfg.Adapt.Policy)
+	}
 	return e, nil
 }
 
@@ -304,7 +320,22 @@ func (e *Engine) process(frame *scene.FrameTruth) error {
 		e.deadMask, _ = e.health.DeadMask(e.deadMask)
 		e.policy.SetDead(e.deadMask) // all-false mask clears
 	}
-	isKey := fi%e.cfg.Sched.Horizon == 0
+	isKey := fi == e.nextKey
+	if isKey {
+		// Tick the control loop between horizons, before this key frame
+		// runs: a freshly engaged rung caps this frame's RefreshSizes
+		// and stretches the interval to the next key.
+		stretch := 1
+		if e.ctrl != nil {
+			e.ctrl.Tick()
+			sizeCap := e.ctrl.SizeCap()
+			for _, cs := range cams {
+				cs.tracker.SetSizeCap(sizeCap)
+			}
+			stretch = e.ctrl.Stretch()
+		}
+		e.nextKey = fi + e.cfg.Sched.Horizon*stretch
+	}
 	detectedIDs := make(map[int]bool)
 	results := make([]camFrame, len(cams))
 
@@ -353,13 +384,41 @@ func (e *Engine) process(frame *scene.FrameTruth) error {
 	}
 	e.frameSeries.Add(frameMax)
 
+	// Feed the control loop one sample per frame: the frame's modelled
+	// latency, the live queue depth behind it (0 for trace sources), the
+	// current dead-camera count, and this frame's association-drift
+	// events.
+	if e.ctrl != nil {
+		drift := e.orphaned + e.reassigned - e.lastDrift
+		e.lastDrift = e.orphaned + e.reassigned
+		var queueDepth, dead int
+		if e.cfg.Obs.Ingest != nil {
+			queueDepth = e.cfg.Obs.Ingest.Counters().QueueDepth
+		}
+		for _, d := range e.deadMask {
+			if d {
+				dead++
+			}
+		}
+		e.ctrl.Observe(adapt.Sample{
+			Latency: frameMax, QueueDepth: queueDepth, DeadCameras: dead, Drift: drift,
+		})
+	}
+
 	// Live export: one snapshot per frame, fixed camera order, modelled
 	// fields only — the sink sees exactly what Modeled() would report
 	// for the frames so far, so attaching one cannot perturb the
 	// determinism contract.
 	if e.cfg.Obs.Sink != nil {
+		var level, transitions, violations int
+		if e.ctrl != nil {
+			level = e.ctrl.Level()
+			transitions = e.ctrl.Transitions()
+			violations = e.ctrl.SLOViolations()
+		}
 		emitFrameSnapshot(e.cfg.Obs.Sink, e.label, fi, &e.recall, frameMax, cams, results,
-			e.outageFrames, e.orphaned, e.reassigned, e.cfg.Obs.Ingest)
+			e.outageFrames, e.orphaned, e.reassigned, level, transitions, violations,
+			e.cfg.Obs.Ingest)
 	}
 	e.fi++
 	return nil
@@ -460,5 +519,10 @@ func (e *Engine) Report() (*Report, error) {
 	rep.OutageFrames = e.outageFrames
 	rep.OrphanedObjects = e.orphaned
 	rep.Reassignments = e.reassigned
+	if e.ctrl != nil {
+		rep.AdaptLevel = e.ctrl.Level()
+		rep.AdaptTransitions = e.ctrl.Transitions()
+		rep.SLOViolations = e.ctrl.SLOViolations()
+	}
 	return rep, nil
 }

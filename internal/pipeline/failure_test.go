@@ -99,8 +99,8 @@ func TestHeterogeneousVsHomogeneousFleet(t *testing.T) {
 		t.Fatal(err)
 	}
 	homo := []*profile.Profile{
-		profile.Default(profile.JetsonXavier),
-		profile.Default(profile.JetsonXavier),
+		profile.Derived(profile.JetsonXavier),
+		profile.Derived(profile.JetsonXavier),
 	}
 	upgraded, err := Run(e.test, homo, e.model, NewConfig(BALB, 5))
 	if err != nil {

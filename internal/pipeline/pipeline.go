@@ -143,6 +143,14 @@ type Report struct {
 	OutageFrames    int
 	OrphanedObjects int
 	Reassignments   int
+	// AdaptLevel is the degradation-ladder rung in force at the end of
+	// the run, AdaptTransitions the number of level changes, and
+	// SLOViolations the number of frames whose modelled latency exceeded
+	// the configured SLO (Config.Adapt). All zero with the controller
+	// disabled; all modelled (deterministic), so Modeled() keeps them.
+	AdaptLevel       int
+	AdaptTransitions int
+	SLOViolations    int
 }
 
 // OverheadTotal returns the summed per-frame framework overhead.
@@ -324,21 +332,25 @@ func mergeCamFrames(results []camFrame, detected map[int]bool,
 func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 	recall *metrics.RecallAccumulator, frameMax time.Duration,
 	cams []*cameraState, results []camFrame,
-	outageFrames, orphaned, reassigned int, ingest IngestMeter) {
+	outageFrames, orphaned, reassigned int,
+	adaptLevel, adaptTransitions, sloViolations int, ingest IngestMeter) {
 	tp, fn := recall.Counts()
 	snap := metrics.Snapshot{
-		Source:          metrics.SourcePipeline,
-		Label:           label,
-		Seq:             frame,
-		Frame:           frame,
-		TP:              tp,
-		FN:              fn,
-		Recall:          recall.Recall(),
-		OutageFrames:    outageFrames,
-		OrphanedObjects: orphaned,
-		Reassignments:   reassigned,
-		FrameLatency:    frameMax,
-		Cameras:         make([]metrics.CameraSnapshot, len(cams)),
+		Source:           metrics.SourcePipeline,
+		Label:            label,
+		Seq:              frame,
+		Frame:            frame,
+		TP:               tp,
+		FN:               fn,
+		Recall:           recall.Recall(),
+		OutageFrames:     outageFrames,
+		OrphanedObjects:  orphaned,
+		Reassignments:    reassigned,
+		AdaptLevel:       adaptLevel,
+		AdaptTransitions: adaptTransitions,
+		SLOViolations:    sloViolations,
+		FrameLatency:     frameMax,
+		Cameras:          make([]metrics.CameraSnapshot, len(cams)),
 	}
 	if ingest != nil {
 		c := ingest.Counters()
@@ -699,7 +711,9 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy core.Policy,
 			if !cs.keepNewTrack(nr.Center(), policy, cfg) {
 				continue
 			}
-			q, size := geom.QuantizeRect(nr, cs.cam.Frame(), nil)
+			// Quantize against the tracker's (possibly capped) size set
+			// so new-region proposals degrade with the ladder too.
+			q, size := geom.QuantizeRect(nr, cs.cam.Frame(), cs.tracker.Sizes())
 			regions = append(regions, q)
 			tasks = append(tasks, gpu.Task{ObjectID: -1, Size: size})
 		}

@@ -218,9 +218,48 @@ func (p *Profile) Clone() *Profile {
 	return out
 }
 
+// MaxSweepBatch bounds the profiler's batch-size sweep: latencies are
+// measured at n = 1..MaxSweepBatch per size, enough to see past every
+// plausible inflection point on the supported hardware.
+const MaxSweepBatch = 32
+
+// inflectFrac is the knee-detection threshold: the batch limit is the
+// largest n whose marginal latency (over n-1) stays below this fraction
+// of the single-image latency. It sits between the in-limit marginal
+// slope (6–12% of a single image across the Jetson classes) and the
+// post-inflection slope (75–100%), with more than ten standard
+// deviations of margin to either side at the default measurement noise,
+// so a 200-run average never mis-places the knee.
+const inflectFrac = 0.4
+
+// inflectionLimit finds the batch-limit knee of a measured latency
+// curve: lat[n-1] is the (possibly noisy) latency of an n-image batch,
+// and the limit is the last batch size before the marginal cost of one
+// more image inflects. This is how batch limits are *derived* from the
+// profiler's sweep — there is no static per-class limit table on the
+// scheduler side of the fence; the paper's offline profiling captures
+// the post-limit inflation, and the knee of that curve is the limit.
+func inflectionLimit(lat []time.Duration) int {
+	if len(lat) == 0 {
+		return 1
+	}
+	threshold := float64(lat[0]) * inflectFrac
+	limit := 1
+	for n := 2; n <= len(lat); n++ {
+		if float64(lat[n-1]-lat[n-2]) > threshold {
+			break
+		}
+		limit = n
+	}
+	return limit
+}
+
 // Profiler estimates a device's latency profile by repeated timed runs,
 // mirroring the paper's offline stage ("we profile the YOLO inference
-// time with 200 runs on each Jetson board").
+// time with 200 runs on each Jetson board"). For every size it sweeps
+// batch sizes 1..MaxSweepBatch and derives the batch limit from the
+// measured latency inflection point (inflectionLimit) — the profile's
+// limits are a property of the measured curve, not a constant table.
 type Profiler struct {
 	// Runs is the number of timed executions per configuration
 	// (default 200).
@@ -233,7 +272,9 @@ type Profiler struct {
 }
 
 // Measure produces the profile for a device class over the given sizes
-// (nil means the standard set {64, 128, 256, 512}).
+// (nil means the standard set {64, 128, 256, 512}): a full batch-size
+// sweep per size, with the batch limit read off the knee of the measured
+// curve and the operating-point latency taken at that limit.
 func (pr *Profiler) Measure(class DeviceClass, sizes []int) (*Profile, error) {
 	if len(sizes) == 0 {
 		sizes = []int{64, 128, 256, 512}
@@ -254,15 +295,15 @@ func (pr *Profiler) Measure(class DeviceClass, sizes []int) (*Profile, error) {
 		BatchLimit:   make(map[int]int, len(sizes)),
 		BatchLatency: make(map[int]time.Duration, len(sizes)),
 	}
-	params := paramsFor(class)
 	p.FullFrame = measured(rng, TrueFullFrameLatency(class), runs, noise)
+	curve := make([]time.Duration, MaxSweepBatch)
 	for _, s := range sizes {
-		limit := params.batchLimits[s]
-		if limit == 0 {
-			limit = 1
+		for n := 1; n <= MaxSweepBatch; n++ {
+			curve[n-1] = measured(rng, TrueBatchLatency(class, s, n), runs, noise)
 		}
+		limit := inflectionLimit(curve)
 		p.BatchLimit[s] = limit
-		p.BatchLatency[s] = measured(rng, TrueBatchLatency(class, s, limit), runs, noise)
+		p.BatchLatency[s] = curve[limit-1]
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("profile: measurement produced invalid profile: %w", err)
@@ -284,10 +325,11 @@ func measured(rng *rand.Rand, truth time.Duration, runs int, noise float64) time
 	return time.Duration(mean)
 }
 
-// Default returns the noiseless profile for a device class — the exact
-// ground-truth parameters, convenient for tests and deterministic
-// experiments.
-func Default(class DeviceClass) *Profile {
+// Derived returns the noiseless profile for a device class: the exact
+// ground-truth latency curve, with the batch limits derived from its
+// inflection points by the same knee detection the noisy Profiler uses.
+// Convenient for tests and deterministic experiments.
+func Derived(class DeviceClass) *Profile {
 	sizes := []int{64, 128, 256, 512}
 	p := &Profile{
 		Class:        class,
@@ -296,14 +338,14 @@ func Default(class DeviceClass) *Profile {
 		BatchLimit:   make(map[int]int, len(sizes)),
 		BatchLatency: make(map[int]time.Duration, len(sizes)),
 	}
-	params := paramsFor(class)
+	curve := make([]time.Duration, MaxSweepBatch)
 	for _, s := range sizes {
-		limit := params.batchLimits[s]
-		if limit == 0 {
-			limit = 1
+		for n := 1; n <= MaxSweepBatch; n++ {
+			curve[n-1] = TrueBatchLatency(class, s, n)
 		}
+		limit := inflectionLimit(curve)
 		p.BatchLimit[s] = limit
-		p.BatchLatency[s] = TrueBatchLatency(class, s, limit)
+		p.BatchLatency[s] = curve[limit-1]
 	}
 	return p
 }

@@ -72,7 +72,7 @@ func TestBatchingIsWorthwhileWithinLimit(t *testing.T) {
 	// Within the batch limit, a batch of n must be much cheaper than n
 	// serialized singles — the effect the paper exploits.
 	for _, class := range allClasses() {
-		p := Default(class)
+		p := Derived(class)
 		for _, size := range p.Sizes {
 			limit := p.BatchLimit[size]
 			if limit < 2 {
@@ -90,7 +90,7 @@ func TestBatchingIsWorthwhileWithinLimit(t *testing.T) {
 
 func TestInflectionPastBatchLimit(t *testing.T) {
 	// Past the batch limit the marginal cost per image must jump.
-	p := Default(JetsonXavier)
+	p := Derived(JetsonXavier)
 	size := 128
 	limit := p.BatchLimit[size]
 	within := TrueBatchLatency(JetsonXavier, size, limit) - TrueBatchLatency(JetsonXavier, size, limit-1)
@@ -111,7 +111,7 @@ func TestZeroBatch(t *testing.T) {
 
 func TestDefaultProfilesValid(t *testing.T) {
 	for _, class := range allClasses() {
-		p := Default(class)
+		p := Derived(class)
 		if err := p.Validate(); err != nil {
 			t.Errorf("%s: %v", class, err)
 		}
@@ -131,7 +131,7 @@ func TestProfilerCloseToTruth(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		truth := Default(class)
+		truth := Derived(class)
 		// Averaging 200 runs with 5% noise: mean within ~2%.
 		ratio := float64(p.FullFrame) / float64(truth.FullFrame)
 		if ratio < 0.97 || ratio > 1.03 {
@@ -171,7 +171,7 @@ func TestProfilerDeterministicPerSeed(t *testing.T) {
 }
 
 func TestProfileAccessors(t *testing.T) {
-	p := Default(JetsonXavier)
+	p := Derived(JetsonXavier)
 	lat, err := p.BatchLatencyFor(128)
 	if err != nil || lat <= 0 {
 		t.Fatalf("BatchLatencyFor = %v, %v", lat, err)
@@ -189,7 +189,7 @@ func TestProfileAccessors(t *testing.T) {
 }
 
 func TestProfileCloneIsDeep(t *testing.T) {
-	p := Default(JetsonNano)
+	p := Derived(JetsonNano)
 	c := p.Clone()
 	c.BatchLimit[64] = 99
 	c.BatchLatency[64] = time.Second
@@ -200,7 +200,7 @@ func TestProfileCloneIsDeep(t *testing.T) {
 }
 
 func TestProfileValidateRejectsBad(t *testing.T) {
-	good := Default(JetsonTX2)
+	good := Derived(JetsonTX2)
 	bad := good.Clone()
 	bad.Sizes = nil
 	if bad.Validate() == nil {
@@ -225,6 +225,61 @@ func TestProfileValidateRejectsBad(t *testing.T) {
 	bad.BatchLatency[64] = 0
 	if bad.Validate() == nil {
 		t.Error("zero latency accepted")
+	}
+}
+
+func TestInflectionLimitKnee(t *testing.T) {
+	// The knee detector must stop exactly where the marginal cost
+	// inflects, and fall back to 1 on degenerate curves.
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	flat := []time.Duration{ms(10), ms(11), ms(12), ms(13)}
+	if got := inflectionLimit(flat); got != 4 {
+		t.Errorf("flat curve limit = %d want 4", got)
+	}
+	knee := []time.Duration{ms(10), ms(11), ms(12), ms(21), ms(30)}
+	if got := inflectionLimit(knee); got != 3 {
+		t.Errorf("knee curve limit = %d want 3", got)
+	}
+	steep := []time.Duration{ms(10), ms(19), ms(28)}
+	if got := inflectionLimit(steep); got != 1 {
+		t.Errorf("steep curve limit = %d want 1", got)
+	}
+	if got := inflectionLimit(nil); got != 1 {
+		t.Errorf("empty curve limit = %d want 1", got)
+	}
+}
+
+func TestDerivedLimitsAtInflectionPoint(t *testing.T) {
+	// The derived batch limits must sit exactly on the ground-truth
+	// latency inflection point: the marginal cost of image limit+1 jumps
+	// while the marginal cost up to the limit stays shallow. This pins
+	// the knee scan to the curve, not to any constant table.
+	for _, class := range allClasses() {
+		p := Derived(class)
+		for _, s := range p.Sizes {
+			limit := p.BatchLimit[s]
+			single := TrueBatchLatency(class, s, 1)
+			beyond := TrueBatchLatency(class, s, limit+1) - TrueBatchLatency(class, s, limit)
+			if float64(beyond) < 0.4*float64(single) {
+				t.Errorf("%s size %d: no inflection after derived limit %d (marginal %v, single %v)",
+					class, s, limit, beyond, single)
+			}
+			if limit > 1 {
+				within := TrueBatchLatency(class, s, limit) - TrueBatchLatency(class, s, limit-1)
+				if float64(within) > 0.4*float64(single) {
+					t.Errorf("%s size %d: marginal cost %v already inflected before limit %d",
+						class, s, within, limit)
+				}
+			}
+		}
+	}
+	// And the known operating points for the strongest class.
+	want := map[int]int{64: 16, 128: 8, 256: 4, 512: 2}
+	p := Derived(JetsonXavier)
+	for s, lim := range want {
+		if p.BatchLimit[s] != lim {
+			t.Errorf("xavier size %d derived limit %d want %d", s, p.BatchLimit[s], lim)
+		}
 	}
 }
 

@@ -37,7 +37,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
+	"mvs/internal/clock"
 	"mvs/internal/metrics"
 	"mvs/internal/scene"
 )
@@ -120,6 +122,17 @@ type Options struct {
 	// file (retention for long-running recordings). A retained run
 	// replays only its surviving window, so mvreplay -verify refuses it.
 	KeepSegments int
+	// KeepDuration, when > 0, bounds the frame log by age: each roll
+	// deletes closed segments whose first frame arrived more than
+	// KeepDuration ago (by Clock). Shares the pruning path with
+	// KeepSegments — both bounds apply when both are set — and carries
+	// the same -verify refusal. Segment birth times live only in writer
+	// memory; the on-disk format stays free of wall-clock values.
+	KeepDuration time.Duration
+	// Clock supplies segment birth times for KeepDuration (nil =
+	// clock.System). Inject a clock.Fake to test retention without
+	// real waiting.
+	Clock clock.Clock
 }
 
 // checksumLine returns the version-2 wire form of one JSONL record:
@@ -193,6 +206,18 @@ type Manifest struct {
 	// A retained run replays only its surviving window, so -verify
 	// refuses it.
 	KeepSegments int `json:"keep_segments,omitempty"`
+	// KeepDuration records the age-based frame-log retention bound
+	// (time.Duration string; empty = unlimited). Like KeepSegments, a
+	// duration-retained run replays only its surviving window, so
+	// -verify refuses it.
+	KeepDuration string `json:"keep_duration,omitempty"`
+	// Adapt is the -adapt control-loop spec string (adapt.ParseSpec
+	// syntax) the run degraded under; empty means no controller. The
+	// spec — not the level trace — is stored because the controller is
+	// deterministic in it plus the modeled window state, so a replay
+	// regenerating the controller from this spec reproduces the same
+	// ladder walk (docs/FAULTS.md §10).
+	Adapt string `json:"adapt,omitempty"`
 	// Ingest, when set, is the -ingest-addr the run's frames arrived on.
 	// Live arrivals shed by wall-clock load, so an ingest-recorded run's
 	// snapshot counters are not a pure function of its frame log and
@@ -262,7 +287,8 @@ type Writer struct {
 	rounds   *jsonlWriter
 	seg      *jsonlWriter
 	segments []Segment
-	segSeq   int // next segment file ordinal (monotonic under retention)
+	births   []time.Time // per-segment birth times (memory only; never on disk)
+	segSeq   int         // next segment file ordinal (monotonic under retention)
 	frames   int
 }
 
@@ -304,6 +330,12 @@ func CreateWith(dir string, man Manifest, opts Options) (*Writer, error) {
 	}
 	if opts.KeepSegments > 0 {
 		man.KeepSegments = opts.KeepSegments
+	}
+	if opts.KeepDuration > 0 {
+		man.KeepDuration = opts.KeepDuration.String()
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.System{}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -458,7 +490,8 @@ func (w *Writer) AppendFrame(f *scene.FrameTruth) error {
 }
 
 // rollSegment flushes the open segment (if any), opens the next one,
-// and applies the retention bound. Caller holds w.mu.
+// and applies the retention bounds — count (KeepSegments) and age
+// (KeepDuration) share this one pruning path. Caller holds w.mu.
 func (w *Writer) rollSegment() error {
 	if w.seg != nil {
 		if err := w.closeSegment(); err != nil {
@@ -477,12 +510,25 @@ func (w *Writer) rollSegment() error {
 		return err
 	}
 	w.seg = seg
+	var now time.Time
+	if w.opts.KeepDuration > 0 {
+		now = w.opts.Clock.Now()
+	}
 	w.segments = append(w.segments, Segment{File: name, First: w.frames})
-	if keep := w.opts.KeepSegments; keep > 0 && len(w.segments) > keep {
+	w.births = append(w.births, now)
+	// Prune closed segments from the front; the just-opened segment is
+	// always kept, so the log never shrinks below one segment.
+	for len(w.segments) > 1 {
+		tooMany := w.opts.KeepSegments > 0 && len(w.segments) > w.opts.KeepSegments
+		tooOld := w.opts.KeepDuration > 0 && now.Sub(w.births[0]) > w.opts.KeepDuration
+		if !tooMany && !tooOld {
+			break
+		}
 		if err := os.Remove(filepath.Join(w.dir, framesDir, w.segments[0].File)); err != nil {
 			return err
 		}
 		w.segments = append(w.segments[:0], w.segments[1:]...)
+		w.births = append(w.births[:0], w.births[1:]...)
 	}
 	return nil
 }

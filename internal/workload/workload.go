@@ -39,7 +39,7 @@ type Scenario struct {
 func (s *Scenario) Profiles() []*profile.Profile {
 	out := make([]*profile.Profile, len(s.Devices))
 	for i, d := range s.Devices {
-		out[i] = profile.Default(d)
+		out[i] = profile.Derived(d)
 	}
 	return out
 }
