@@ -24,8 +24,8 @@ import (
 )
 
 // Shared is the flag matrix common to mvsim, mvexp, mvscheduler, and
-// mvnode (mvreplay registers a subset). Fields are filled by fs.Parse
-// after Register.
+// mvnode; mvserve registers the RegisterCore subset and mvreplay a
+// hand-rolled one. Fields are filled by fs.Parse after Register.
 type Shared struct {
 	// Workers bounds each binary's fan-outs (0 = GOMAXPROCS,
 	// 1 = sequential); modelled results are identical for every value
@@ -65,19 +65,28 @@ type Shared struct {
 // -workers usage line to the binary's fan-outs ("per-camera",
 // "experiment/camera", ...).
 func Register(fs *flag.FlagSet, workersHelp string) *Shared {
+	s := RegisterCore(fs, workersHelp)
+	fs.StringVar(&s.Record, "record", "", "record this run into a run-store directory (see docs/STREAMING.md)")
+	fs.StringVar(&s.StoreFsync, "store-fsync", "never", "-record durability policy: never, interval, every-record")
+	fs.IntVar(&s.StoreKeep, "store-keep-segments", 0, "-record frame-log retention: keep only the newest N segments (0 = unlimited)")
+	fs.DurationVar(&s.StoreKeepDur, "store-keep-duration", 0, "-record frame-log retention by age: drop segments older than this (0 = unlimited)")
+	fs.StringVar(&s.IngestAddr, "ingest-addr", "", "listen for live length-prefixed frame parts on this address instead of generating a trace (e.g. :7100; push with mvingest)")
+	fs.StringVar(&s.ShedPolicy, "shed-policy", "drop-oldest", "ingest overload shedding: drop-oldest, freshest, stale")
+	return s
+}
+
+// RegisterCore installs only the core subset of the matrix — -workers,
+// the -metrics-* export pair, the -cam-faults / -health-k fault pair,
+// and -adapt — for binaries with no run-store or live-ingest surface
+// (mvserve). Register builds on it.
+func RegisterCore(fs *flag.FlagSet, workersHelp string) *Shared {
 	s := &Shared{}
 	fs.IntVar(&s.Workers, "workers", 0, workersHelp+" worker bound (0 = GOMAXPROCS, 1 = sequential)")
 	fs.StringVar(&s.MetricsAddr, "metrics-addr", "", "serve live /metricsz snapshots on this address (e.g. :8080)")
 	fs.StringVar(&s.MetricsJSONL, "metrics-jsonl", "", "append metrics snapshots to this JSONL file")
 	fs.StringVar(&s.CamFaults, "cam-faults", "", "camera-fault schedule, e.g. seed=7,rate=0.1,mean=20 (see docs/FAULTS.md)")
 	fs.IntVar(&s.HealthK, "health-k", 3, "frames of silence before a camera is declared dead (0 disables failover)")
-	fs.StringVar(&s.Record, "record", "", "record this run into a run-store directory (see docs/STREAMING.md)")
-	fs.StringVar(&s.StoreFsync, "store-fsync", "never", "-record durability policy: never, interval, every-record")
-	fs.IntVar(&s.StoreKeep, "store-keep-segments", 0, "-record frame-log retention: keep only the newest N segments (0 = unlimited)")
-	fs.DurationVar(&s.StoreKeepDur, "store-keep-duration", 0, "-record frame-log retention by age: drop segments older than this (0 = unlimited)")
 	fs.StringVar(&s.Adapt, "adapt", "", "degradation control loop, e.g. slo=500ms,window=40,cooldown=2,max=3 (see docs/FAULTS.md)")
-	fs.StringVar(&s.IngestAddr, "ingest-addr", "", "listen for live length-prefixed frame parts on this address instead of generating a trace (e.g. :7100; push with mvingest)")
-	fs.StringVar(&s.ShedPolicy, "shed-policy", "drop-oldest", "ingest overload shedding: drop-oldest, freshest, stale")
 	return s
 }
 

@@ -136,6 +136,23 @@ type Snapshot struct {
 	AdaptLevel       int `json:"adapt_level,omitempty"`
 	AdaptTransitions int `json:"adapt_transitions,omitempty"`
 	SLOViolations    int `json:"slo_violations,omitempty"`
+	// Tenant identifies the serving-pool tenant behind a pipeline
+	// snapshot when the engine is coupled to a shared executor pool
+	// (pipeline.Config.Serve; docs/SERVING.md). Empty — and absent on
+	// the wire — for engines running on private executors, so pre-serve
+	// recorded output is unchanged.
+	Tenant string `json:"tenant,omitempty"`
+	// ExecQueueDepth, ExecSharedBatches, ExecShedTasks, and
+	// ExecSLOViolations mirror the shared executor pool's per-tenant
+	// counters as of this frame: the batch backlog left past the frame's
+	// epoch, the cumulative batches shared with other tenants, the
+	// cumulative tasks dropped by pool admission control, and the
+	// cumulative epochs priced over this tenant's SLO. All zero — and
+	// absent on the wire — without a serve executor.
+	ExecQueueDepth    int `json:"exec_queue_depth,omitempty"`
+	ExecSharedBatches int `json:"exec_shared_batches,omitempty"`
+	ExecShedTasks     int `json:"exec_shed_tasks,omitempty"`
+	ExecSLOViolations int `json:"exec_slo_violations,omitempty"`
 	// FrameLatency is the frame's modelled system latency: the slowest
 	// camera this frame (pipeline/node), or the assignment's scheduled
 	// system latency L = max_i L_i (scheduler).

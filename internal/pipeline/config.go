@@ -11,8 +11,9 @@ import (
 // Config configures an Engine (and the batch Run wrapper around it),
 // grouped by concern: Sim shapes the simulated world and sensing, Sched
 // selects and tunes the scheduling algorithm, Fault arms the data-plane
-// failure model, Adapt arms the graceful-degradation control loop, and
-// Obs attaches observability. The zero value is a
+// failure model, Adapt arms the graceful-degradation control loop,
+// Serve couples the engine to a shared executor pool, and Obs attaches
+// observability. The zero value is a
 // valid fault-free Full-mode run; NewConfig fills the two knobs every
 // caller sets. Defaults (Horizon 10, 16x9 grid, IoU 0.1, redundancy 1,
 // slack 1.2) are applied when the engine is built.
@@ -20,12 +21,15 @@ import (
 // Every field except Sched.Workers is part of the determinism contract:
 // the same (source, profiles, model, Config modulo Workers) produces
 // bit-identical modelled results (docs/CONCURRENCY.md,
-// docs/ARCHITECTURE.md).
+// docs/ARCHITECTURE.md). Serve extends the contract across tenants:
+// with a shared serve.Pool as the executor, the tenant *set* and
+// registration order join the inputs (docs/SERVING.md).
 type Config struct {
 	Sim   Sim
 	Sched Sched
 	Fault Fault
 	Adapt Adapt
+	Serve Serve
 	Obs   Obs
 }
 

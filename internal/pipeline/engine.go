@@ -59,7 +59,15 @@ type Engine struct {
 	centralTotal time.Duration
 	breakdown    *metrics.Breakdown
 	frameSeries  metrics.LatencySeries
-	prevBusy     []time.Duration
+
+	// busy accumulates each camera's modelled inspection latency across
+	// frames (Report.PerCameraMean). It is fed from the merged camFrame
+	// shards rather than the private executors so the same accounting
+	// covers both local pricing and a shared serve pool. lastExec holds
+	// the serving pool's cumulative per-tenant counters as of the latest
+	// priced frame (zero without Config.Serve.Executor).
+	busy     []time.Duration
+	lastExec ExecStats
 
 	outageFrames int
 	orphaned     int
@@ -163,7 +171,7 @@ func NewEngine(src Source, profiles []*profile.Profile, model *assoc.Model, cfg 
 		coreCams:   coreCams,
 		horizonCam: make([]time.Duration, len(cams)),
 		breakdown:  metrics.NewBreakdown(),
-		prevBusy:   make([]time.Duration, len(cams)),
+		busy:       make([]time.Duration, len(cams)),
 	}
 	for _, lag := range cfg.Sim.CameraLag {
 		if lag > e.maxLag {
@@ -341,9 +349,26 @@ func (e *Engine) process(frame *scene.FrameTruth) error {
 
 	if isKey {
 		e.flushHorizon()
-		if err := runKeyFrame(cams, obs, down, detectedIDs, e.breakdown, e.horizonCam, results, e.cfg); err != nil {
+		if err := runKeyFrame(cams, obs, down, results, e.cfg); err != nil {
 			return err
 		}
+	} else {
+		if err := runRegularFrame(cams, obs, down, results, e.policy, e.cfg); err != nil {
+			return err
+		}
+	}
+
+	// Price any deferred GPU work at the post-fan-out barrier, then fold
+	// the per-camera shards into the run accumulators in camera order —
+	// the same merge point whether the work ran on private executors
+	// during the fan-out or on the shared serving pool just now.
+	if err := e.resolveServe(results, down); err != nil {
+		return err
+	}
+	mergeCamFrames(results, detectedIDs, e.breakdown, e.horizonCam)
+
+	if isKey {
+		pruneStaticPartition(cams, down, e.cfg)
 		if e.needsModel {
 			start := time.Now()
 			newPolicy, round, err := centralStage(cams, e.coreCams, e.model, e.subModels, e.deadMask, e.cfg)
@@ -359,10 +384,6 @@ func (e *Engine) process(frame *scene.FrameTruth) error {
 				e.emitRound(fi, round)
 			}
 		}
-	} else {
-		if err := runRegularFrame(cams, obs, down, detectedIDs, e.breakdown, e.horizonCam, results, e.policy, e.cfg); err != nil {
-			return err
-		}
 	}
 
 	e.breakdown.EndFrame()
@@ -373,14 +394,17 @@ func (e *Engine) process(frame *scene.FrameTruth) error {
 		e.orphaned += results[i].orphaned
 	}
 
-	// Per-frame system latency (max across cameras) for tail stats.
+	// Per-frame system latency (max across cameras) for tail stats, and
+	// the per-camera busy accumulators behind Report.PerCameraMean. With
+	// a serve executor the shard latencies include pool queueing delay,
+	// so overload at the shared GPU surfaces in the same tail statistics
+	// (and the same adapt samples) as local overload.
 	var frameMax time.Duration
-	for i, c := range cams {
-		busy := c.exec.Stats().BusyTime
-		if d := busy - e.prevBusy[i]; d > frameMax {
-			frameMax = d
+	for i := range results {
+		e.busy[i] += results[i].latency
+		if results[i].latency > frameMax {
+			frameMax = results[i].latency
 		}
-		e.prevBusy[i] = busy
 	}
 	e.frameSeries.Add(frameMax)
 
@@ -418,9 +442,45 @@ func (e *Engine) process(frame *scene.FrameTruth) error {
 		}
 		emitFrameSnapshot(e.cfg.Obs.Sink, e.label, fi, &e.recall, frameMax, cams, results,
 			e.outageFrames, e.orphaned, e.reassigned, level, transitions, violations,
-			e.cfg.Obs.Ingest)
+			e.cfg.Obs.Ingest, e.cfg.Serve.Tenant, e.lastExec)
 	}
 	e.fi++
+	return nil
+}
+
+// resolveServe prices the frame's deferred GPU work on the shared
+// executor (Config.Serve.Executor): it submits one ExecRequest per live
+// camera in ascending camera order — including cameras with no tasks,
+// so the pool's epoch barrier sees every active tenant every frame —
+// blocks until the pool has priced the epoch, and writes the replies
+// back into the camFrame shards. A no-op without a serve executor.
+func (e *Engine) resolveServe(results []camFrame, down []bool) error {
+	if e.cfg.Serve.Executor == nil {
+		return nil
+	}
+	reqs := make([]ExecRequest, 0, len(results))
+	for i := range results {
+		if down != nil && down[i] {
+			continue
+		}
+		reqs = append(reqs, ExecRequest{Cam: i, Full: results[i].full, Tasks: results[i].tasks})
+	}
+	res, stats, err := e.cfg.Serve.Executor.SubmitFrame(e.fi, reqs)
+	if err != nil {
+		return fmt.Errorf("pipeline: serve executor: %w", err)
+	}
+	if len(res) != len(reqs) {
+		return fmt.Errorf("pipeline: serve executor returned %d results for %d requests",
+			len(res), len(reqs))
+	}
+	for k := range reqs {
+		out := &results[reqs[k].Cam]
+		out.latency = res[k].Latency
+		out.batches = res[k].Batches
+		out.images = res[k].Images
+		out.occupancy = res[k].Occupancy
+	}
+	e.lastExec = stats
 	return nil
 }
 
@@ -474,8 +534,8 @@ func (e *Engine) Report() (*Report, error) {
 	}
 	frames := time.Duration(e.fi)
 	perCam := make([]time.Duration, len(e.cams))
-	for i, c := range e.cams {
-		perCam[i] = c.exec.Stats().BusyTime / frames
+	for i := range e.cams {
+		perCam[i] = e.busy[i] / frames
 	}
 	rep := &Report{
 		Mode:                e.cfg.Sched.Mode,
@@ -524,5 +584,9 @@ func (e *Engine) Report() (*Report, error) {
 		rep.AdaptTransitions = e.ctrl.Transitions()
 		rep.SLOViolations = e.ctrl.SLOViolations()
 	}
+	rep.Tenant = e.cfg.Serve.Tenant
+	rep.ExecSharedBatches = e.lastExec.SharedBatches
+	rep.ExecShedTasks = e.lastExec.ShedTasks
+	rep.ExecSLOViolations = e.lastExec.SLOViolations
 	return rep, nil
 }

@@ -151,6 +151,16 @@ type Report struct {
 	AdaptLevel       int
 	AdaptTransitions int
 	SLOViolations    int
+	// Tenant echoes Config.Serve.Tenant, and the Exec* counters mirror
+	// the shared executor pool's final per-tenant figures
+	// (pipeline.ExecStats): batches shared with other tenants, tasks
+	// dropped by pool admission control, and epochs priced over this
+	// tenant's SLO. All zero without a serve executor; all modelled
+	// (deterministic), so Modeled() keeps them (docs/SERVING.md).
+	Tenant            string
+	ExecSharedBatches int
+	ExecShedTasks     int
+	ExecSLOViolations int
 }
 
 // OverheadTotal returns the summed per-frame framework overhead.
@@ -200,6 +210,11 @@ type cameraState struct {
 	coverage [][]int // static per-cell coverage sets (BALB modes)
 	spOwner  []int   // static per-cell owners (SP mode)
 	shadows  []*shadow
+	// remote defers GPU pricing to Config.Serve.Executor: the per-camera
+	// fan-out collects inspection requests into the camFrame shard
+	// instead of running them on the private executor, and the engine
+	// resolves them at a barrier after the fan-out (resolveServe).
+	remote bool
 }
 
 // Run executes the pipeline over a pre-generated trace: it builds a
@@ -245,6 +260,7 @@ func buildCameraStates(cameras []*scene.Camera, profiles []*profile.Profile, mod
 			det:     vision.NewDetector(cfg.Sim.Seed+int64(i)*101, cfg.Sim.Detector),
 			tracker: tracker,
 			grid:    geom.NewGrid(sc.Frame(), cfg.Sim.GridCols, cfg.Sim.GridRows),
+			remote:  cfg.Serve.Executor != nil,
 		}
 		cams[i] = cs
 	}
@@ -308,6 +324,13 @@ type camFrame struct {
 	// camera. Both stay zero in fault-free runs.
 	reassigned int
 	orphaned   int
+	// tasks and full carry the camera's deferred GPU work when pricing
+	// is delegated to Config.Serve.Executor (cameraState.remote): the
+	// partial-region tasks of a regular frame, or a full-frame
+	// inspection marker. resolveServe fills latency/batches/images/
+	// occupancy from the executor's reply before the merge.
+	tasks []gpu.Task
+	full  bool
 }
 
 // mergeCamFrames folds per-camera frame shards into the run accumulators
@@ -333,24 +356,30 @@ func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 	recall *metrics.RecallAccumulator, frameMax time.Duration,
 	cams []*cameraState, results []camFrame,
 	outageFrames, orphaned, reassigned int,
-	adaptLevel, adaptTransitions, sloViolations int, ingest IngestMeter) {
+	adaptLevel, adaptTransitions, sloViolations int, ingest IngestMeter,
+	tenant string, exec ExecStats) {
 	tp, fn := recall.Counts()
 	snap := metrics.Snapshot{
-		Source:           metrics.SourcePipeline,
-		Label:            label,
-		Seq:              frame,
-		Frame:            frame,
-		TP:               tp,
-		FN:               fn,
-		Recall:           recall.Recall(),
-		OutageFrames:     outageFrames,
-		OrphanedObjects:  orphaned,
-		Reassignments:    reassigned,
-		AdaptLevel:       adaptLevel,
-		AdaptTransitions: adaptTransitions,
-		SLOViolations:    sloViolations,
-		FrameLatency:     frameMax,
-		Cameras:          make([]metrics.CameraSnapshot, len(cams)),
+		Source:            metrics.SourcePipeline,
+		Label:             label,
+		Seq:               frame,
+		Frame:             frame,
+		TP:                tp,
+		FN:                fn,
+		Recall:            recall.Recall(),
+		OutageFrames:      outageFrames,
+		OrphanedObjects:   orphaned,
+		Reassignments:     reassigned,
+		AdaptLevel:        adaptLevel,
+		AdaptTransitions:  adaptTransitions,
+		SLOViolations:     sloViolations,
+		Tenant:            tenant,
+		ExecQueueDepth:    exec.QueueDepth,
+		ExecSharedBatches: exec.SharedBatches,
+		ExecShedTasks:     exec.ShedTasks,
+		ExecSLOViolations: exec.SLOViolations,
+		FrameLatency:      frameMax,
+		Cameras:           make([]metrics.CameraSnapshot, len(cams)),
 	}
 	if ingest != nil {
 		c := ingest.Counters()
@@ -374,45 +403,49 @@ func emitFrameSnapshot(sink metrics.Sink, label string, frame int,
 
 // runKeyFrame performs the full-frame inspections, fanned out per
 // camera. results must hold one zeroed camFrame per camera; it carries
-// the per-camera shards out to the caller for snapshot assembly. A
-// non-nil down mask skips those cameras entirely (their shard stays
-// zero and their state freezes).
-func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, detected map[int]bool,
-	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame, cfg Config) error {
-	err := pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
+// the per-camera shards out to the caller, which resolves any deferred
+// GPU pricing and merges them in camera order. A non-nil down mask
+// skips those cameras entirely (their shard stays zero and their state
+// freezes).
+func runKeyFrame(cams []*cameraState, obs [][]scene.Observation, down []bool,
+	results []camFrame, cfg Config) error {
+	return pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
 		if down != nil && down[i] {
 			return nil
 		}
 		return cams[i].keyFrame(obs[i], &results[i])
 	})
-	if err != nil {
-		return err
-	}
-	mergeCamFrames(results, detected, breakdown, horizonCam)
+}
 
-	// SP keeps only tracks in owned cells; Full/Independent/Central modes
-	// keep everything (the central stage reassigns right after).
-	if cfg.Sched.Mode == StaticPartition {
-		for _, cs := range cams {
-			if down != nil && down[cs.index] {
-				continue
-			}
-			for _, t := range cs.tracker.Tracks() {
-				cell, _ := cs.grid.CellIndex(t.Box.Center())
-				if cs.spOwner[cell] != cs.index {
-					cs.tracker.Remove(t.ID)
-				}
+// pruneStaticPartition applies SP's key-frame ownership rule: each
+// camera keeps only tracks in cells it owns. Full/Independent/Central
+// modes keep everything (the central stage reassigns right after).
+func pruneStaticPartition(cams []*cameraState, down []bool, cfg Config) {
+	if cfg.Sched.Mode != StaticPartition {
+		return
+	}
+	for _, cs := range cams {
+		if down != nil && down[cs.index] {
+			continue
+		}
+		for _, t := range cs.tracker.Tracks() {
+			cell, _ := cs.grid.CellIndex(t.Box.Center())
+			if cs.spOwner[cell] != cs.index {
+				cs.tracker.Remove(t.ID)
 			}
 		}
 	}
-	return nil
 }
 
 // keyFrame is one camera's share of a key frame: full-frame inspection
 // plus track refresh. It touches only this camera's state and its own
 // camFrame shard.
 func (cs *cameraState) keyFrame(obs []scene.Observation, out *camFrame) error {
-	out.latency = cs.exec.RunFullFrame()
+	if cs.remote {
+		out.full = true
+	} else {
+		out.latency = cs.exec.RunFullFrame()
+	}
 	dets := cs.det.DetectFull(obs)
 	for _, d := range dets {
 		out.truthIDs = append(out.truthIDs, d.TruthID)
@@ -626,36 +659,32 @@ func containsCam(cams []int, cam int) bool {
 // distributed stage, fanned out per camera. The shared policy is only
 // read by the workers; every write stays inside one camera's state and
 // camFrame shard.
-func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, down []bool, detected map[int]bool,
-	breakdown *metrics.Breakdown, horizonCam []time.Duration, results []camFrame,
-	policy core.Policy, cfg Config) error {
-	var err error
+func runRegularFrame(cams []*cameraState, obs [][]scene.Observation, down []bool,
+	results []camFrame, policy core.Policy, cfg Config) error {
 	if cfg.Sched.Mode == Full {
-		err = pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
+		return pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
 			if down != nil && down[i] {
 				return nil
 			}
 			cams[i].fullFrame(obs[i], &results[i])
 			return nil
 		})
-	} else {
-		err = pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
-			if down != nil && down[i] {
-				return nil
-			}
-			return cams[i].regularFrame(obs[i], policy, cfg, &results[i])
-		})
 	}
-	if err != nil {
-		return err
-	}
-	mergeCamFrames(results, detected, breakdown, horizonCam)
-	return nil
+	return pool.Do(cfg.Sched.Workers, len(cams), func(i int) error {
+		if down != nil && down[i] {
+			return nil
+		}
+		return cams[i].regularFrame(obs[i], policy, cfg, &results[i])
+	})
 }
 
 // fullFrame is one camera's share of a Full-mode regular frame.
 func (cs *cameraState) fullFrame(obs []scene.Observation, out *camFrame) {
-	out.latency = cs.exec.RunFullFrame()
+	if cs.remote {
+		out.full = true
+	} else {
+		out.latency = cs.exec.RunFullFrame()
+	}
 	for _, d := range cs.det.DetectFull(obs) {
 		out.truthIDs = append(out.truthIDs, d.TruthID)
 	}
@@ -720,17 +749,22 @@ func (cs *cameraState) regularFrame(obs []scene.Observation, policy core.Policy,
 		out.sample.Observe("distributed", time.Since(distStart))
 	}
 
-	// --- Batched GPU execution. ---
+	// --- Batched GPU execution (deferred to the serving pool when the
+	// camera is remote; the engine prices the tasks after the fan-out). ---
 	batchStart := time.Now()
-	res, err := cs.exec.RunFrame(tasks)
-	if err != nil {
-		return fmt.Errorf("pipeline: camera %d inspection: %w", cs.index, err)
+	if cs.remote {
+		out.tasks = tasks
+	} else {
+		res, err := cs.exec.RunFrame(tasks)
+		if err != nil {
+			return fmt.Errorf("pipeline: camera %d inspection: %w", cs.index, err)
+		}
+		out.latency = res.Latency
+		out.batches = len(res.Batches)
+		out.images = res.Images
+		out.occupancy = gpu.BatchOccupancy(res.Batches, cs.exec.Profile())
 	}
 	out.sample.Observe("batching", time.Since(batchStart))
-	out.latency = res.Latency
-	out.batches = len(res.Batches)
-	out.images = res.Images
-	out.occupancy = gpu.BatchOccupancy(res.Batches, cs.exec.Profile())
 
 	dets, err := cs.det.DetectRegions(regions, obs)
 	if err != nil {

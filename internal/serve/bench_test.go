@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTenantServe measures one consolidated multi-tenant run over
+// the shared S1 trace as the tenant count scales — the serving layer's
+// scheduling overhead per tenant-frame, not GPU time (latencies are
+// modeled). CI runs one iteration of each point as a build/run smoke.
+func BenchmarkTenantServe(b *testing.B) {
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			trace := testTrace(b)
+			for i := 0; i < b.N; i++ {
+				pool, err := NewPool(poolConfig(b, 4, true))
+				if err != nil {
+					b.Fatalf("NewPool: %v", err)
+				}
+				results, err := Run(pool, tenantSpecs(b, tenants, 1))
+				if err != nil {
+					b.Fatalf("Run: %v", err)
+				}
+				if results[0].Report.Frames != len(trace.Frames) {
+					b.Fatalf("short run: %d frames", results[0].Report.Frames)
+				}
+			}
+			b.ReportMetric(float64(len(trace.Frames)*tenants)/float64(b.Elapsed().Seconds()*float64(b.N)), "tenant-frames/s")
+		})
+	}
+}
